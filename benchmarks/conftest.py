@@ -1,0 +1,64 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one paper table/figure and prints the rows the
+paper reports (captured output is shown with ``pytest -s``; every bench
+also appends to ``benchmarks/results/`` so the numbers survive capture).
+
+Set ``REPRO_BENCH_FAST=1`` to run everything at reduced horizons.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.colocation import CoLocationResult, run_colocation
+from repro.experiments.common import ExperimentScale
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+#: simulated horizon of one co-location run.
+COLO_DURATION_US = 400_000.0 if FAST else 1_200_000.0
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale(duration_us: float | None = None) -> ExperimentScale:
+    return ExperimentScale(duration_us=duration_us or COLO_DURATION_US)
+
+
+class ColocationCache:
+    """Lazily computed (service, workload, setting) -> CoLocationResult."""
+
+    def __init__(self):
+        self._cache: dict[tuple, CoLocationResult] = {}
+
+    def get(self, service: str, workload: str, setting: str) -> CoLocationResult:
+        key = (service, workload, setting)
+        if key not in self._cache:
+            self._cache[key] = run_colocation(
+                service, workload, setting, scale=bench_scale()
+            )
+        return self._cache[key]
+
+    def triple(self, service: str, workload: str) -> dict[str, CoLocationResult]:
+        return {
+            s: self.get(service, workload, s)
+            for s in ("alone", "holmes", "perfiso")
+        }
+
+
+@pytest.fixture(scope="session")
+def colo() -> ColocationCache:
+    return ColocationCache()
+
+
+def report(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print()
+    print(f"=== {name} ===")
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,12 @@
+"""Figure 10 bench: Memcached latency CDFs (workloads a and b only)."""
+
+from test_fig7_redis import check_ordering, run_service_figure
+
+
+def test_fig10_memcached(benchmark, colo):
+    results = run_service_figure(benchmark, colo, "memcached", ("a", "b"))
+    check_ordering(results)
+    # paper: Holmes achieves almost identical latency to Alone for both
+    for wl in ("a", "b"):
+        h, a = results[wl]["holmes"], results[wl]["alone"]
+        assert h.mean_latency < a.mean_latency * 1.15

@@ -1,0 +1,39 @@
+"""Figure 11 bench: SLO-violation ratios (SLO = Alone p90)."""
+
+from conftest import report
+
+from repro.analysis import format_table, slo_from_alone, violation_ratio
+from repro.experiments.fig7_10_latency import WORKLOADS_OF
+
+SERVICES = ("redis", "memcached", "rocksdb", "wiredtiger")
+
+
+def test_fig11_slo_violation(benchmark, colo):
+    def compute():
+        rows = []
+        for svc in SERVICES:
+            for wl in WORKLOADS_OF[svc]:
+                triple = colo.triple(svc, wl)
+                slo = slo_from_alone(triple["alone"].recorder.latencies())
+                rows.append([
+                    svc, f"workload-{wl}", round(slo, 1),
+                    *[
+                        f"{violation_ratio(triple[s].recorder.latencies(), slo):.1%}"
+                        for s in ("alone", "holmes", "perfiso")
+                    ],
+                ])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report("fig11_slo_violation", format_table(
+        ["service", "workload", "SLO us", "alone", "holmes", "perfiso"], rows
+    ))
+
+    # shape assertions on the parsed ratios
+    for row in rows:
+        alone, holmes, perfiso = (float(x.rstrip("%")) / 100 for x in row[3:])
+        assert abs(alone - 0.10) < 0.02  # by construction
+        assert perfiso >= holmes - 0.02
+    # PerfIso must violate badly somewhere (paper: usually >25%)
+    worst = max(float(r[5].rstrip("%")) / 100 for r in rows)
+    assert worst > 0.20

@@ -1,0 +1,38 @@
+"""Figure 13 bench: VPI on the LC CPUs over time, RocksDB workload-a."""
+
+import numpy as np
+from conftest import report
+
+from repro.analysis import format_table
+
+
+def test_fig13_vpi_timeline(benchmark, colo):
+    def compute():
+        return {s: colo.get("rocksdb", "a", s)
+                for s in ("alone", "holmes", "perfiso")}
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    stats = {}
+    rows = []
+    for setting, res in results.items():
+        v = res.vpi_values
+        # consider windows where the service was actually executing
+        active = v[v > 1.0]
+        stats[setting] = {
+            "mean": float(np.mean(active)) if active.size else 0.0,
+            "p95": float(np.percentile(active, 95)) if active.size else 0.0,
+            "std": float(np.std(active)) if active.size else 0.0,
+        }
+        s = stats[setting]
+        rows.append([setting, round(s["mean"], 1), round(s["p95"], 1),
+                     round(s["std"], 1)])
+    report("fig13_vpi_timeline", format_table(
+        ["setting", "VPI mean (active)", "VPI p95", "VPI std"], rows
+    ))
+
+    # paper: Alone is the most stable/low; PerfIso highest and most
+    # fluctuating; Holmes lower and more stable than PerfIso
+    assert stats["perfiso"]["mean"] > stats["holmes"]["mean"]
+    assert stats["perfiso"]["p95"] > stats["alone"]["p95"]
+    assert stats["holmes"]["mean"] < stats["perfiso"]["mean"]
+    assert stats["alone"]["std"] <= stats["perfiso"]["std"]

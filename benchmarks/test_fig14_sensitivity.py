@@ -1,0 +1,40 @@
+"""Figure 14 bench: sensitivity to the deallocation threshold E."""
+
+from conftest import FAST, report
+
+from repro.analysis import format_table
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig14_sensitivity import run_sensitivity
+
+SERVICES = ("redis", "memcached") if FAST else (
+    "redis", "memcached", "rocksdb", "wiredtiger"
+)
+
+
+def test_fig14_sensitivity(benchmark):
+    scale = ExperimentScale(duration_us=300_000.0 if FAST else 600_000.0)
+
+    def compute():
+        return {svc: run_sensitivity(svc, scale=scale) for svc in SERVICES}
+
+    by_svc = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for svc, sweep in by_svc.items():
+        for row in sweep:
+            n = row.normalized
+            rows.append([
+                svc, int(row.e_threshold), f"{n['mean']:.2f}",
+                f"{n['p70']:.2f}", f"{n['p80']:.2f}", f"{n['p90']:.2f}",
+                f"{n['p99']:.2f}",
+            ])
+    report("fig14_sensitivity", format_table(
+        ["service", "E", "avg", "p70", "p80", "p90", "p99"], rows
+    ))
+
+    for svc, sweep in by_svc.items():
+        by_e = {r.e_threshold: r.normalized for r in sweep}
+        # paper: E=40 renders results similar to Alone
+        assert by_e[40.0]["mean"] < 1.30, svc
+        # larger E sacrifices latency: E=80 strictly worse than E=40
+        assert by_e[80.0]["p99"] >= by_e[40.0]["p99"] * 0.98, svc
+        assert by_e[80.0]["mean"] > by_e[40.0]["mean"] * 0.98, svc

@@ -1,0 +1,29 @@
+"""Figure 2 bench: memory-access latency from different sources."""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.experiments.fig2_microbench import run_fig2
+
+
+def test_fig2_microbench(benchmark):
+    cases = benchmark.pedantic(
+        lambda: run_fig2(duration_us=50_000.0), rounds=1, iterations=1
+    )
+    rows = [
+        [c.label, round(c.mean, 0), round(float(c.latencies.min()), 0),
+         round(float(c.latencies.max()), 0)]
+        for c in cases
+    ]
+    report("fig2_microbench", format_table(
+        ["case", "mean us/MB", "min", "max"], rows
+    ))
+
+    base, two_cores, ht, sixteen, thirty_two, comp = [c.mean for c in cases]
+    # paper: ~1,400us for non-sibling placements, ~2,300us for HT siblings
+    assert abs(base - 1400) / 1400 < 0.05
+    assert abs(two_cores - base) / base < 0.05
+    assert abs(sixteen - base) / base < 0.05
+    assert abs(ht - 2300) / 2300 < 0.08
+    assert abs(thirty_two - ht) / ht < 0.08
+    assert base * 1.03 < comp < ht * 0.85

@@ -1,0 +1,29 @@
+"""Figure 3 bench: Redis under Alone / Co-separate / Co-hyper."""
+
+from conftest import FAST, report
+
+from repro.analysis import format_table
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig3_redis import run_fig3
+
+
+def test_fig3_redis_settings(benchmark):
+    scale = ExperimentScale(duration_us=300_000.0 if FAST else 800_000.0)
+    results = benchmark.pedantic(
+        lambda: run_fig3(scale=scale), rounds=1, iterations=1
+    )
+    rows = [
+        [name, round(r.mean, 1), round(r.recorder.percentile(90), 1),
+         round(r.p99, 1)]
+        for name, r in results.items()
+    ]
+    report("fig3_redis_colocation", format_table(
+        ["setting", "avg us", "p90 us", "p99 us"], rows
+    ))
+
+    alone, sep, hyper = (results[s] for s in
+                         ("alone", "co-separate", "co-hyper"))
+    # paper: Alone ~= Co-separate; Co-hyper avg ~2.0x, p99 ~1.3x Co-separate
+    assert abs(sep.mean - alone.mean) / alone.mean < 0.15
+    assert hyper.mean > sep.mean * 1.4
+    assert hyper.p99 > sep.p99 * 1.15

@@ -1,0 +1,47 @@
+"""Figure 4 bench: normalized latency and VPI curves across RPS sweeps."""
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.analysis import format_table
+from repro.experiments.fig4_table1_hpe import run_hpe_selection
+from repro.hw.events import CANDIDATE_EVENTS
+
+
+def test_fig4_vpi_curves(benchmark):
+    res = benchmark.pedantic(
+        lambda: run_hpe_selection(duration_us=60_000.0, seed=7),
+        rounds=1, iterations=1,
+    )
+
+    def norm(series):
+        arr = np.asarray(series, dtype=float)
+        return arr / arr.max()
+
+    # Fig 4(a): one-thread sweep -- everything flat
+    lat_a = [p.latency_us for p in res.one_thread]
+    # Fig 4(b): saturated thread under sibling sweep -- everything rises
+    lat_b = norm([p.latency_us for p in res.max_thread])
+    rows = []
+    for i, p in enumerate(res.max_thread):
+        row = [int(p.rps_setting), f"{lat_b[i]:.3f}"]
+        for ev in CANDIDATE_EVENTS:
+            v = norm([q.vpi[ev.code] for q in res.max_thread])[i]
+            row.append(f"{v:.3f}")
+        rows.append(row)
+    report("fig4_vpi_curves", format_table(
+        ["sibling RPS", "latency(norm)"] +
+        [ev.name for ev in CANDIDATE_EVENTS], rows
+    ))
+
+    # (a): latency flat within 10% across the whole one-thread sweep
+    assert max(lat_a) < min(lat_a) * 1.10
+    # (b): latency and the 0x14A3 VPI rise together
+    vpi_b = norm([p.vpi[0x14A3] for p in res.max_thread])
+    assert lat_b[-1] == 1.0 or lat_b[-1] > lat_b[0]
+    assert vpi_b[-1] > vpi_b[0] * 1.3
+    # (c): the swept thread's own latency stays ~constant (it is the one
+    # being throttled, not the one being interfered with at low rates)
+    lat_c = [p.latency_us for p in res.var_thread]
+    assert max(lat_c) < min(lat_c) * 1.15

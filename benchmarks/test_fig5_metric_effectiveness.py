@@ -1,0 +1,37 @@
+"""Figure 5 bench: VPI tracks service latency across sibling load levels."""
+
+from conftest import FAST, report
+
+from repro.analysis import format_table
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig5_effectiveness import run_fig5
+
+
+def test_fig5_metric_effectiveness(benchmark):
+    scale = ExperimentScale(duration_us=250_000.0 if FAST else 500_000.0)
+    points = benchmark.pedantic(
+        lambda: run_fig5(scale=scale), rounds=1, iterations=1
+    )
+    rows = [
+        [p.service, p.level, f"{p.norm_mean:+.2f}", f"{p.norm_p99:+.2f}",
+         f"{p.norm_vpi:+.2f}"]
+        for p in points if p.level != "alone"
+    ]
+    report("fig5_metric_effectiveness", format_table(
+        ["service", "level", "norm avg lat", "norm p99 lat", "norm VPI"], rows
+    ))
+
+    by_svc: dict[str, list] = {}
+    for p in points:
+        if p.level != "alone":
+            by_svc.setdefault(p.service, []).append(p)
+    for svc, pts in by_svc.items():
+        order = {"low": 0, "medium": 1, "high": 2}
+        pts.sort(key=lambda p: order[p.level])
+        vpis = [p.norm_vpi for p in pts]
+        lats = [p.norm_mean for p in pts]
+        # VPI grows with sibling load, latency grows with it
+        assert vpis[0] < vpis[-1], svc
+        assert lats[0] < lats[-1], svc
+        assert all(v > 0.02 for v in vpis), svc
+        assert all(l > 0.0 for l in lats), svc

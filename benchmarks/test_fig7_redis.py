@@ -1,0 +1,49 @@
+"""Figure 7 bench: Redis latency CDFs under Alone / Holmes / PerfIso."""
+
+from conftest import report
+
+from repro.analysis import format_cdf_sparkline, format_table
+
+
+def run_service_figure(benchmark, colo, service, workloads):
+    results = benchmark.pedantic(
+        lambda: {wl: colo.triple(service, wl) for wl in workloads},
+        rounds=1, iterations=1,
+    )
+    rows, lines = [], []
+    for wl, by_setting in results.items():
+        for setting, res in by_setting.items():
+            rows.append([
+                f"workload-{wl}", setting,
+                round(res.mean_latency, 1),
+                round(res.percentile(90), 1),
+                round(res.p99_latency, 1),
+                len(res.recorder),
+            ])
+        lines.append(f"workload-{wl} CDF sketches (log-x):")
+        for setting, res in by_setting.items():
+            lines.append(
+                f"  {setting:8s} {format_cdf_sparkline(res.recorder.latencies())}"
+            )
+    table = format_table(
+        ["workload", "setting", "avg us", "p90 us", "p99 us", "queries"], rows
+    )
+    report(f"fig_{service}_latency", table + "\n" + "\n".join(lines))
+    return results
+
+
+def check_ordering(results, min_avg_gap=1.05):
+    for wl, by in results.items():
+        a, h, p = by["alone"], by["holmes"], by["perfiso"]
+        assert h.mean_latency < p.mean_latency, wl
+        assert h.p99_latency < p.p99_latency, wl
+        assert h.mean_latency < a.mean_latency * 1.3, wl
+        assert p.mean_latency > a.mean_latency * min_avg_gap, wl
+
+
+def test_fig7_redis(benchmark, colo):
+    results = run_service_figure(benchmark, colo, "redis", ("a", "b", "e"))
+    check_ordering({wl: results[wl] for wl in ("a", "b")})
+    # workload-e (scans) also ordered, with a looser alone-gap
+    e = results["e"]
+    assert e["holmes"].mean_latency < e["perfiso"].mean_latency

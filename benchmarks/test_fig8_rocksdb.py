@@ -1,0 +1,22 @@
+"""Figure 8 bench: RocksDB latency CDFs (stair shape + ordering)."""
+
+import numpy as np
+
+from test_fig7_redis import check_ordering, run_service_figure
+
+
+def test_fig8_rocksdb(benchmark, colo):
+    results = run_service_figure(benchmark, colo, "rocksdb", ("a", "b", "e"))
+    check_ordering({wl: results[wl] for wl in ("a", "b")})
+    # the paper's stair-like CDF: a fast step (async updates / cache hits)
+    # well separated from a slow step (disk reads)
+    lat = results["a"]["alone"].recorder.latencies()
+    p25, p90 = np.percentile(lat, [25, 90])
+    assert p90 > p25 + 80
+    # updates return faster than reads (async memtable writes)
+    rec = results["a"]["alone"].recorder
+    assert np.percentile(rec.latencies("update"), 90) < np.percentile(
+        rec.latencies("read"), 90
+    )
+    e = results["e"]
+    assert e["holmes"].mean_latency < e["perfiso"].mean_latency

@@ -1,0 +1,17 @@
+"""Figure 9 bench: WiredTiger latency CDFs."""
+
+from test_fig7_redis import check_ordering, run_service_figure
+
+
+def test_fig9_wiredtiger(benchmark, colo):
+    results = run_service_figure(benchmark, colo, "wiredtiger", ("a", "b", "e"))
+    check_ordering({wl: results[wl] for wl in ("a", "b")})
+    # paper: WiredTiger's scan workload is largely insensitive to HT
+    # interference -- sequential, mostly-cached pages.  All three settings
+    # land close together (much closer than workload-a's spread).
+    e = results["e"]
+    a = results["a"]
+    spread_e = e["perfiso"].mean_latency / e["alone"].mean_latency
+    spread_a = a["perfiso"].mean_latency / a["alone"].mean_latency
+    assert spread_e < spread_a
+    assert spread_e < 1.35

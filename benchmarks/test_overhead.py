@@ -1,0 +1,27 @@
+"""Section 6.6 bench: Holmes daemon overhead."""
+
+from conftest import report
+
+from repro.analysis import format_table
+from repro.core import Holmes
+from repro.experiments.common import ExperimentScale, build_system
+
+
+def test_overhead(benchmark):
+    def run():
+        system = build_system(ExperimentScale())
+        holmes = Holmes(system)
+        holmes.start()
+        system.run(until=200_000.0)
+        return holmes.estimated_overhead()
+
+    ov = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("overhead", format_table(
+        ["metric", "paper", "measured"],
+        [
+            ["CPU usage", "1.3% - 3%", f"{ov['cpu_percent']:.1f}%"],
+            ["resident memory", "~2 MB", f"{ov['resident_bytes'] / 1e6:.1f} MB"],
+        ],
+    ))
+    assert 0.013 <= ov["cpu_fraction"] <= 0.03
+    assert ov["resident_bytes"] < 8 * 1024 * 1024

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Cluster-level batch relocation (the paper's limitation mitigation).
+
+Section 1's limitation discussion: under consistently high LC traffic,
+batch jobs on a Holmes server stop making progress; "batch jobs can be
+migrated to another machine with more resources in the cluster."
+
+Two servers share one simulated clock.  Server 0 runs a Memcached-like
+service under *sustained* (non-bursty) heavy traffic with Holmes; server
+1 is idle.  Batch jobs submitted to server 0 crawl; the cluster scheduler
+detects the stall and relocates them to server 1.
+
+Run:  python examples/cluster_migration.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import Cluster, ClusterBatchScheduler
+from repro.core import Holmes, HolmesConfig
+from repro.workloads.batch import BatchJobSpec
+from repro.workloads.kv import make_service
+from repro.ycsb import ConstantTraffic, YCSBClient, workload_by_name
+
+
+def main():
+    cluster = Cluster(n_servers=2)
+    hot = cluster.nodes[0]
+
+    # Holmes + a service under sustained saturating traffic on server 0
+    holmes = Holmes(hot.system, HolmesConfig(n_reserved=4))
+    holmes.start()
+    service = make_service("memcached", hot.system, n_keys=30_000)
+    service.start(lcpus=set(holmes.reserved_cpus), n_workers=10)
+    holmes.register_lc_service(service.pid)
+    client = YCSBClient(
+        hot.system.env, service, workload_by_name("a"), 78_000,
+        np.random.default_rng(3), traffic=ConstantTraffic(),
+    )
+    client.start(4_000_000)
+
+    sched = ClusterBatchScheduler(
+        cluster, check_interval_us=50_000.0, stall_patience_us=300_000.0,
+        min_progress_fraction=0.55, tasks_per_container=4,
+    )
+    spec = BatchJobSpec(name="analytics", iterations=600, mem_lines=6000,
+                        mem_dram_frac=0.8, comp_cycles=4_000_000)
+    jobs = [sched.submit(spec, node=hot) for _ in range(2)]
+    sched.start()
+
+    print("running 4 simulated seconds ...")
+    cluster.run(until=4_000_000)
+
+    rows = []
+    for i, job in enumerate(jobs):
+        rows.append([
+            f"job{i}",
+            job.node.name,
+            job.relocations,
+            "finished" if job.instance.finished else "running",
+        ])
+    print()
+    print(format_table(["job", "final server", "relocations", "state"], rows))
+    print()
+    print(f"cluster relocations: {sched.relocations}")
+    print(f"service latency under sustained load: "
+          f"avg {service.recorder.mean():.0f} us, "
+          f"p99 {service.recorder.p99():.0f} us "
+          f"({len(service.recorder)} queries)")
+    print(f"Holmes expansion events: "
+          f"{sum(1 for e in holmes.scheduler.events if e.action == 'expand')}")
+
+
+if __name__ == "__main__":
+    main()

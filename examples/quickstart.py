@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: co-locate Redis with batch jobs, with and without Holmes.
+
+Builds a simulated 8-core/16-hyperthread server, runs a Redis-like
+service under bursty YCSB workload-a in three settings (alone, Holmes,
+PerfIso), and prints the latency/utilization comparison -- the paper's
+headline experiment in one script.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.colocation import run_colocation
+from repro.experiments.common import ExperimentScale
+
+
+def main():
+    scale = ExperimentScale(duration_us=1_000_000.0)  # 1 simulated second
+    rows = []
+    results = {}
+    for setting in ("alone", "holmes", "perfiso"):
+        print(f"running {setting} ...")
+        res = run_colocation("redis", "a", setting, scale=scale)
+        results[setting] = res
+        rows.append([
+            setting,
+            round(res.mean_latency, 1),
+            round(res.percentile(90), 1),
+            round(res.p99_latency, 1),
+            f"{res.avg_cpu_utilization:.0%}",
+            res.jobs_completed,
+        ])
+
+    print()
+    print(format_table(
+        ["setting", "avg us", "p90 us", "p99 us", "CPU util", "batch jobs"],
+        rows,
+    ))
+
+    h, p = results["holmes"], results["perfiso"]
+    print()
+    print(
+        f"Holmes vs PerfIso: avg latency -"
+        f"{100 * (1 - h.mean_latency / p.mean_latency):.1f}%, "
+        f"p99 -{100 * (1 - h.p99_latency / p.p99_latency):.1f}%"
+    )
+    if h.holmes_overhead:
+        print(f"Holmes daemon overhead: "
+              f"{h.holmes_overhead['cpu_percent']:.1f}% CPU")
+
+
+if __name__ == "__main__":
+    main()

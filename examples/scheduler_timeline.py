@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Watching Holmes make decisions: a scheduler-event timeline.
+
+Runs RocksDB under bursty traffic with Holmes active and prints what the
+daemon did and when -- container placements, sibling deallocations when
+VPI crossed E, re-allocations after the S hold-down, expansions and
+contractions of the reserved set -- alongside a VPI sparkline of the LC
+CPUs (the paper's Fig. 13 view).
+
+Run:  python examples/scheduler_timeline.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.analysis import format_cdf_sparkline
+from repro.core import Holmes, HolmesConfig
+from repro.experiments.common import DEFAULT_N_KEYS, ExperimentScale, build_system
+from repro.tracing import ExecutionTracer, gantt
+from repro.workloads.kv import make_service
+from repro.ycsb import BurstyTraffic, YCSBClient, workload_by_name
+from repro.yarnlike import ContinuousSubmitter, NodeManager
+
+
+def main():
+    scale = ExperimentScale(duration_us=1_200_000.0)
+    system = build_system(scale)
+    reserved = list(range(scale.n_reserved))
+    tracer = ExecutionTracer(system, max_records=4_000_000)
+    tracer.attach()
+
+    service = make_service("rocksdb", system, n_keys=DEFAULT_N_KEYS)
+    service.start(lcpus=set(reserved))
+
+    holmes = Holmes(system, HolmesConfig(n_reserved=scale.n_reserved))
+    holmes.start()
+    holmes.register_lc_service(service.pid)
+
+    nm = NodeManager(system, default_cpuset=holmes.non_reserved_cpus())
+    ContinuousSubmitter(nm, target_concurrent=3).start()
+
+    client = YCSBClient(
+        system.env, service, workload_by_name("a"), 70_000,
+        np.random.default_rng(17),
+        traffic=BurstyTraffic(np.random.default_rng(13), scale=scale.time_scale),
+    )
+    client.start(scale.duration_us)
+
+    print("running 1.2 simulated seconds of bursty co-location ...")
+    system.run(until=scale.duration_us)
+
+    print()
+    print("scheduler actions:")
+    counts = Counter(e.action for e in holmes.scheduler.events)
+    for action, n in counts.most_common():
+        print(f"  {action:24s} x{n}")
+
+    print()
+    print("first 15 events:")
+    for e in holmes.scheduler.events[:15]:
+        print(f"  t={e.time / 1000:9.2f} ms  {e.action:20s} {e.detail}")
+
+    print()
+    v = holmes.vpi_history.values
+    print(f"VPI over LC CPUs: mean={np.mean(v):.1f}  p95={np.percentile(v, 95):.1f}"
+          f"  (E threshold = {holmes.config.e_threshold:.0f})")
+    print()
+    print("query-latency distribution (log-x density):")
+    print("  " + format_cdf_sparkline(service.recorder.latencies()))
+    print(f"  mean={service.recorder.mean():.1f} us  "
+          f"p99={service.recorder.p99():.1f} us  n={len(service.recorder)}")
+    print()
+    print(f"batch jobs completed: {nm.completed_count()}")
+    ov = holmes.estimated_overhead()
+    print(f"Holmes overhead: {ov['cpu_percent']:.1f}% CPU, "
+          f"{ov['resident_bytes'] / 1e6:.1f} MB")
+
+    tracer.detach()
+    print()
+    print("execution trace, first 100 ms "
+          "(M/m memory, C/c compute, . idle):")
+    print(gantt(tracer, lcpus=list(range(16)), t0=0.0, t1=100_000.0))
+    print(f"rows 0-{scale.n_reserved - 1}: LC CPUs; "
+          f"rows 8-11: their siblings (watch batch appear and vanish)")
+
+
+if __name__ == "__main__":
+    main()

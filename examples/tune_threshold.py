@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Tuning the deallocation threshold E (the paper's Section 6.4 guidance).
+
+Sweeps E for a chosen service and prints normalised latency vs Alone at
+several percentiles plus the CPU utilisation each setting buys -- the
+latency/utilisation trade-off a Holmes operator navigates.
+
+Run:  python examples/tune_threshold.py [service]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.core import HolmesConfig
+from repro.experiments.colocation import run_colocation
+from repro.experiments.common import ExperimentScale
+
+
+def main():
+    service = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+    scale = ExperimentScale(duration_us=800_000.0)
+
+    print(f"baseline: {service} alone ...")
+    alone = run_colocation(service, "a", "alone", scale=scale)
+
+    rows = []
+    for e in (40.0, 50.0, 60.0, 70.0, 80.0):
+        print(f"running Holmes with E={e:.0f} ...")
+        cfg = HolmesConfig(n_reserved=scale.n_reserved, e_threshold=e)
+        res = run_colocation(service, "a", "holmes", scale=scale,
+                             holmes_config=cfg)
+        rows.append([
+            int(e),
+            f"{res.mean_latency / alone.mean_latency:.2f}x",
+            f"{res.percentile(90) / alone.percentile(90):.2f}x",
+            f"{res.p99_latency / alone.p99_latency:.2f}x",
+            f"{res.avg_cpu_utilization:.0%}",
+            res.jobs_completed,
+        ])
+
+    print()
+    print(f"{service}, workload-a: latency normalised to Alone")
+    print(format_table(
+        ["E", "avg", "p90", "p99", "CPU util", "jobs"], rows
+    ))
+    print()
+    print("paper guidance: E=40 for strict SLOs; raise E only when server")
+    print("utilisation matters more than tail latency (Section 6.4).")
+
+
+if __name__ == "__main__":
+    main()

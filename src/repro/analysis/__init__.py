@@ -1,0 +1,19 @@
+"""Statistics and reporting used by the experiment harness."""
+
+from repro.analysis.stats import (
+    pearson,
+    normalize_to_baseline,
+    percentile_summary,
+)
+from repro.analysis.slo import slo_from_alone, violation_ratio
+from repro.analysis.report import format_table, format_cdf_sparkline
+
+__all__ = [
+    "pearson",
+    "normalize_to_baseline",
+    "percentile_summary",
+    "slo_from_alone",
+    "violation_ratio",
+    "format_table",
+    "format_cdf_sparkline",
+]

@@ -1,0 +1,137 @@
+"""Text rendering of the paper's figure types (CDFs, bar groups, series).
+
+Terminal-grade matplotlib: the benchmark harness and CLI use these to
+show the *shape* of each result without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def render_cdf(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = True,
+    title: str = "",
+) -> str:
+    """Multi-line CDF plot of several latency distributions.
+
+    Each named series becomes one curve, drawn with its own glyph; the
+    x-axis is (by default) log-latency, the y-axis cumulative probability.
+    """
+    glyphs = "*o+x#@"
+    data = {
+        name: np.sort(np.asarray(vals, dtype=np.float64))
+        for name, vals in series.items()
+        if len(vals) > 0
+    }
+    if not data:
+        return "(no data)"
+    lo = min(float(v[0]) for v in data.values())
+    hi = max(float(v[-1]) for v in data.values())
+    lo = max(lo, 1e-9)
+    if hi <= lo:
+        hi = lo * 1.001
+    if log_x:
+        xs = np.logspace(np.log10(lo), np.log10(hi), width)
+    else:
+        xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (name, vals) in enumerate(data.items()):
+        glyph = glyphs[i % len(glyphs)]
+        cdf = np.searchsorted(vals, xs, side="right") / vals.size
+        for col, p in enumerate(cdf):
+            row = height - 1 - min(height - 1, int(p * (height - 1) + 0.5))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    axis = f"     +{'-' * width}"
+    lines.append(axis)
+    lines.append(f"      {lo:.0f} us{' ' * max(1, width - 18)}{hi:.0f} us"
+                 f" ({'log' if log_x else 'lin'} x)")
+    legend = "      " + "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(data)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (the Fig. 11/12 bar-group view)."""
+    if not values:
+        return "(no data)"
+    vmax = max(values.values())
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, v in values.items():
+        bar = "#" * max(0, int(round(v / vmax * width)))
+        lines.append(f"{name.rjust(label_w)} |{bar} {v:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 70,
+    height: int = 10,
+    title: str = "",
+    threshold: float | None = None,
+) -> str:
+    """A time-series strip chart (the Fig. 13 VPI-over-time view).
+
+    ``threshold`` draws a horizontal marker line (e.g. Holmes' E).
+    """
+    t = np.asarray(times, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.size == 0:
+        return "(no data)"
+    # bucket-average onto the display width
+    edges = np.linspace(t.min(), t.max() + 1e-9, width + 1)
+    idx = np.clip(np.digitize(t, edges) - 1, 0, width - 1)
+    cols = np.full(width, np.nan)
+    for c in range(width):
+        mask = idx == c
+        if mask.any():
+            cols[c] = v[mask].mean()
+    vmax = np.nanmax(cols)
+    vmin = min(0.0, np.nanmin(cols))
+    span = (vmax - vmin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    thr_row = None
+    if threshold is not None and vmin <= threshold <= vmax:
+        thr_row = height - 1 - int((threshold - vmin) / span * (height - 1))
+        for c in range(width):
+            grid[thr_row][c] = "-"
+    for c, val in enumerate(cols):
+        if np.isnan(val):
+            continue
+        row = height - 1 - int((val - vmin) / span * (height - 1))
+        grid[row][c] = "*"
+
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        level = vmax - r / (height - 1) * span
+        marker = " E" if thr_row is not None and r == thr_row else ""
+        lines.append(f"{level:7.1f} |{''.join(row)}{marker}")
+    lines.append(f"        +{'-' * width}")
+    lines.append(f"         {t.min() / 1000:.0f} ms"
+                 f"{' ' * max(1, width - 16)}{t.max() / 1000:.0f} ms")
+    return "\n".join(lines)

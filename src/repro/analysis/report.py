@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results (for the bench harness)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table, right-aligned numerics."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.1f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def format_cdf_sparkline(latencies, n_bins: int = 40,
+                         lo: float | None = None,
+                         hi: float | None = None) -> str:
+    """A one-line density sketch of a latency distribution (log-x)."""
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        return "(empty)"
+    lat = lat[lat > 0]
+    lo = lo if lo is not None else float(lat.min())
+    hi = hi if hi is not None else float(lat.max())
+    if hi <= lo:
+        return _BLOCKS[-1] * n_bins
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    hist, _ = np.histogram(lat, bins=edges)
+    if hist.max() == 0:
+        return " " * n_bins
+    scaled = (hist / hist.max() * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[s] for s in scaled)

@@ -1,0 +1,25 @@
+"""Comparator systems re-implemented at their published decision granularity.
+
+* :class:`PerfIso` -- the paper's main baseline (Iorgulescu et al., ATC '18):
+  CPU isolation that maintains a buffer of idle *logical* CPUs for
+  latency-critical bursts but is oblivious to SMT siblings, so batch work
+  lands on LC siblings and interferes through the shared core.
+* :class:`HeraclesLike` / :class:`PartiesLike` -- feedback controllers that
+  reconsider resource allocation on multi-second epochs; they eventually
+  isolate the SMT siblings but converge in tens of seconds (Table 4).
+* :class:`CaladanLike` -- a kernel-space reaction loop on a ~10 us tick
+  (converges in ~20 us but requires kernel modification; Table 4).
+"""
+
+from repro.baselines.perfiso import PerfIso, PerfIsoConfig
+from repro.baselines.heracles import HeraclesLike
+from repro.baselines.parties import PartiesLike
+from repro.baselines.caladan import CaladanLike
+
+__all__ = [
+    "PerfIso",
+    "PerfIsoConfig",
+    "HeraclesLike",
+    "PartiesLike",
+    "CaladanLike",
+]

@@ -1,0 +1,98 @@
+"""Parties-like controller (Chen et al., ASPLOS '19).
+
+Parties adjusts one resource at a time in small steps, observing the
+effect before the next step; upsizing a suffering service typically takes
+a few steps across several-second windows, for a published convergence of
+10-20 seconds on a new interference condition (paper Table 4).  The step
+ladder here tries, in order: compute headroom (a no-op in our CPU-only
+setting), core reallocation, and finally hyperthread isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.vpi import VPIReader
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import System
+
+
+class PartiesLike:
+    """Step-at-a-time feedback controller."""
+
+    #: resources tried in order on consecutive decision steps.
+    LADDER = ("frequency", "cores", "hyperthreads")
+
+    def __init__(
+        self,
+        system: "System",
+        lc_cpus,
+        step_us: float = 5_000_000.0,  # one adjustment per 5 s window
+        vpi_threshold: float = 40.0,
+        vpi_scale: float = 1.0,
+        batch_cgroup_root: str = "/yarn",
+    ):
+        self.system = system
+        self.env = system.env
+        self.lc_cpus = sorted(lc_cpus)
+        self.step_us = step_us
+        self.vpi_threshold = vpi_threshold
+        self.vpi_reader = VPIReader(system.server, scale=vpi_scale)
+        self._root = system.cgroups.create(batch_cgroup_root)
+        topo = system.server.topology
+        self.lc_siblings = {topo.sibling(c) for c in self.lc_cpus}
+        self.batch_cpus = set(
+            c for c in topo.all_lcpus() if c not in set(self.lc_cpus)
+        )
+        self._root.set_cpuset(self.batch_cpus)
+        self._ladder_pos = 0
+        self.actions: list[tuple[float, str]] = []
+        self.converged_at: Optional[float] = None
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self.env.process(self._loop(), name="parties")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.step_us)
+            if not self._running:
+                return
+            vpi = float(np.max(self.vpi_reader.sample()[self.lc_cpus]))
+            if vpi >= self.vpi_threshold:
+                self._escalate()
+            else:
+                self._ladder_pos = 0
+
+    def _escalate(self) -> None:
+        resource = self.LADDER[min(self._ladder_pos, len(self.LADDER) - 1)]
+        self.actions.append((self.env.now, resource))
+        if resource == "frequency":
+            # boost the LC cores to their maximum clock.  Compute scales
+            # with frequency but DRAM latency does not, so this rung cannot
+            # relieve SMT *memory* interference -- Parties must keep
+            # climbing, which is where its convergence time goes.
+            topo = self.system.server.topology
+            for c in self.lc_cpus:
+                self.system.server.set_core_frequency(topo.core_of(c), 1.0)
+        elif resource == "cores":
+            # shrink batch by one (non-sibling) CPU
+            candidates = self.batch_cpus - self.lc_siblings
+            if candidates:
+                self.batch_cpus.discard(max(candidates))
+                if self.batch_cpus:
+                    self._root.set_cpuset(self.batch_cpus)
+        elif resource == "hyperthreads":
+            self.batch_cpus -= self.lc_siblings
+            if self.batch_cpus:
+                self._root.set_cpuset(self.batch_cpus)
+            if self.converged_at is None:
+                self.converged_at = self.env.now
+        self._ladder_pos += 1

@@ -1,0 +1,121 @@
+"""PerfIso-like CPU isolation (SMT-oblivious).
+
+PerfIso's core mechanism: keep ``buffer_size`` logical CPUs idle at all
+times so the latency-critical service always has instantly available
+compute, giving every other logical CPU to batch work.  Crucially it
+counts *logical* CPUs -- it does not know that two logical CPUs share a
+physical core, so batch jobs routinely run on the siblings of the CPUs
+serving latency-critical queries.  That blindness is exactly what Holmes
+fixes, and what Figures 7-11 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.oskernel.accounting import UsageTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import System
+
+
+@dataclass
+class PerfIsoConfig:
+    """PerfIso knobs."""
+
+    #: controller invocation interval (PerfIso reacts at millisecond scale).
+    interval_us: float = 1_000.0
+    #: target number of idle logical CPUs kept as burst headroom.
+    buffer_size: int = 2
+    #: a logical CPU counts as idle below this windowed utilisation.
+    idle_threshold: float = 0.10
+    #: cgroup whose cpuset is managed (all batch containers inherit).
+    batch_cgroup_root: str = "/yarn"
+
+
+class PerfIso:
+    """The baseline controller."""
+
+    def __init__(
+        self,
+        system: "System",
+        lc_cpus,
+        config: Optional[PerfIsoConfig] = None,
+    ):
+        self.system = system
+        self.env = system.env
+        self.config = config or PerfIsoConfig()
+        self.lc_cpus = frozenset(lc_cpus)
+        if not self.lc_cpus:
+            raise ValueError("PerfIso needs the LC CPU set")
+        topo = system.server.topology
+        #: the pool PerfIso hands to batch: every non-LC logical CPU.
+        #: (SMT-oblivious: LC siblings are in the pool.)
+        self.full_pool = frozenset(
+            c for c in topo.all_lcpus() if c not in self.lc_cpus
+        )
+        self.batch_cpus: set[int] = set(self.full_pool)
+        #: revocation stack (grow returns the most recently revoked CPU).
+        self._revoked: list[int] = []
+        self.usage_tracker = UsageTracker(self.env, system.server)
+        #: last interval's per-lcpu busy fraction.  PerfIso decides on the
+        #: instantaneous window: a CPU it just revoked must read idle at
+        #: the very next tick, otherwise the controller over-revokes and
+        #: the idle buffer wanders across the pool.
+        self._usage = np.zeros(topo.n_lcpus)
+        self._running = False
+        self.adjustments = 0
+        self._root = system.cgroups.create(self.config.batch_cgroup_root)
+        self._apply()
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("PerfIso already started")
+        self._running = True
+        self.env.process(self._loop(), name="perfiso")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _apply(self) -> None:
+        if self.batch_cpus:
+            self._root.set_cpuset(self.batch_cpus)
+
+    def _loop(self):
+        cfg = self.config
+        while self._running:
+            yield self.env.timeout(cfg.interval_us)
+            if not self._running:
+                return
+            self._usage = self.usage_tracker.sample()
+            self._adjust()
+
+    def _idle_count(self) -> int:
+        pool = sorted(self.full_pool)
+        return int(np.sum(self._usage[pool] < self.config.idle_threshold))
+
+    def _adjust(self) -> None:
+        """Shrink the batch pool when the idle buffer is consumed; grow it
+        back when there is surplus headroom."""
+        cfg = self.config
+        idle = self._idle_count()
+        if idle < cfg.buffer_size and len(self.batch_cpus) > 1:
+            # Trim the pool in fixed CPU order.  Deliberately NOT
+            # load-aware: picking the "busiest" CPU would smuggle in
+            # accidental SMT awareness (a CPU contended by the
+            # latency-critical sibling runs stretched quanta and is
+            # systematically the busiest, so it would be revoked first).
+            # PerfIso sizes a CPU set; it does not diagnose interference.
+            victim = min(self.batch_cpus)
+            self.batch_cpus.discard(victim)
+            self._revoked.append(victim)
+            self._apply()
+            self.adjustments += 1
+        elif idle > cfg.buffer_size + 1 and self._revoked:
+            # grow the pool back, most recently revoked first
+            self.batch_cpus.add(self._revoked.pop())
+            self._apply()
+            self.adjustments += 1

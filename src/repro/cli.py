@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers so a user can
+regenerate any paper result (or poke at the simulator) without writing
+code:
+
+    python -m repro list
+    python -m repro colocate redis -w a --setting holmes
+    python -m repro compare rocksdb -w b
+    python -m repro microbench
+    python -m repro metric
+    python -m repro convergence
+    python -m repro sweep-e memcached
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.figures import render_bars, render_cdf, render_series
+
+
+def _scale(args):
+    from repro.experiments.common import ExperimentScale
+
+    return ExperimentScale(duration_us=args.duration * 1e6, seed=args.seed)
+
+
+def cmd_list(args) -> int:
+    from repro.experiments.fig7_10_latency import FIGURE_OF, WORKLOADS_OF
+    from repro.workloads.kv import SERVICE_CLASSES
+    from repro.ycsb.workloads import ALL_WORKLOADS
+
+    print("services:")
+    for name, cls in SERVICE_CLASSES.items():
+        wls = ",".join(WORKLOADS_OF.get(name, ()))
+        print(f"  {name:12s} {cls.__name__:20s} workers={cls.default_workers}"
+              f"  paper fig {FIGURE_OF.get(name)}  workloads: {wls}")
+    print("workloads:")
+    for w in ALL_WORKLOADS:
+        mix = []
+        for op in ("read", "update", "insert", "scan", "rmw"):
+            frac = getattr(w, op)
+            if frac:
+                mix.append(f"{frac:.0%} {op}")
+        print(f"  {w.name:12s} {' / '.join(mix)}  ({w.key_chooser} keys)")
+    print("settings: alone, holmes, perfiso")
+    return 0
+
+
+def cmd_colocate(args) -> int:
+    from repro.experiments.colocation import run_colocation
+
+    res = run_colocation(args.service, args.workload, args.setting,
+                         scale=_scale(args))
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["queries", len(res.recorder)],
+            ["avg latency (us)", round(res.mean_latency, 1)],
+            ["p90 latency (us)", round(res.percentile(90), 1)],
+            ["p99 latency (us)", round(res.p99_latency, 1)],
+            ["CPU utilisation", f"{res.avg_cpu_utilization:.1%}"],
+            ["batch jobs done", res.jobs_completed],
+        ],
+    ))
+    if args.setting == "holmes" and res.holmes_overhead:
+        print(f"holmes overhead: {res.holmes_overhead['cpu_percent']:.1f}% CPU")
+    print()
+    print(render_series(res.vpi_times, res.vpi_values,
+                        title="VPI on the LC CPUs over time", threshold=40.0))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments.colocation import run_colocation
+
+    results = {}
+    for setting in ("alone", "holmes", "perfiso"):
+        print(f"running {setting} ...", file=sys.stderr)
+        results[setting] = run_colocation(args.service, args.workload,
+                                          setting, scale=_scale(args))
+    rows = [
+        [s, round(r.mean_latency, 1), round(r.p99_latency, 1),
+         f"{r.avg_cpu_utilization:.0%}"]
+        for s, r in results.items()
+    ]
+    print(format_table(["setting", "avg us", "p99 us", "CPU util"], rows))
+    print()
+    print(render_cdf(
+        {s: r.recorder.latencies() for s, r in results.items()},
+        title=f"{args.service} workload-{args.workload}: latency CDF",
+    ))
+    h, p = results["holmes"], results["perfiso"]
+    print()
+    print(f"holmes vs perfiso: avg -{100 * (1 - h.mean_latency / p.mean_latency):.1f}%"
+          f", p99 -{100 * (1 - h.p99_latency / p.p99_latency):.1f}%")
+    return 0
+
+
+def cmd_microbench(args) -> int:
+    from repro.experiments.fig2_microbench import run_fig2
+
+    cases = run_fig2(duration_us=args.duration * 1e6 / 20)
+    print(render_bars(
+        {c.label: c.mean for c in cases},
+        unit=" us",
+        title="Fig 2: mean 1 MB random-read latency by placement",
+    ))
+    return 0
+
+
+def cmd_metric(args) -> int:
+    from repro.experiments.fig4_table1_hpe import run_hpe_selection
+    from repro.hw.events import by_code
+
+    res = run_hpe_selection(seed=args.seed)
+    rows = [
+        [by_code(code).name, f"0x{code:04X}", f"{corr:+.4f}"]
+        for code, corr in sorted(res.correlations.items(),
+                                 key=lambda kv: -kv[1])
+    ]
+    print(format_table(["event", "code", "corr w/ latency"], rows))
+    print(f"selected: {res.selected_event}")
+    return 0
+
+
+def cmd_convergence(args) -> int:
+    from repro.experiments.table4_convergence import run_table4
+
+    results = run_table4(
+        heracles_epoch_us=args.epoch * 1e6,
+        parties_step_us=args.step * 1e6,
+        seed=args.seed,
+    )
+    rows = []
+    for name, r in results.items():
+        c = r.convergence_us
+        rows.append([name, "-" if c is None else
+                     (f"{c / 1e6:.1f} s" if c >= 1e5 else f"{c:.0f} us")])
+    print(format_table(["approach", "convergence"], rows))
+    return 0
+
+
+def cmd_sweep_e(args) -> int:
+    from repro.experiments.fig14_sensitivity import run_sensitivity
+
+    rows_data = run_sensitivity(args.service, scale=_scale(args))
+    rows = [
+        [int(r.e_threshold)] + [f"{r.normalized[k]:.2f}"
+                                for k in ("mean", "p90", "p99")]
+        for r in rows_data
+    ]
+    print(f"{args.service}: latency normalised to Alone")
+    print(format_table(["E", "avg", "p90", "p99"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Holmes (HPDC'22) reproduction: run paper experiments "
+                    "on the simulated SMT server.",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list services, workloads and settings")
+
+    for name, fn_help in (("colocate", "run one co-location setting"),
+                          ("compare", "run alone/holmes/perfiso and compare")):
+        p = sub.add_parser(name, help=fn_help)
+        p.add_argument("service", choices=["redis", "memcached", "rocksdb",
+                                           "wiredtiger"])
+        p.add_argument("-w", "--workload", default="a")
+        p.add_argument("--duration", type=float, default=1.0,
+                       help="simulated seconds (default 1.0)")
+        if name == "colocate":
+            p.add_argument("--setting", default="holmes",
+                           choices=["alone", "holmes", "perfiso"])
+
+    p = sub.add_parser("microbench", help="the Fig 2 placement study")
+    p.add_argument("--duration", type=float, default=1.0)
+
+    sub.add_parser("metric", help="the Table 1 HPE selection study")
+
+    p = sub.add_parser("convergence", help="the Table 4 convergence study")
+    p.add_argument("--epoch", type=float, default=15.0,
+                   help="Heracles epoch in seconds (default 15)")
+    p.add_argument("--step", type=float, default=5.0,
+                   help="Parties step in seconds (default 5)")
+
+    p = sub.add_parser("sweep-e", help="the Fig 14 E-threshold sweep")
+    p.add_argument("service", choices=["redis", "memcached", "rocksdb",
+                                       "wiredtiger"])
+    p.add_argument("--duration", type=float, default=0.6)
+
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "colocate": cmd_colocate,
+    "compare": cmd_compare,
+    "microbench": cmd_microbench,
+    "metric": cmd_metric,
+    "convergence": cmd_convergence,
+    "sweep-e": cmd_sweep_e,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

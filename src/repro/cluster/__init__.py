@@ -1,0 +1,17 @@
+"""Multi-server co-location (the paper's limitation mitigation, Sec. 1).
+
+"It is possible that latency-critical services receive consistent high
+volume of traffic.  In this case, batch jobs may be suspended and stop
+progress for a long time [...]  batch jobs can be migrated to another
+machines with more resources in the cluster."
+
+This package provides that other machine: several simulated servers share
+one simulation clock; a cluster-level batch scheduler places jobs on the
+least-loaded server and relocates jobs whose progress has stalled
+(Mercury-style kill-and-resubmit relocation -- batch jobs are best-effort
+and restartable).
+"""
+
+from repro.cluster.cluster import Cluster, ClusterBatchScheduler, ServerNode
+
+__all__ = ["Cluster", "ClusterBatchScheduler", "ServerNode"]

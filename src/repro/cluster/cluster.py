@@ -1,0 +1,186 @@
+"""A small cluster of simulated servers with batch-job relocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.oskernel.accounting import UsageTracker
+from repro.sim import Environment
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike import JobInstance, NodeManager
+
+
+@dataclass
+class ServerNode:
+    """One machine of the cluster."""
+
+    name: str
+    system: System
+    nodemanager: NodeManager
+
+    def batch_load(self) -> float:
+        """Live batch task threads per logical CPU (placement heuristic)."""
+        n = self.system.server.topology.n_lcpus
+        tasks = sum(
+            sum(1 for t in c.process.threads if t.alive)
+            for j in self.nodemanager.running_jobs
+            for c in j.containers
+        )
+        return tasks / n
+
+
+class Cluster:
+    """Servers sharing one simulation clock."""
+
+    def __init__(
+        self,
+        n_servers: int = 2,
+        config: Optional[HWConfig] = None,
+        env: Optional[Environment] = None,
+        seed: int = 42,
+    ):
+        if n_servers < 1:
+            raise ValueError("a cluster needs at least one server")
+        self.env = env or Environment()
+        self.nodes: list[ServerNode] = []
+        for i in range(n_servers):
+            cfg = config or HWConfig(sockets=1, cores_per_socket=8)
+            node_cfg = HWConfig(**{**cfg.__dict__, "seed": cfg.seed + i})
+            system = System(env=self.env, config=node_cfg)
+            nm = NodeManager(system, seed=seed + i)
+            self.nodes.append(ServerNode(f"server{i}", system, nm))
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.env.run(until=until)
+
+
+@dataclass
+class TrackedJob:
+    """Cluster-level view of a submitted job."""
+
+    spec: BatchJobSpec
+    node: ServerNode
+    instance: JobInstance
+    #: cumulative CPU time observed at the last progress check.
+    last_cputime: float = 0.0
+    stalled_since: Optional[float] = None
+    relocations: int = 0
+
+
+class ClusterBatchScheduler:
+    """Places batch jobs on the least-loaded server; relocates starved ones.
+
+    A job is *starved* when its tasks run at less than
+    ``min_progress_fraction`` of their fair CPU rate for
+    ``stall_patience_us`` -- e.g. because the server's Holmes daemon has
+    deallocated CPUs to protect a latency-critical service under sustained
+    traffic.  Relocation is kill-and-resubmit on another server (batch
+    jobs are best-effort; progress within the killed attempt is lost,
+    which matches Yarn/Mercury semantics).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        check_interval_us: float = 50_000.0,
+        stall_patience_us: float = 200_000.0,
+        #: a job with N live tasks is starved below N * this CPU rate.
+        min_progress_fraction: float = 0.25,
+        tasks_per_container: int = 4,
+    ):
+        if not 0.0 < min_progress_fraction < 1.0:
+            raise ValueError("min_progress_fraction must be in (0, 1)")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.check_interval_us = check_interval_us
+        self.stall_patience_us = stall_patience_us
+        self.min_progress_fraction = min_progress_fraction
+        self.tasks_per_container = tasks_per_container
+        self.jobs: list[TrackedJob] = []
+        self.relocations = 0
+        self._running = False
+
+    # -- submission --------------------------------------------------------
+
+    def pick_node(self, exclude: Optional[ServerNode] = None) -> ServerNode:
+        candidates = [n for n in self.cluster.nodes if n is not exclude]
+        if not candidates:
+            candidates = list(self.cluster.nodes)
+        return min(candidates, key=lambda n: (n.batch_load(), n.name))
+
+    def submit(self, spec: BatchJobSpec,
+               node: Optional[ServerNode] = None) -> TrackedJob:
+        node = node or self.pick_node()
+        instance = node.nodemanager.launch_job(
+            spec, tasks_per_container=self.tasks_per_container
+        )
+        tracked = TrackedJob(spec=spec, node=node, instance=instance)
+        tracked.last_cputime = self._cputime(tracked)
+        self.jobs.append(tracked)
+        return tracked
+
+    # -- supervision ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("scheduler already started")
+        self._running = True
+        self.env.process(self._loop(), name="cluster-batch-scheduler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    @staticmethod
+    def _cputime(job: TrackedJob) -> float:
+        return sum(c.process.cputime_us for c in job.instance.containers)
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.check_interval_us)
+            if not self._running:
+                return
+            now = self.env.now
+            for job in list(self.jobs):
+                if job.instance.finished:
+                    continue
+                cputime = self._cputime(job)
+                rate = (cputime - job.last_cputime) / self.check_interval_us
+                job.last_cputime = cputime
+                live_tasks = sum(
+                    1
+                    for c in job.instance.containers
+                    for t in c.process.threads
+                    if t.alive
+                )
+                if rate < self.min_progress_fraction * max(1, live_tasks):
+                    if job.stalled_since is None:
+                        job.stalled_since = now
+                    elif now - job.stalled_since >= self.stall_patience_us:
+                        self._relocate(job)
+                else:
+                    job.stalled_since = None
+
+    def _relocate(self, job: TrackedJob) -> None:
+        target = self.pick_node(exclude=job.node)
+        if target is job.node:
+            job.stalled_since = None  # nowhere better to go; keep waiting
+            return
+        job.node.nodemanager.kill_job(job.instance)
+        job.instance = target.nodemanager.launch_job(
+            job.spec, tasks_per_container=self.tasks_per_container
+        )
+        job.node = target
+        job.last_cputime = self._cputime(job)
+        job.stalled_since = None
+        job.relocations += 1
+        self.relocations += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def finished_jobs(self) -> list[TrackedJob]:
+        return [j for j in self.jobs if j.instance.finished]

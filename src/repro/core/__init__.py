@@ -1,0 +1,30 @@
+"""Holmes: SMT interference diagnosis and interference-aware CPU scheduling.
+
+The paper's contribution, reimplemented faithfully against the simulated
+substrate:
+
+* :class:`MetricMonitor` -- the 50 us monitor thread collecting per-logical-
+  CPU usage, the VPI metric (Equation 1 over STALLS_MEM_ANY), per-core
+  aggregates, latency-critical process status, and batch containers
+  discovered by scanning the cgroup tree;
+* :class:`HolmesScheduler` -- the interference-aware CPU scheduler running
+  Algorithms 1 (launching), 2 (running: deallocate LC siblings at VPI >= E,
+  restore after S of calm, expand reserved CPUs past usage T) and 3
+  (exiting);
+* :class:`Holmes` -- the daemon wiring both into one closed loop.
+"""
+
+from repro.core.config import HolmesConfig
+from repro.core.vpi import VPIReader
+from repro.core.monitor import MetricMonitor, MonitorSample
+from repro.core.scheduler import HolmesScheduler
+from repro.core.daemon import Holmes
+
+__all__ = [
+    "HolmesConfig",
+    "VPIReader",
+    "MetricMonitor",
+    "MonitorSample",
+    "HolmesScheduler",
+    "Holmes",
+]

@@ -1,0 +1,170 @@
+"""The Holmes metric monitor (paper Section 4.2).
+
+Collects, once per invocation interval:
+
+* per-logical-CPU usage over the window and an EMA-smoothed view,
+* per-logical-CPU VPI of the selected event (0x14A3) and per-core
+  aggregates,
+* latency-critical process status (CPU time rate -> "serving traffic?"),
+* batch containers, discovered by scanning the batch cgroup directory
+  (new directories = launched containers, vanished = exited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import HolmesConfig
+from repro.core.vpi import VPIReader, aggregate_per_core
+from repro.oskernel.accounting import UsageTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import OSProcess, System
+    from repro.oskernel.cgroup import Cgroup
+
+
+@dataclass
+class LCStatus:
+    """Tracked state of one latency-critical service process."""
+
+    pid: int
+    process: "OSProcess"
+    last_cputime: float = 0.0
+    usage_ema: float = 0.0
+    serving: bool = False
+
+
+@dataclass
+class ContainerInfo:
+    """Tracked state of one batch container (one cgroup directory)."""
+
+    name: str
+    cgroup: "Cgroup"
+    discovered_at: float
+    #: CPUs Holmes granted this container (base, non-sibling preference).
+    cpus: set[int] = field(default_factory=set)
+    #: LC-sibling CPUs currently on loan to this container.
+    sibling_grants: set[int] = field(default_factory=set)
+
+
+@dataclass
+class MonitorSample:
+    """Everything the scheduler needs for one tick."""
+
+    time: float
+    usage: np.ndarray  # per-lcpu busy fraction, this window
+    usage_ema: np.ndarray  # per-lcpu smoothed usage
+    vpi: np.ndarray  # per-lcpu VPI (scaled)
+    core_vpi: np.ndarray  # per-core aggregated VPI
+    new_containers: list[ContainerInfo]
+    gone_containers: list[ContainerInfo]
+    lc_statuses: list[LCStatus]
+
+
+class MetricMonitor:
+    """State holder + per-tick collection logic (driven by the daemon)."""
+
+    def __init__(self, system: "System", config: HolmesConfig):
+        self.system = system
+        self.config = config
+        self.env = system.env
+        server = system.server
+        from repro.hw.events import by_code
+
+        self.metric_event = by_code(config.metric_event_code)
+        self.vpi_reader = VPIReader(
+            server,
+            event=self.metric_event,
+            scale=config.vpi_scale,
+            min_instructions=config.min_instructions,
+        )
+        self.usage_tracker = UsageTracker(self.env, server)
+        self.n_lcpus = server.topology.n_lcpus
+        self.n_cores = server.topology.n_cores
+        self._usage_ema = np.zeros(self.n_lcpus)
+        self.lc_services: dict[int, LCStatus] = {}
+        self.containers: dict[str, ContainerInfo] = {}
+        system.cgroups.create(config.batch_cgroup_root)
+        self._last_time = self.env.now
+
+    # -- registration -----------------------------------------------------------
+
+    def register_lc_service(self, pid: int) -> LCStatus:
+        """The administrator hands Holmes the service PID (Section 5)."""
+        process = self.system.processes.get(pid)
+        if process is None:
+            raise KeyError(f"no such process: pid={pid}")
+        status = LCStatus(pid=pid, process=process,
+                          last_cputime=process.cputime_us)
+        self.lc_services[pid] = status
+        return status
+
+    # -- per-tick collection ----------------------------------------------------------
+
+    def collect(self) -> MonitorSample:
+        now = self.env.now
+        dt = max(now - self._last_time, 1e-9)
+        self._last_time = now
+
+        usage = self.usage_tracker.sample()
+        alpha = 1.0 - np.exp(-dt / self.config.usage_ema_tau_us)
+        self._usage_ema += alpha * (usage - self._usage_ema)
+
+        raw_vpi, ldst, counter = self.vpi_reader.sample_full()
+        if self.config.metric_mode == "cps":
+            # the rejected Section 3.1 alternative: counter value per
+            # second of wall time, regardless of how loaded the CPU was.
+            vpi = counter / (dt / 1e6)
+        else:
+            vpi = raw_vpi
+        core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
+
+        self._update_lc_statuses(dt, alpha)
+        new, gone = self._scan_containers()
+
+        return MonitorSample(
+            time=now,
+            usage=usage,
+            usage_ema=self._usage_ema.copy(),
+            vpi=vpi,
+            core_vpi=core_vpi,
+            new_containers=new,
+            gone_containers=gone,
+            lc_statuses=list(self.lc_services.values()),
+        )
+
+    def _update_lc_statuses(self, dt: float, alpha: float) -> None:
+        cfg = self.config
+        for status in self.lc_services.values():
+            cputime = status.process.cputime_us
+            rate = (cputime - status.last_cputime) / dt
+            status.last_cputime = cputime
+            status.usage_ema += alpha * (rate - status.usage_ema)
+            if status.serving:
+                if status.usage_ema < cfg.serving_off_usage:
+                    status.serving = False
+            else:
+                if status.usage_ema > cfg.serving_on_usage:
+                    status.serving = True
+
+    def _scan_containers(self) -> tuple[list[ContainerInfo], list[ContainerInfo]]:
+        """Diff the batch cgroup directory against the tracked set."""
+        root = self.config.batch_cgroup_root
+        try:
+            names = set(self.system.cgroups.list_children(root))
+        except KeyError:
+            names = set()
+        new: list[ContainerInfo] = []
+        gone: list[ContainerInfo] = []
+        for name in names - set(self.containers):
+            cgroup = self.system.cgroups.get(f"{root}/{name}")
+            info = ContainerInfo(name=name, cgroup=cgroup,
+                                 discovered_at=self.env.now)
+            self.containers[name] = info
+            new.append(info)
+        for name in set(self.containers) - names:
+            gone.append(self.containers.pop(name))
+        return new, gone

@@ -1,0 +1,84 @@
+"""VPI computation (Equation 1) over windowed counter reads."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.hw.events import HPE, INSTR_LOAD, INSTR_STORE, STALLS_MEM_ANY
+from repro.perf import CounterGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.server import Server
+
+
+class VPIReader:
+    """Windowed per-logical-CPU VPI for one event (default 0x14A3).
+
+    Each :meth:`sample` returns ``counter_delta / (loads + stores)`` per
+    logical CPU for the window since the previous call, scaled by
+    ``scale``, with CPUs that retired fewer than ``min_instructions``
+    memory instructions reading as 0 (an idle CPU exerts and suffers no
+    interference).
+    """
+
+    def __init__(
+        self,
+        server: "Server",
+        event: HPE = STALLS_MEM_ANY,
+        scale: float = 1.0,
+        min_instructions: float = 50.0,
+    ):
+        self.server = server
+        self.event = event
+        self.scale = scale
+        self.min_instructions = min_instructions
+        self._group = CounterGroup(server, [event, INSTR_LOAD, INSTR_STORE])
+
+    def sample(self) -> np.ndarray:
+        """Per-lcpu VPI over the window since the last sample."""
+        deltas = self._group.sample()
+        counter = deltas[:, 0]
+        ldst = deltas[:, 1] + deltas[:, 2]
+        vpi = np.zeros_like(counter)
+        mask = ldst >= self.min_instructions
+        vpi[mask] = counter[mask] / ldst[mask] * self.scale
+        return vpi
+
+    def sample_with_instructions(self) -> tuple[np.ndarray, np.ndarray]:
+        """(vpi, loads+stores) per lcpu -- used for core-level aggregation."""
+        vpi, ldst, _ = self.sample_full()
+        return vpi, ldst
+
+    def sample_full(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(vpi, loads+stores, raw counter delta) per lcpu."""
+        deltas = self._group.sample()
+        counter = deltas[:, 0]
+        ldst = deltas[:, 1] + deltas[:, 2]
+        vpi = np.zeros_like(counter)
+        mask = ldst >= self.min_instructions
+        vpi[mask] = counter[mask] / ldst[mask] * self.scale
+        return vpi, ldst, counter
+
+
+def aggregate_per_core(values: np.ndarray, weights: np.ndarray,
+                       n_cores: int) -> np.ndarray:
+    """Weighted per-core aggregation of a per-lcpu metric.
+
+    Holmes "aggregates processor metrics per core by accumulating both
+    processor metrics on that core" (Section 4.2): for a ratio metric like
+    VPI the faithful accumulation is the instruction-weighted combination
+    of the two hyperthreads.
+    """
+    if values.shape != weights.shape:
+        raise ValueError("values and weights must align")
+    if values.size != 2 * n_cores:
+        raise ValueError(f"expected {2 * n_cores} lcpus, got {values.size}")
+    v0, v1 = values[:n_cores], values[n_cores:]
+    w0, w1 = weights[:n_cores], weights[n_cores:]
+    total = w0 + w1
+    out = np.zeros(n_cores, dtype=np.float64)
+    mask = total > 0
+    out[mask] = (v0[mask] * w0[mask] + v1[mask] * w1[mask]) / total[mask]
+    return out

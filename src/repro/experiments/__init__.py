@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver returns a plain-data result object and is deterministic for a
+given seed.  The benchmark harness under ``benchmarks/`` calls these and
+prints the rows/series the paper reports; see EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.experiments.common import ExperimentScale, build_system
+
+__all__ = ["ExperimentScale", "build_system"]

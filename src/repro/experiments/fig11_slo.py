@@ -1,0 +1,39 @@
+"""Figure 11: SLO-violation ratios.
+
+SLO = the Alone run's p90 latency per (service, workload); the violation
+ratio of each setting is the fraction of its queries above that SLO.
+By construction Alone sits at ~10%; the paper finds Holmes close to
+Alone in most cases while PerfIso violates 25-90%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import slo_from_alone, violation_ratio
+from repro.experiments.fig7_10_latency import LatencyFigure
+
+
+@dataclass
+class SLORow:
+    service: str
+    workload: str
+    slo_us: float
+    ratios: dict[str, float]  # setting -> violation ratio
+
+
+def slo_rows(figure: LatencyFigure) -> list[SLORow]:
+    """Derive the Fig. 11 rows from an already-run latency figure."""
+    rows = []
+    for wl, by_setting in figure.results.items():
+        slo = slo_from_alone(by_setting["alone"].recorder.latencies())
+        rows.append(SLORow(
+            service=figure.service,
+            workload=wl,
+            slo_us=slo,
+            ratios={
+                setting: violation_ratio(res.recorder.latencies(), slo)
+                for setting, res in by_setting.items()
+            },
+        ))
+    return rows

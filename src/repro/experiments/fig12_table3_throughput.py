@@ -1,0 +1,52 @@
+"""Figure 12 + Table 3: server throughput under co-location.
+
+Fig. 12: average CPU utilisation per service under Alone / Holmes /
+PerfIso (paper: Holmes 72.4-85.8 %, PerfIso 83.4-88.5 %, Alone low).
+Table 3: average CPU usage and the number of batch jobs completed during
+the run, for Redis serving workload-a (paper, one hour: PerfIso 84.6 %/78
+jobs, Holmes 75.0 %/73, Alone 1.1 %/0).  Runs here are time-scaled, so
+job counts are proportional, not absolute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.colocation import SETTINGS, run_colocation
+from repro.experiments.common import ExperimentScale
+
+
+@dataclass
+class ThroughputRow:
+    service: str
+    workload: str
+    setting: str
+    avg_cpu_utilization: float
+    jobs_completed: int
+    duration_us: float
+
+    @property
+    def jobs_per_hour_equivalent(self) -> float:
+        """Scaled-up job count for comparison against the paper's hour."""
+        hours = self.duration_us / 3.6e9
+        return self.jobs_completed / hours if hours > 0 else 0.0
+
+
+def run_throughput(
+    service: str = "redis",
+    workload: str = "a",
+    scale: ExperimentScale | None = None,
+    settings=SETTINGS,
+) -> list[ThroughputRow]:
+    rows = []
+    for setting in settings:
+        res = run_colocation(service, workload, setting, scale=scale)
+        rows.append(ThroughputRow(
+            service=service,
+            workload=res.workload,
+            setting=setting,
+            avg_cpu_utilization=res.avg_cpu_utilization,
+            jobs_completed=res.jobs_completed,
+            duration_us=res.duration_us,
+        ))
+    return rows

@@ -1,0 +1,46 @@
+"""Figure 14: sensitivity to the deallocation threshold E.
+
+Workload-a, E swept from 40 to 80 in steps of 10; each setting's latency
+is normalised to the Alone run (average and p70/p80/p90/p99).  The paper
+finds E = 40 nearly indistinguishable from Alone, with larger E
+progressively sacrificing latency for utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import HolmesConfig
+from repro.experiments.colocation import run_colocation
+from repro.experiments.common import ExperimentScale
+
+E_VALUES = (40.0, 50.0, 60.0, 70.0, 80.0)
+PERCENTILES = (70.0, 80.0, 90.0, 99.0)
+
+
+@dataclass
+class SensitivityRow:
+    service: str
+    e_threshold: float
+    #: normalised latency vs Alone: {"mean": x, "p70": x, ...}
+    normalized: dict[str, float] = field(default_factory=dict)
+
+
+def run_sensitivity(
+    service: str,
+    scale: ExperimentScale | None = None,
+    e_values=E_VALUES,
+) -> list[SensitivityRow]:
+    scale = scale or ExperimentScale()
+    alone = run_colocation(service, "a", "alone", scale=scale)
+    rows = []
+    for e in e_values:
+        cfg = HolmesConfig(n_reserved=scale.n_reserved, e_threshold=float(e))
+        res = run_colocation(service, "a", "holmes", scale=scale,
+                             holmes_config=cfg)
+        normalized = {"mean": res.mean_latency / alone.mean_latency}
+        for q in PERCENTILES:
+            normalized[f"p{q:g}"] = res.percentile(q) / alone.percentile(q)
+        rows.append(SensitivityRow(service=service, e_threshold=float(e),
+                                   normalized=normalized))
+    return rows

@@ -1,0 +1,54 @@
+"""Simulated server hardware.
+
+This package substitutes for the paper's 2x Intel Xeon Gold 6143 testbed
+(Section 6.1).  It models exactly the hardware behaviour Holmes depends on:
+
+* SMT (Hyper-Threading) topology: physical cores exposing two logical CPUs,
+* execution-unit contention between hyperthread siblings, which inflates
+  memory-access latency (the paper's Figure 2 phenomenon),
+* the four candidate hardware performance events of Table 1 plus LOAD/STORE
+  instruction retirement counts, accumulated per logical CPU,
+* an SSD with queueing, for the disk-backed KV stores.
+
+Everything is calibrated against the paper's measured facts; see
+``DESIGN.md`` section 5 and :class:`repro.hw.config.HWConfig`.
+"""
+
+from repro.hw.config import HWConfig
+from repro.hw.topology import Topology
+from repro.hw.events import (
+    HPE,
+    CYCLES_L3_MISS,
+    STALLS_L3_MISS,
+    CYCLES_MEM_ANY,
+    STALLS_MEM_ANY,
+    CANDIDATE_EVENTS,
+)
+from repro.hw.ops import MemOp, CompOp, DiskOp
+from repro.hw.contention import CpuKind, ContentionModel
+from repro.hw.counters import CounterEngine, CounterSnapshot
+from repro.hw.calibration import calibrate_to_fig2_targets, measure_block_latencies
+from repro.hw.disk import Disk
+from repro.hw.server import Server
+
+__all__ = [
+    "HWConfig",
+    "Topology",
+    "HPE",
+    "CYCLES_L3_MISS",
+    "STALLS_L3_MISS",
+    "CYCLES_MEM_ANY",
+    "STALLS_MEM_ANY",
+    "CANDIDATE_EVENTS",
+    "MemOp",
+    "CompOp",
+    "DiskOp",
+    "CpuKind",
+    "ContentionModel",
+    "CounterEngine",
+    "CounterSnapshot",
+    "calibrate_to_fig2_targets",
+    "measure_block_latencies",
+    "Disk",
+    "Server",
+]

@@ -1,0 +1,61 @@
+"""Calibration helpers: derive HWConfig constants from measured targets.
+
+The default :class:`~repro.hw.config.HWConfig` is fitted to the paper's
+Figure 2 (1,400 us per 1 MB block alone, 2,300 us with a memory-bound
+sibling).  A user reproducing against different hardware numbers can
+derive a matching configuration with :func:`calibrate_to_fig2_targets`
+and confirm any configuration with :func:`measure_block_latencies`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.config import HWConfig
+from repro.hw.contention import CpuKind
+from repro.hw.server import Server
+from repro.sim import Environment
+
+#: cache lines in the 1 MB calibration block.
+_BLOCK_LINES = 16384
+
+
+def calibrate_to_fig2_targets(
+    alone_us_per_mb: float,
+    contended_us_per_mb: float,
+    base: HWConfig | None = None,
+) -> HWConfig:
+    """HWConfig whose Fig. 2 block latencies match the given targets.
+
+    ``alone_us_per_mb`` fixes the per-line DRAM latency;
+    ``contended_us_per_mb`` fixes the sibling memory-contention slope.
+    """
+    if alone_us_per_mb <= 0:
+        raise ValueError("alone latency must be positive")
+    if contended_us_per_mb < alone_us_per_mb:
+        raise ValueError(
+            "contended latency cannot be below the uncontended latency"
+        )
+    base = base or HWConfig()
+    line_us = alone_us_per_mb / _BLOCK_LINES
+    mem_on_mem = contended_us_per_mb / alone_us_per_mb - 1.0
+    return dataclasses.replace(
+        base,
+        dram_line_latency_us=line_us,
+        smt_mem_on_mem=mem_on_mem,
+    )
+
+
+def measure_block_latencies(config: HWConfig) -> tuple[float, float]:
+    """(alone, contended) 1 MB block latencies of a configuration.
+
+    Runs the Fig. 2 micro-measurement directly against a fresh server:
+    one block with the sibling idle, one with the sibling streaming.
+    """
+    server = Server(Environment(), config)
+    kind = CpuKind(mem=1.0)
+    alone, _ = server.mem_quantum(0, kind, _BLOCK_LINES, 1.0, None, 1e12)
+    sib = server.topology.sibling(1)
+    server.mem_quantum(sib, kind, 100 * _BLOCK_LINES, 1.0, None, 1e12)
+    contended, _ = server.mem_quantum(1, kind, _BLOCK_LINES, 1.0, None, 1e12)
+    return float(alone), float(contended)

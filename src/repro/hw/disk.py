@@ -1,0 +1,57 @@
+"""SSD model with channel-level queueing.
+
+The disk-backed KV stores (RocksDB-like, WiredTiger-like) block threads on
+reads that miss their in-memory caches.  Latency is a lognormal around a
+base service time plus a streaming-transfer component, served by a fixed
+number of channels -- enough fidelity to give the paper's "stair-like" CDF
+shape (fast cache hits, slow disk misses) and realistic queueing under
+compaction pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import HWConfig
+from repro.sim import Environment, Resource
+
+
+class Disk:
+    """A shared SSD: ``channels`` concurrent requests, lognormal latency."""
+
+    def __init__(self, env: Environment, config: HWConfig, rng: np.random.Generator):
+        self.env = env
+        self.config = config
+        self.rng = rng
+        self.channels = Resource(env, capacity=config.disk_channels, name="ssd")
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def service_time(self, nbytes: int, write: bool) -> float:
+        """Sampled service time (us) for one request, excluding queueing."""
+        c = self.config
+        base = c.disk_write_latency_us if write else c.disk_read_latency_us
+        # lognormal with mean ~= base: shift by -sigma^2/2
+        sigma = c.disk_read_sigma
+        latency = base * float(
+            np.exp(self.rng.normal(-0.5 * sigma * sigma, sigma))
+        )
+        return latency + nbytes / c.disk_bytes_per_us
+
+    def io(self, nbytes: int, write: bool = False):
+        """Generator: perform one I/O (acquire channel, serve, release)."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        req = yield from self.channels.acquire()
+        try:
+            yield self.env.timeout(self.service_time(nbytes, write))
+        finally:
+            self.channels.release(req)
+        if write:
+            self.writes += 1
+            self.bytes_written += nbytes
+        else:
+            self.reads += 1
+            self.bytes_read += nbytes

@@ -1,0 +1,80 @@
+"""Hardware performance event (HPE) definitions.
+
+The four candidate events of the paper's Table 1, identified by their Intel
+event-select encodings, plus the retirement counters needed for Equation 1
+(VPI = counter / (N_LOAD + N_STORE)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HPE:
+    """A hardware performance event descriptor."""
+
+    name: str
+    code: int
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.name}(0x{self.code:04X})"
+
+
+#: Cycles while L3 cache miss demand load is outstanding.
+CYCLES_L3_MISS = HPE(
+    "CYCLES_L3_MISS",
+    0x02A3,
+    "Cycles while L3 cache miss demand load is outstanding.",
+)
+
+#: Execution stalls while L3 cache miss demand load is outstanding.
+STALLS_L3_MISS = HPE(
+    "STALLS_L3_MISS",
+    0x06A3,
+    "Execution stalls while L3 cache miss demand load is outstanding.",
+)
+
+#: Cycles when memory subsystem has an outstanding load.
+CYCLES_MEM_ANY = HPE(
+    "CYCLES_MEM_ANY",
+    0x10A3,
+    "Cycles when memory subsystem has an outstanding load.",
+)
+
+#: Execution stalls when memory subsystem has outstanding load.  This is the
+#: event Holmes selects (highest Pearson correlation with memory latency).
+STALLS_MEM_ANY = HPE(
+    "STALLS_MEM_ANY",
+    0x14A3,
+    "Execution stalls when memory subsystem has outstanding load.",
+)
+
+#: The Table 1 candidates, in paper order.
+CANDIDATE_EVENTS: tuple[HPE, ...] = (
+    CYCLES_L3_MISS,
+    STALLS_L3_MISS,
+    CYCLES_MEM_ANY,
+    STALLS_MEM_ANY,
+)
+
+#: Retirement counters (not HPEs in the paper's Table 1 but required by Eq. 1).
+INSTR_LOAD = HPE("INSTR_LOAD", 0x81D0, "Retired load instructions.")
+INSTR_STORE = HPE("INSTR_STORE", 0x82D0, "Retired store instructions.")
+INSTR_ANY = HPE("INSTR_ANY", 0x00C0, "Instructions retired.")
+
+ALL_EVENTS: tuple[HPE, ...] = CANDIDATE_EVENTS + (INSTR_LOAD, INSTR_STORE, INSTR_ANY)
+
+_BY_CODE = {e.code: e for e in ALL_EVENTS}
+_BY_NAME = {e.name: e for e in ALL_EVENTS}
+
+
+def by_code(code: int) -> HPE:
+    """Look an event up by its encoding (raises KeyError if unknown)."""
+    return _BY_CODE[code]
+
+
+def by_name(name: str) -> HPE:
+    """Look an event up by name (raises KeyError if unknown)."""
+    return _BY_NAME[name]

@@ -1,0 +1,73 @@
+"""Work-item descriptions that threads execute on the simulated hardware.
+
+An *op* is the unit of work a workload submits to a logical CPU (or to the
+disk).  Ops are deliberately coarse: a KV-store query, a 1 MB memory probe,
+or a slice of a batch job's inner loop each map to one or a few ops.  The
+OS layer (:mod:`repro.oskernel`) splits CPU ops into scheduling quanta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemOp:
+    """A memory-access-dominated burst: ``lines`` cache-line touches.
+
+    ``dram_frac`` is the fraction of those touches that miss all caches and
+    go to DRAM.  The paper's memory prober uses ``dram_frac=1.0`` ("we make
+    sure that the requested data do not reside in any layer of CPU caches");
+    KV-store query processing uses a service-specific fraction well below 1.
+    """
+
+    lines: int
+    dram_frac: float = 1.0
+    #: stores per line; defaults to the HWConfig value when None.
+    store_frac: float | None = None
+
+    def __post_init__(self):
+        if self.lines <= 0:
+            raise ValueError(f"lines must be positive, got {self.lines}")
+        if not 0.0 <= self.dram_frac <= 1.0:
+            raise ValueError(f"dram_frac must be in [0,1], got {self.dram_frac}")
+
+    @property
+    def mem_pressure(self) -> float:
+        """Pressure this op exerts on its SMT sibling's memory accesses.
+
+        Sublinear in ``dram_frac``: even a moderate miss rate keeps the
+        core's load/store units and miss queue busy.
+        """
+        return self.dram_frac**0.5
+
+    @property
+    def comp_pressure(self) -> float:
+        """Execution-unit pressure from the op's non-memory work."""
+        return (1.0 - self.dram_frac) * 0.6
+
+
+@dataclass
+class CompOp:
+    """A compute-dominated burst of ``cycles`` core cycles (e.g. FLOPs)."""
+
+    cycles: float
+
+    def __post_init__(self):
+        if self.cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {self.cycles}")
+
+    mem_pressure: float = field(default=0.05, init=False)
+    comp_pressure: float = field(default=1.0, init=False)
+
+
+@dataclass
+class DiskOp:
+    """A disk I/O: the issuing thread blocks off-CPU until completion."""
+
+    nbytes: int
+    write: bool = False
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {self.nbytes}")

@@ -1,0 +1,186 @@
+"""The simulated server: topology + contention + counters + disk.
+
+:class:`Server` is the hardware boundary.  The OS layer
+(:mod:`repro.oskernel`) asks it to execute *quanta* of memory or compute
+work on a given logical CPU; the server consults the sibling hyperthread's
+current activity to price the quantum, charges the performance counters,
+and accounts busy time.  Nothing above this layer knows the contention
+constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import HWConfig
+from repro.hw.contention import ContentionModel, CpuKind, IDLE
+from repro.hw.counters import CounterEngine, CounterSnapshot
+from repro.hw.disk import Disk
+from repro.hw.topology import Topology
+from repro.sim import Environment
+
+
+#: a logical CPU counts as a DRAM "stream" for the bandwidth model when its
+#: memory pressure exceeds this threshold.
+_STREAM_THRESHOLD = 0.3
+
+#: sibling activity remains visible for this long after a quantum ends.
+#: Two threads running back-to-back quanta in lock-step release and
+#: re-acquire their CPUs at the same instants; without a small grace window
+#: each would price its next quantum in the instant the other is between
+#: quanta and never observe the contention.  Physically this models miss
+#: queues and fill buffers draining after the sibling's burst.
+_KIND_GRACE_US = 2.0
+
+
+class Server:
+    """A 2-socket SMT server (see HWConfig for the default shape)."""
+
+    def __init__(self, env: Environment, config: HWConfig | None = None):
+        self.env = env
+        self.config = config or HWConfig()
+        self.topology = Topology(self.config)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.contention = ContentionModel(self.config)
+        self.counters = CounterEngine(self.config, self.topology.n_lcpus, self.rng)
+        self.disk = Disk(env, self.config, self.rng)
+
+        n = self.topology.n_lcpus
+        self._kinds: list[CpuKind] = [IDLE] * n
+        #: end of the validity window of _kinds[lcpu] (quantum end time).
+        self._kind_until = [0.0] * n
+        self._streaming = [False] * n
+        #: cumulative busy microseconds per logical CPU.
+        self.busy_us = np.zeros(n, dtype=np.float64)
+        #: per-physical-core DVFS setting as a fraction of nominal clock.
+        self._core_freq = np.ones(self.topology.n_cores, dtype=np.float64)
+
+    # -- DVFS ---------------------------------------------------------------
+
+    #: lowest supported frequency fraction (a deep P-state).
+    MIN_FREQ_FRACTION = 0.3
+
+    def set_core_frequency(self, core: int, fraction: float) -> None:
+        """Set a physical core's clock to ``fraction`` of nominal.
+
+        Compute throughput scales with the clock; DRAM latency does not
+        (it is bounded by the memory parts), so memory-dominated work is
+        largely insensitive -- which is exactly why frequency boosts don't
+        fix SMT memory interference (the Parties ladder's first rung).
+        """
+        if not 0 <= core < self.topology.n_cores:
+            raise ValueError(f"core {core} out of range")
+        if not self.MIN_FREQ_FRACTION <= fraction <= 1.0:
+            raise ValueError(
+                f"frequency fraction must be in "
+                f"[{self.MIN_FREQ_FRACTION}, 1.0], got {fraction}"
+            )
+        self._core_freq[core] = fraction
+
+    def core_frequency(self, core: int) -> float:
+        return float(self._core_freq[core])
+
+    def _freq_of_lcpu(self, lcpu: int) -> float:
+        return float(self._core_freq[self.topology.core_of(lcpu)])
+
+    # -- occupancy tracking -------------------------------------------------
+
+    def set_running(self, lcpu: int, kind: CpuKind) -> None:
+        """Mark ``lcpu`` as starting a quantum of the given kind.
+
+        Only drives the bandwidth stream accounting; the sibling-visible
+        kind window is recorded by the quantum itself.
+        """
+        streaming = kind.mem > _STREAM_THRESHOLD
+        if streaming != self._streaming[lcpu]:
+            if streaming:
+                self.contention.stream_started()
+            else:
+                self.contention.stream_stopped()
+            self._streaming[lcpu] = streaming
+
+    def set_idle(self, lcpu: int) -> None:
+        """Mark ``lcpu`` idle for bandwidth accounting (quantum finished)."""
+        if self._streaming[lcpu]:
+            self.contention.stream_stopped()
+            self._streaming[lcpu] = False
+
+    def kind_of(self, lcpu: int) -> CpuKind:
+        """Activity on ``lcpu`` as visible to its sibling *now*."""
+        if self.env.now < self._kind_until[lcpu] + _KIND_GRACE_US:
+            return self._kinds[lcpu]
+        return IDLE
+
+    def sibling_kind(self, lcpu: int) -> CpuKind:
+        return self.kind_of(self.topology.sibling(lcpu))
+
+    def _record_window(self, lcpu: int, kind: CpuKind, duration: float) -> None:
+        self._kinds[lcpu] = kind
+        self._kind_until[lcpu] = self.env.now + duration
+
+    # -- quantum execution -----------------------------------------------------
+
+    def mem_quantum(
+        self,
+        lcpu: int,
+        kind: CpuKind,
+        lines_remaining: float,
+        dram_frac: float,
+        store_frac: float | None,
+        max_us: float,
+    ) -> tuple[float, float]:
+        """Execute up to ``max_us`` of a memory burst on ``lcpu``.
+
+        Returns ``(duration_us, lines_done)``.  Contention is sampled at
+        quantum start, which is accurate at the 25-100 us quantum sizes the
+        OS layer uses.
+        """
+        if max_us <= 0 or lines_remaining <= 0:
+            raise ValueError("mem_quantum needs positive work and budget")
+        c = self.config
+        sibling = self.sibling_kind(lcpu)
+        mult = self.contention.mem_latency_multiplier(
+            sibling
+        ) * self.contention.bandwidth_multiplier()
+        freq = self._freq_of_lcpu(lcpu)
+        # cache hits are core-clocked; DRAM lines are memory-clocked
+        per_line_us = (
+            1.0 - dram_frac
+        ) * c.cache_hit_latency_us / freq + dram_frac * c.dram_line_latency_us * mult
+        lines_possible = max_us / per_line_us
+        lines_done = min(lines_remaining, lines_possible)
+        duration = lines_done * per_line_us
+        self.counters.account_mem(lcpu, lines_done, dram_frac, mult, store_frac, now=self.env.now)
+        self.busy_us[lcpu] += duration
+        self._record_window(lcpu, kind, duration)
+        return duration, lines_done
+
+    def comp_quantum(
+        self, lcpu: int, kind: CpuKind, cycles_remaining: float, max_us: float
+    ) -> tuple[float, float]:
+        """Execute up to ``max_us`` of a compute burst on ``lcpu``.
+
+        Returns ``(duration_us, cycles_done)``.
+        """
+        if max_us <= 0 or cycles_remaining <= 0:
+            raise ValueError("comp_quantum needs positive work and budget")
+        c = self.config
+        sibling = self.sibling_kind(lcpu)
+        mult = self.contention.comp_latency_multiplier(sibling)
+        us_per_cycle = mult / (c.freq_cycles_per_us * self._freq_of_lcpu(lcpu))
+        cycles_possible = max_us / us_per_cycle
+        cycles_done = min(cycles_remaining, cycles_possible)
+        duration = cycles_done * us_per_cycle
+        self.counters.account_compute(lcpu, cycles_done)
+        self.busy_us[lcpu] += duration
+        self._record_window(lcpu, kind, duration)
+        return duration, cycles_done
+
+    # -- metrics ------------------------------------------------------------------
+
+    def busy_snapshot(self) -> np.ndarray:
+        """Copy of cumulative busy time per logical CPU (microseconds)."""
+        return self.busy_us.copy()
+
+    def counter_snapshot(self, lcpu: int) -> CounterSnapshot:
+        return self.counters.snapshot(lcpu)

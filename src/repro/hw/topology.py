@@ -1,0 +1,81 @@
+"""SMT server topology: sockets, physical cores, logical CPUs.
+
+Logical CPUs are numbered the way Linux numbers them on Intel servers:
+logical CPU ``i`` for ``i < n_cores`` is hyperthread 0 of physical core
+``i``; logical CPU ``n_cores + i`` is its sibling (hyperthread 1 of core
+``i``).  Holmes' terminology (Table 2 of the paper) -- LC CPU, LC-sibling
+CPU, reserved CPU, non-sibling CPU -- is all defined over this mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.hw.config import HWConfig
+
+
+class Topology:
+    """Immutable description of the socket/core/thread layout."""
+
+    def __init__(self, config: HWConfig | None = None):
+        self.config = config or HWConfig()
+        if self.config.threads_per_core != 2:
+            raise ValueError(
+                "the SMT model is 2-way (Hyper-Threading); "
+                f"got threads_per_core={self.config.threads_per_core}"
+            )
+        self.n_cores = self.config.n_cores
+        self.n_lcpus = self.config.n_lcpus
+
+    # -- mappings ----------------------------------------------------------
+
+    def core_of(self, lcpu: int) -> int:
+        """Physical core hosting logical CPU ``lcpu``."""
+        self._check(lcpu)
+        return lcpu % self.n_cores
+
+    def sibling(self, lcpu: int) -> int:
+        """The other hyperthread on the same physical core."""
+        self._check(lcpu)
+        if lcpu < self.n_cores:
+            return lcpu + self.n_cores
+        return lcpu - self.n_cores
+
+    def lcpus_of_core(self, core: int) -> tuple[int, int]:
+        """Both logical CPUs of a physical core (thread 0, thread 1)."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range 0..{self.n_cores - 1}")
+        return (core, core + self.n_cores)
+
+    def socket_of(self, lcpu: int) -> int:
+        return self.core_of(lcpu) // self.config.cores_per_socket
+
+    def all_lcpus(self) -> range:
+        return range(self.n_lcpus)
+
+    def all_cores(self) -> range:
+        return range(self.n_cores)
+
+    def siblings_of(self, lcpus: Iterable[int]) -> set[int]:
+        """Set of sibling logical CPUs of a set of logical CPUs."""
+        return {self.sibling(c) for c in lcpus}
+
+    def non_siblings_of(self, lcpus: Iterable[int]) -> set[int]:
+        """Logical CPUs that are neither in ``lcpus`` nor siblings of it."""
+        lcpus = set(lcpus)
+        excluded = lcpus | self.siblings_of(lcpus)
+        return {c for c in self.all_lcpus() if c not in excluded}
+
+    def same_core(self, a: int, b: int) -> bool:
+        return self.core_of(a) == self.core_of(b)
+
+    def _check(self, lcpu: int) -> None:
+        if not 0 <= lcpu < self.n_lcpus:
+            raise ValueError(f"lcpu {lcpu} out of range 0..{self.n_lcpus - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        c = self.config
+        return (
+            f"Topology({c.sockets} sockets x {c.cores_per_socket} cores "
+            f"x {c.threads_per_core} threads = {self.n_lcpus} lcpus)"
+        )

@@ -1,0 +1,31 @@
+"""Simulated operating-system layer.
+
+Models the slice of Linux that Holmes interacts with (paper Section 5):
+
+* threads and processes scheduled onto logical CPUs in round-robin quanta,
+  respecting per-thread affinity masks (``sched_setaffinity``),
+* a cgroup filesystem in which batch-job containers live, with ``cpuset``
+  semantics (Holmes detects batch jobs by scanning cgroup directories),
+* CPU-usage accounting per logical CPU and per process.
+
+Holmes itself runs strictly *above* this layer, exactly like the real
+user-space daemon: it can only read counters/usage and call
+``sched_setaffinity`` / write cgroup cpusets.
+"""
+
+from repro.oskernel.thread import SimThread, ThreadKilled, ThreadState
+from repro.oskernel.process import OSProcess
+from repro.oskernel.cgroup import Cgroup, CgroupFS
+from repro.oskernel.accounting import UsageTracker
+from repro.oskernel.system import System
+
+__all__ = [
+    "SimThread",
+    "ThreadKilled",
+    "ThreadState",
+    "OSProcess",
+    "Cgroup",
+    "CgroupFS",
+    "UsageTracker",
+    "System",
+]

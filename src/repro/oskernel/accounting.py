@@ -1,0 +1,72 @@
+"""Windowed CPU-usage accounting over the server's busy-time counters."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.server import Server
+    from repro.sim import Environment
+
+
+class UsageTracker:
+    """Computes per-logical-CPU utilisation over successive windows.
+
+    Mirrors how a userspace daemon derives usage from /proc/stat deltas:
+    call :meth:`sample` periodically; it returns the busy fraction of each
+    logical CPU since the previous call.
+    """
+
+    def __init__(self, env: "Environment", server: "Server"):
+        self.env = env
+        self.server = server
+        self._last_busy = server.busy_snapshot()
+        self._last_time = env.now
+
+    def sample(self) -> np.ndarray:
+        """Busy fraction in [0, 1] per lcpu since the previous sample."""
+        now = self.env.now
+        busy = self.server.busy_snapshot()
+        dt = now - self._last_time
+        if dt <= 0.0:
+            usage = np.zeros_like(busy)
+        else:
+            usage = np.clip((busy - self._last_busy) / dt, 0.0, 1.0)
+        self._last_busy = busy
+        self._last_time = now
+        return usage
+
+    def peek(self) -> np.ndarray:
+        """Like :meth:`sample` but without advancing the window."""
+        now = self.env.now
+        busy = self.server.busy_snapshot()
+        dt = now - self._last_time
+        if dt <= 0.0:
+            return np.zeros_like(busy)
+        return np.clip((busy - self._last_busy) / dt, 0.0, 1.0)
+
+
+class CumulativeUsage:
+    """Whole-run average utilisation (for the Fig. 12 / Table 3 metrics)."""
+
+    def __init__(self, env: "Environment", server: "Server"):
+        self.env = env
+        self.server = server
+        self._busy0 = server.busy_snapshot()
+        self._t0 = env.now
+
+    def average(self) -> float:
+        """Mean utilisation across all logical CPUs since construction."""
+        dt = self.env.now - self._t0
+        if dt <= 0.0:
+            return 0.0
+        per_cpu = (self.server.busy_snapshot() - self._busy0) / dt
+        return float(np.clip(per_cpu, 0.0, 1.0).mean())
+
+    def per_cpu(self) -> np.ndarray:
+        dt = self.env.now - self._t0
+        if dt <= 0.0:
+            return np.zeros_like(self._busy0)
+        return np.clip((self.server.busy_snapshot() - self._busy0) / dt, 0.0, 1.0)

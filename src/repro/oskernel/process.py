@@ -1,0 +1,80 @@
+"""Simulated OS processes: thread containers with aggregate accounting."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional, TYPE_CHECKING
+
+from repro.oskernel.thread import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel.cgroup import Cgroup
+    from repro.oskernel.system import System
+
+
+class OSProcess:
+    """A process: a named group of threads sharing an affinity default."""
+
+    def __init__(self, system: "System", name: str, cgroup: Optional["Cgroup"] = None):
+        self.system = system
+        self.pid = system._alloc_pid()
+        self.name = name
+        self.cgroup = cgroup
+        self.threads: list[SimThread] = []
+        self.started_at = system.env.now
+        self.exited_at: Optional[float] = None
+        #: resident memory attributed to this process (services set this
+        #: from their data size; containers get a fixed allotment).
+        self.resident_bytes: int = 0
+
+    # -- threads ---------------------------------------------------------
+
+    def spawn_thread(
+        self,
+        body: Callable[[SimThread], Generator],
+        affinity: Optional[Iterable[int]] = None,
+        name: str = "",
+        quantum_us: Optional[float] = None,
+    ) -> SimThread:
+        """Create a thread.  Default affinity: the cgroup cpuset, else all CPUs."""
+        if affinity is None:
+            if self.cgroup is not None and self.cgroup.effective_cpuset() is not None:
+                affinity = self.cgroup.effective_cpuset()
+            else:
+                affinity = self.system.server.topology.all_lcpus()
+        t = SimThread(self.system, self, body, affinity, name=name, quantum_us=quantum_us)
+        self.threads.append(t)
+        self.system.threads[t.tid] = t
+        return t
+
+    # -- status ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.exited_at is None and any(t.alive for t in self.threads)
+
+    @property
+    def cputime_us(self) -> float:
+        return sum(t.cputime_us for t in self.threads)
+
+    def thread_lcpus(self) -> set[int]:
+        """Logical CPUs this process's live threads may run on."""
+        cpus: set[int] = set()
+        for t in self.threads:
+            if t.alive:
+                cpus |= t.affinity
+        return cpus
+
+    def kill(self) -> None:
+        """Terminate all threads (batch-job preemption path)."""
+        for t in self.threads:
+            t.kill()
+
+    def set_affinity(self, cpus: Iterable[int]) -> None:
+        """Apply one affinity mask to every live thread."""
+        cpus = frozenset(cpus)
+        for t in self.threads:
+            if t.alive:
+                self.system.sched_setaffinity(t.tid, cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OSProcess {self.name} pid={self.pid} threads={len(self.threads)}>"

@@ -1,0 +1,12 @@
+"""User-space performance-counter API (the ``perf_event_open`` analogue).
+
+Holmes collects HPE values with the ``perf_event_open`` system call (paper
+Section 5).  This package provides the equivalent surface over the
+simulated counters: open a counter for an event on a logical CPU, then
+``read()`` cumulative values or take windowed deltas with
+:class:`CounterGroup`.
+"""
+
+from repro.perf.perf_event import PerfEvent, CounterGroup, perf_event_open
+
+__all__ = ["PerfEvent", "CounterGroup", "perf_event_open"]

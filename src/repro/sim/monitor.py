@@ -1,0 +1,87 @@
+"""Time-series recording helpers for simulation metrics."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+
+
+class Series:
+    """An append-only (time, value) series with NumPy export."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.mean(self._values))
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(self._values, q))
+
+    def window_mean(self, t0: float, t1: float) -> float:
+        """Mean of samples with t0 <= time < t1."""
+        t = self.times
+        mask = (t >= t0) & (t < t1)
+        if not mask.any():
+            return float("nan")
+        return float(self.values[mask].mean())
+
+
+class PeriodicSampler:
+    """Runs ``fn(now)`` every ``period`` microseconds, recording its value.
+
+    ``fn`` may return None to skip recording a sample.  The sampler stops
+    when the environment drains or :meth:`stop` is called.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        period: float,
+        fn: Callable[[float], Optional[float]],
+        name: str = "",
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.env = env
+        self.period = period
+        self.fn = fn
+        self.series = Series(name)
+        self._stopped = False
+        self.process = env.process(self._run(), name=f"sampler:{name}")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _run(self):
+        while not self._stopped:
+            yield self.env.timeout(self.period)
+            if self._stopped:
+                return
+            value = self.fn(self.env.now)
+            if value is not None:
+                self.series.record(self.env.now, float(value))

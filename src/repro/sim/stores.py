@@ -1,0 +1,98 @@
+"""FIFO stores for producer/consumer coupling (e.g. request queues)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`Store.put_nowait` when a bounded store is full."""
+
+
+class _Get(Event):
+    __slots__ = ()
+
+
+class _Put(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class Store:
+    """An ordered buffer of items with blocking get and optional capacity.
+
+    ``get()`` returns an event that fires with the oldest item.  ``put()``
+    returns an event that fires once the item is accepted (immediately for
+    an unbounded store).  ``put_nowait`` / ``get_nowait`` are the
+    non-blocking variants used by code that must not yield.
+    """
+
+    def __init__(
+        self, env: Environment, capacity: Optional[int] = None, name: str = ""
+    ):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque[_Get] = deque()
+        self._putters: deque[_Put] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> Event:
+        ev = _Put(self.env, item)
+        self._putters.append(ev)
+        self._drain()
+        return ev
+
+    def put_nowait(self, item: Any) -> None:
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise QueueFull(self.name or repr(self))
+        self._items.append(item)
+        self._drain()
+
+    def get(self) -> Event:
+        ev = _Get(self.env)
+        self._getters.append(ev)
+        self._drain()
+        return ev
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise LookupError("store is empty")
+        item = self._items.popleft()
+        self._drain()
+        return item
+
+    # -- internals ---------------------------------------------------------
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Accept queued puts while there is room.
+            while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity
+            ):
+                put = self._putters.popleft()
+                self._items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy queued gets while there are items.
+            while self._getters and self._items:
+                get = self._getters.popleft()
+                get.succeed(self._items.popleft())
+                progressed = True

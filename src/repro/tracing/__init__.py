@@ -1,0 +1,20 @@
+"""Execution tracing: who ran where, when.
+
+Attach a :class:`ExecutionTracer` to a :class:`~repro.oskernel.System`
+before starting workloads and it records every scheduling quantum
+(logical CPU, thread, kind, duration).  Queries turn the trace into
+per-CPU timelines, occupancy statistics, sibling-overlap measurements,
+and a text Gantt chart -- the debugging views used while validating the
+scheduler against the paper.
+"""
+
+from repro.tracing.tracer import ExecutionTracer, QuantumRecord
+from repro.tracing.views import gantt, occupancy, sibling_overlap
+
+__all__ = [
+    "ExecutionTracer",
+    "QuantumRecord",
+    "gantt",
+    "occupancy",
+    "sibling_overlap",
+]

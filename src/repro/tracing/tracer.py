@@ -1,0 +1,117 @@
+"""Quantum-level execution trace recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import System
+
+
+@dataclass(frozen=True)
+class QuantumRecord:
+    """One executed scheduling quantum."""
+
+    lcpu: int
+    tid: int
+    kind: str  # "mem" | "comp"
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class ExecutionTracer:
+    """Records every quantum of a System (columnar, cheap to append).
+
+    Usage::
+
+        tracer = ExecutionTracer(system)
+        tracer.attach()
+        ...run...
+        tracer.detach()
+        print(gantt(tracer, lcpus=range(4)))
+    """
+
+    def __init__(self, system: "System", max_records: int = 2_000_000):
+        self.system = system
+        self.max_records = max_records
+        self._lcpu: list[int] = []
+        self._tid: list[int] = []
+        self._kind: list[str] = []
+        self._start: list[float] = []
+        self._duration: list[float] = []
+        self.dropped = 0
+        self._attached = False
+
+    def __len__(self) -> int:
+        return len(self._lcpu)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self) -> None:
+        if self.system.quantum_hook is not None:
+            raise RuntimeError("another quantum hook is already installed")
+        self.system.quantum_hook = self._record
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.system.quantum_hook = None
+            self._attached = False
+
+    def _record(self, lcpu: int, tid: int, kind: str, start: float,
+                duration: float) -> None:
+        if len(self._lcpu) >= self.max_records:
+            self.dropped += 1
+            return
+        self._lcpu.append(lcpu)
+        self._tid.append(tid)
+        self._kind.append(kind)
+        self._start.append(start)
+        self._duration.append(duration)
+
+    # -- access ------------------------------------------------------------------
+
+    def records(
+        self,
+        lcpu: Optional[int] = None,
+        tid: Optional[int] = None,
+        t0: float = -np.inf,
+        t1: float = np.inf,
+    ) -> list[QuantumRecord]:
+        out = []
+        for i in range(len(self._lcpu)):
+            if lcpu is not None and self._lcpu[i] != lcpu:
+                continue
+            if tid is not None and self._tid[i] != tid:
+                continue
+            if not (t0 <= self._start[i] < t1):
+                continue
+            out.append(QuantumRecord(
+                self._lcpu[i], self._tid[i], self._kind[i],
+                self._start[i], self._duration[i],
+            ))
+        return out
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Columnar export (lcpu, tid, start, duration; kind as 0/1)."""
+        return {
+            "lcpu": np.asarray(self._lcpu, dtype=np.int64),
+            "tid": np.asarray(self._tid, dtype=np.int64),
+            "is_mem": np.asarray(
+                [k == "mem" for k in self._kind], dtype=bool
+            ),
+            "start": np.asarray(self._start, dtype=np.float64),
+            "duration": np.asarray(self._duration, dtype=np.float64),
+        }
+
+    def busy_time(self, lcpu: int) -> float:
+        """Total traced busy time on one logical CPU."""
+        a = self.arrays()
+        return float(a["duration"][a["lcpu"] == lcpu].sum())

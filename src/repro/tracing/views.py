@@ -1,0 +1,119 @@
+"""Trace analyses and text visualisation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.tracing.tracer import ExecutionTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import System
+
+
+def occupancy(
+    tracer: ExecutionTracer,
+    t0: float,
+    t1: float,
+) -> dict[int, float]:
+    """Busy fraction per logical CPU over [t0, t1) from the trace."""
+    if t1 <= t0:
+        raise ValueError("empty window")
+    a = tracer.arrays()
+    out: dict[int, float] = {}
+    # clip each quantum to the window
+    start = a["start"]
+    end = start + a["duration"]
+    clipped = np.clip(np.minimum(end, t1) - np.maximum(start, t0), 0.0, None)
+    for lcpu in np.unique(a["lcpu"]):
+        mask = a["lcpu"] == lcpu
+        out[int(lcpu)] = float(clipped[mask].sum()) / (t1 - t0)
+    return out
+
+
+def sibling_overlap(
+    tracer: ExecutionTracer,
+    system: "System",
+    lcpu: int,
+    kind: str = "mem",
+    t0: float = -np.inf,
+    t1: float = np.inf,
+) -> float:
+    """Fraction of ``lcpu``'s traced ``kind`` time that overlapped
+    same-kind execution on its hyperthread sibling.
+
+    This is the direct measurement of the quantity the whole paper is
+    about: how much of a CPU's memory work ran concurrently with sibling
+    memory work.
+    """
+    sib = system.server.topology.sibling(lcpu)
+    mine = [r for r in tracer.records(lcpu=lcpu, t0=t0, t1=t1)
+            if r.kind == kind]
+    theirs = [r for r in tracer.records(lcpu=sib, t0=t0, t1=t1)
+              if r.kind == kind]
+    if not mine:
+        return 0.0
+    total = sum(r.duration for r in mine)
+    if total == 0.0:
+        return 0.0
+    # sweep both sorted interval lists
+    overlap = 0.0
+    j = 0
+    theirs.sort(key=lambda r: r.start)
+    for r in sorted(mine, key=lambda r: r.start):
+        while j < len(theirs) and theirs[j].end <= r.start:
+            j += 1
+        k = j
+        while k < len(theirs) and theirs[k].start < r.end:
+            overlap += max(
+                0.0, min(r.end, theirs[k].end) - max(r.start, theirs[k].start)
+            )
+            k += 1
+    return overlap / total
+
+
+def gantt(
+    tracer: ExecutionTracer,
+    lcpus: Iterable[int],
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    width: int = 80,
+) -> str:
+    """Text Gantt chart: one row per logical CPU.
+
+    Cell glyphs: ``M`` memory quantum, ``c`` compute quantum, ``.`` idle;
+    mixed cells show the majority kind in upper case.
+    """
+    a = tracer.arrays()
+    if a["start"].size == 0:
+        return "(empty trace)"
+    lo = t0 if t0 is not None else float(a["start"].min())
+    hi = t1 if t1 is not None else float((a["start"] + a["duration"]).max())
+    if hi <= lo:
+        return "(empty window)"
+    edges = np.linspace(lo, hi, width + 1)
+    lines = []
+    for lcpu in lcpus:
+        mem = np.zeros(width)
+        comp = np.zeros(width)
+        for r in tracer.records(lcpu=lcpu, t0=lo, t1=hi):
+            b0 = int(np.searchsorted(edges, r.start, side="right")) - 1
+            b1 = int(np.searchsorted(edges, r.end, side="left")) - 1
+            for b in range(max(0, b0), min(width - 1, b1) + 1):
+                cell_lo, cell_hi = edges[b], edges[b + 1]
+                ov = max(0.0, min(r.end, cell_hi) - max(r.start, cell_lo))
+                (mem if r.kind == "mem" else comp)[b] += ov
+        cell_span = (hi - lo) / width
+        row = []
+        for b in range(width):
+            busy = mem[b] + comp[b]
+            if busy < 0.05 * cell_span:
+                row.append(".")
+            elif mem[b] >= comp[b]:
+                row.append("M" if busy > 0.5 * cell_span else "m")
+            else:
+                row.append("C" if busy > 0.5 * cell_span else "c")
+        lines.append(f"lcpu{lcpu:>3} |{''.join(row)}|")
+    lines.append(f"        {lo / 1000:.2f} ms .. {hi / 1000:.2f} ms")
+    return "\n".join(lines)

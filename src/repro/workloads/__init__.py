@@ -1,0 +1,34 @@
+"""Workloads: microbenchmarks, the memory prober, KV stores, batch jobs.
+
+These are the simulated counterparts of everything the paper runs:
+
+* the Section 2.2 micro benchmark (m-threads and c-threads),
+* the Section 3.1 measurement program (RPS-configurable memory prober),
+* the four latency-critical services (see :mod:`repro.workloads.kv`),
+* HiBench-like batch jobs (Spark KMeans et al.) for co-location.
+"""
+
+from repro.workloads.base import LatencyRecorder, QueryRecord
+from repro.workloads.microbench import (
+    MThreadResult,
+    m_thread_body,
+    c_thread_body,
+    run_m_threads,
+)
+from repro.workloads.memprobe import MemoryProber
+from repro.workloads.batch import BatchJobSpec, KMEANS, WORDCOUNT, TERASORT, PAGERANK
+
+__all__ = [
+    "LatencyRecorder",
+    "QueryRecord",
+    "MThreadResult",
+    "m_thread_body",
+    "c_thread_body",
+    "run_m_threads",
+    "MemoryProber",
+    "BatchJobSpec",
+    "KMEANS",
+    "WORDCOUNT",
+    "TERASORT",
+    "PAGERANK",
+]

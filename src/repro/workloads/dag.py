@@ -1,0 +1,160 @@
+"""Multi-stage batch jobs (Spark-style stage DAGs).
+
+HiBench jobs are not flat task bags: a Spark job is a DAG of stages
+(map -> shuffle -> reduce), each stage a set of parallel tasks that can
+only start when its parent stages finish.  :class:`StagedJobSpec` models
+that; the Yarn-like layer runs one container per job whose tasks execute
+the stages in dependency order with a barrier between them.
+
+Stage barriers matter for co-location realism: they produce the bursty,
+phase-correlated memory pressure (all tasks of a shuffle stage streaming
+at once) that drives VPI spikes on LC siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.hw.ops import CompOp, MemOp
+from repro.oskernel import SimThread
+from repro.sim import Store
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage: ``tasks`` parallel units of (memory + compute) work."""
+
+    name: str
+    tasks: int
+    mem_lines: int
+    mem_dram_frac: float
+    comp_cycles: float
+    #: names of stages that must complete first.
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.tasks < 1:
+            raise ValueError(f"stage {self.name}: needs at least one task")
+
+
+@dataclass(frozen=True)
+class StagedJobSpec:
+    """A DAG of stages executed with barriers."""
+
+    name: str
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self):
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"job {self.name}: duplicate stage names")
+        known = set(names)
+        for s in self.stages:
+            missing = set(s.deps) - known
+            if missing:
+                raise ValueError(
+                    f"job {self.name}: stage {s.name} depends on unknown "
+                    f"stages {sorted(missing)}"
+                )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        order = self.topological_order()
+        if len(order) != len(self.stages):
+            raise ValueError(f"job {self.name}: stage DAG has a cycle")
+
+    def topological_order(self) -> list[Stage]:
+        by_name = {s.name: s for s in self.stages}
+        done: set[str] = set()
+        order: list[Stage] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for s in self.stages:
+                if s.name in done:
+                    continue
+                if all(d in done for d in s.deps):
+                    order.append(s)
+                    done.add(s.name)
+                    progressed = True
+        return order
+
+
+class StagedJobRunner:
+    """Executes a StagedJobSpec's stages on a pool of worker threads.
+
+    Spawn ``n_workers`` threads with :meth:`worker_body` as their body;
+    the runner feeds them stage tasks in dependency order, with a barrier
+    between stages (no task of a stage starts before all tasks of its
+    dependencies finished).
+    """
+
+    def __init__(self, spec: StagedJobSpec, env, rng: np.random.Generator):
+        self.spec = spec
+        self.env = env
+        self.rng = rng
+        self._task_queue = Store(env, name=f"{spec.name}:tasks")
+        self._completions = Store(env, name=f"{spec.name}:done")
+        self.finished_stages: list[str] = []
+        self.done = env.event()
+        env.process(self._driver(), name=f"{spec.name}:driver")
+
+    def _driver(self):
+        for stage in self.spec.topological_order():
+            for i in range(stage.tasks):
+                jitter = float(self.rng.uniform(0.85, 1.15))
+                self._task_queue.put_nowait((stage, jitter))
+            for _ in range(stage.tasks):  # the barrier
+                yield self._completions.get()
+            self.finished_stages.append(stage.name)
+        # poison-pill every worker
+        for _ in range(64):
+            self._task_queue.put_nowait(None)
+        self.done.succeed(self.env.now)
+
+    def worker_body(self, thread: SimThread):
+        while True:
+            item = yield from thread.wait(self._task_queue.get())
+            if item is None:
+                return
+            stage, jitter = item
+            yield from thread.exec(MemOp(
+                lines=max(1, int(stage.mem_lines * jitter)),
+                dram_frac=stage.mem_dram_frac,
+            ))
+            yield from thread.exec(CompOp(cycles=stage.comp_cycles * jitter))
+            self._completions.put_nowait(stage.name)
+
+
+#: a Spark-KMeans-like DAG: read -> distance map -> shuffle -> update.
+SPARK_KMEANS_DAG = StagedJobSpec(
+    name="kmeans-dag",
+    stages=(
+        Stage("read", tasks=8, mem_lines=12_000, mem_dram_frac=0.9,
+              comp_cycles=1_000_000),
+        Stage("map", tasks=8, mem_lines=4_000, mem_dram_frac=0.6,
+              comp_cycles=8_000_000, deps=("read",)),
+        Stage("shuffle", tasks=4, mem_lines=20_000, mem_dram_frac=0.95,
+              comp_cycles=500_000, deps=("map",)),
+        Stage("update", tasks=2, mem_lines=3_000, mem_dram_frac=0.5,
+              comp_cycles=4_000_000, deps=("shuffle",)),
+    ),
+)
+
+#: a terasort-like DAG: sample -> partition -> sort -> write.
+TERASORT_DAG = StagedJobSpec(
+    name="terasort-dag",
+    stages=(
+        Stage("sample", tasks=2, mem_lines=6_000, mem_dram_frac=0.9,
+              comp_cycles=500_000),
+        Stage("partition", tasks=8, mem_lines=16_000, mem_dram_frac=0.95,
+              comp_cycles=1_000_000, deps=("sample",)),
+        Stage("sort", tasks=8, mem_lines=10_000, mem_dram_frac=0.8,
+              comp_cycles=6_000_000, deps=("partition",)),
+        Stage("write", tasks=4, mem_lines=8_000, mem_dram_frac=0.9,
+              comp_cycles=500_000, deps=("sort",)),
+    ),
+)

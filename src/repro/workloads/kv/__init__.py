@@ -1,0 +1,59 @@
+"""The four latency-critical services of the paper's evaluation.
+
+* :class:`RedisService` -- single-threaded in-memory KV store,
+* :class:`MemcachedService` -- multi-threaded in-memory KV store (no scans),
+* :class:`RocksDBService` -- LSM-tree persistent store with a block cache
+  and background compaction,
+* :class:`WiredTigerService` -- B-tree storage engine with a page cache and
+  background eviction.
+
+Each store is a *functional* implementation (real dictionaries, a real
+LSM tree / B-tree with real LRU caches driven by the Zipfian key stream);
+the simulated cost of each structural step (hash probe, block-cache miss,
+page eviction...) maps to memory/compute/disk ops on the simulated
+hardware.  Cache hit rates and the stair-shaped latency CDFs of the
+disk-backed stores therefore *emerge* rather than being scripted.
+"""
+
+from repro.workloads.kv.common import KVService, ServiceCosts
+from repro.workloads.kv.redis import RedisService
+from repro.workloads.kv.memcached import MemcachedService
+from repro.workloads.kv.lsm import LSMTree, MemTable, SSTable
+from repro.workloads.kv.rocksdb import RocksDBService
+from repro.workloads.kv.btree import BTree, LRUCache
+from repro.workloads.kv.wiredtiger import WiredTigerService
+
+SERVICE_CLASSES = {
+    "redis": RedisService,
+    "memcached": MemcachedService,
+    "rocksdb": RocksDBService,
+    "wiredtiger": WiredTigerService,
+}
+
+
+def make_service(name: str, system, **kwargs):
+    """Factory for the four services by paper name."""
+    try:
+        cls = SERVICE_CLASSES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown service {name!r}; have {sorted(SERVICE_CLASSES)}"
+        ) from None
+    return cls(system, **kwargs)
+
+
+__all__ = [
+    "KVService",
+    "ServiceCosts",
+    "RedisService",
+    "MemcachedService",
+    "LSMTree",
+    "MemTable",
+    "SSTable",
+    "RocksDBService",
+    "BTree",
+    "LRUCache",
+    "WiredTigerService",
+    "SERVICE_CLASSES",
+    "make_service",
+]

@@ -1,0 +1,86 @@
+"""A paged B-tree (the WiredTiger substrate).
+
+Key space is mapped onto fixed-fanout leaf pages; the interior of the
+tree is small enough to always live in memory, so only leaf-page residency
+matters for timing.  Like the LSM module, this is pure data structure --
+the service layer charges memory/disk costs for each structural step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workloads.kv.cache import LRUCache
+
+#: re-exported for convenience (WiredTiger's page cache uses it).
+__all__ = ["BTree", "Page", "LRUCache"]
+
+
+@dataclass
+class Page:
+    """A leaf page."""
+
+    page_id: int
+    keys: set[int] = field(default_factory=set)
+    dirty: bool = False
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class BTree:
+    """Leaf-page directory of a B-tree with ``keys_per_page`` fanout."""
+
+    def __init__(self, keys_per_page: int = 8, page_bytes: int = 8192):
+        if keys_per_page < 1:
+            raise ValueError(f"keys_per_page must be >= 1, got {keys_per_page}")
+        self.keys_per_page = keys_per_page
+        self.page_bytes = page_bytes
+        self.pages: dict[int, Page] = {}
+
+    def bulk_load(self, n_keys: int) -> None:
+        """Preload keys 0..n_keys-1 into dense pages."""
+        for key in range(n_keys):
+            pid = key // self.keys_per_page
+            page = self.pages.get(pid)
+            if page is None:
+                page = self.pages[pid] = Page(pid)
+            page.keys.add(key)
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    def page_of(self, key: int) -> int:
+        """Leaf page that holds (or would hold) ``key``."""
+        return key // self.keys_per_page
+
+    def get(self, key: int) -> Optional[Page]:
+        """The page containing ``key``, or None if the key is absent."""
+        page = self.pages.get(self.page_of(key))
+        if page is not None and key in page.keys:
+            return page
+        return None
+
+    def put(self, key: int) -> Page:
+        """Insert/update ``key``; returns the (now dirty) page."""
+        pid = self.page_of(key)
+        page = self.pages.get(pid)
+        if page is None:
+            page = self.pages[pid] = Page(pid)
+        page.keys.add(key)
+        page.dirty = True
+        return page
+
+    def pages_for_range(self, lo: int, hi: int) -> list[Page]:
+        """Leaf pages a scan over [lo, hi] touches (present pages only)."""
+        out = []
+        for pid in range(self.page_of(lo), self.page_of(hi) + 1):
+            page = self.pages.get(pid)
+            if page is not None:
+                out.append(page)
+        return out
+
+    def dirty_pages(self) -> list[Page]:
+        return [p for p in self.pages.values() if p.dirty]

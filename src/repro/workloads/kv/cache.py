@@ -1,0 +1,64 @@
+"""A small LRU cache used for block and page caches."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LRUCache:
+    """Classic LRU over an OrderedDict.
+
+    ``put`` returns the evicted ``(key, value)`` pair if the insert pushed
+    something out -- the disk-backed stores use that to schedule dirty
+    write-backs.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up and touch; counts hit/miss statistics."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Look up without touching or counting."""
+        return self._data.get(key, default)
+
+    def put(self, key: Hashable, value: Any = True) -> Optional[tuple]:
+        """Insert/refresh; returns the evicted (key, value) or None."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return None
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            return self._data.popitem(last=False)
+        return None
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        return self._data.pop(key, default)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def items(self):
+        return self._data.items()

@@ -1,0 +1,231 @@
+"""A functional Log-Structured Merge tree (the RocksDB substrate).
+
+Structure: an active memtable, a queue of immutable memtables awaiting
+flush, a level-0 of possibly-overlapping SSTables, and a level-1 of
+non-overlapping sorted tables.  The tree itself is pure data structure;
+all *timing* (disk writes for flushes, reads for compaction inputs) is
+charged by the service layer that drives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+class MemTable:
+    """The active write buffer."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.entries: dict[int, int] = {}
+
+    def put(self, key: int, value_bytes: int) -> None:
+        self.entries[key] = value_bytes
+
+    def get(self, key: int) -> Optional[int]:
+        return self.entries.get(key)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.max_entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def size_bytes(self) -> int:
+        return sum(self.entries.values()) + 16 * len(self.entries)
+
+
+class SSTable:
+    """An immutable sorted run of keys."""
+
+    def __init__(self, table_id: int, keys: Iterable[int], value_bytes: int,
+                 entries_per_block: int = 4):
+        self.id = table_id
+        self.keys = np.asarray(sorted(set(keys)), dtype=np.int64)
+        if self.keys.size == 0:
+            raise ValueError("SSTable cannot be empty")
+        self.key_set = set(int(k) for k in self.keys)
+        self.value_bytes = value_bytes
+        self.entries_per_block = entries_per_block
+
+    @property
+    def min_key(self) -> int:
+        return int(self.keys[0])
+
+    @property
+    def max_key(self) -> int:
+        return int(self.keys[-1])
+
+    def __len__(self) -> int:
+        return len(self.key_set)
+
+    @property
+    def n_blocks(self) -> int:
+        return (len(self.keys) + self.entries_per_block - 1) // self.entries_per_block
+
+    def size_bytes(self) -> int:
+        return len(self.keys) * (self.value_bytes + 16)
+
+    def contains(self, key: int) -> bool:
+        return key in self.key_set
+
+    def block_of(self, key: int) -> int:
+        """Block index holding ``key`` (which must be present)."""
+        idx = int(np.searchsorted(self.keys, key))
+        return idx // self.entries_per_block
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        return not (self.max_key < lo or self.min_key > hi)
+
+
+@dataclass
+class LookupResult:
+    """Where a key was found."""
+
+    location: str  # "memtable" | "immutable" | "sstable" | "missing"
+    table: Optional[SSTable] = None
+    block: Optional[int] = None
+    #: how many tables were probed before the hit (bloom-filter analogue).
+    probes: int = 0
+
+
+class LSMTree:
+    """Two-level LSM tree with L0 flush and L0->L1 compaction."""
+
+    def __init__(
+        self,
+        memtable_entries: int = 4096,
+        l0_compaction_trigger: int = 4,
+        entries_per_block: int = 4,
+        value_bytes: int = 1000,
+    ):
+        self.memtable = MemTable(memtable_entries)
+        self.memtable_entries = memtable_entries
+        self.immutable: list[MemTable] = []
+        self.level0: list[SSTable] = []  # newest first
+        self.level1: list[SSTable] = []  # sorted, non-overlapping
+        self.l0_compaction_trigger = l0_compaction_trigger
+        self.entries_per_block = entries_per_block
+        self.value_bytes = value_bytes
+        self._next_id = 0
+        self.flushes = 0
+        self.compactions = 0
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- loading ----------------------------------------------------------------
+
+    def bulk_load(self, n_keys: int, table_entries: int = 4096) -> None:
+        """Preload keys 0..n_keys-1 as non-overlapping L1 tables."""
+        for lo in range(0, n_keys, table_entries):
+            hi = min(lo + table_entries, n_keys)
+            self.level1.append(
+                SSTable(self._new_id(), range(lo, hi), self.value_bytes,
+                        self.entries_per_block)
+            )
+        self.level1.sort(key=lambda t: t.min_key)
+
+    # -- writes -------------------------------------------------------------------
+
+    def put(self, key: int, value_bytes: Optional[int] = None) -> Optional[MemTable]:
+        """Insert/update; returns a rotated immutable memtable when full."""
+        self.memtable.put(key, value_bytes or self.value_bytes)
+        if self.memtable.full:
+            imm = self.memtable
+            self.immutable.append(imm)
+            self.memtable = MemTable(self.memtable_entries)
+            return imm
+        return None
+
+    def flush(self, imm: MemTable) -> SSTable:
+        """Materialise an immutable memtable as a level-0 table."""
+        if imm not in self.immutable:
+            raise ValueError("flush() of a memtable that is not pending")
+        self.immutable.remove(imm)
+        table = SSTable(self._new_id(), imm.entries.keys(), self.value_bytes,
+                        self.entries_per_block)
+        self.level0.insert(0, table)  # newest first
+        self.flushes += 1
+        return table
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, key: int) -> LookupResult:
+        if self.memtable.get(key) is not None:
+            return LookupResult("memtable")
+        for imm in reversed(self.immutable):
+            if imm.get(key) is not None:
+                return LookupResult("immutable")
+        probes = 0
+        for table in self.level0:
+            probes += 1
+            if table.contains(key):
+                return LookupResult("sstable", table, table.block_of(key), probes)
+        for table in self.level1:
+            if table.min_key <= key <= table.max_key:
+                probes += 1
+                if table.contains(key):
+                    return LookupResult(
+                        "sstable", table, table.block_of(key), probes
+                    )
+                break
+        return LookupResult("missing", probes=probes)
+
+    def tables_for_range(self, lo: int, hi: int) -> list[SSTable]:
+        """All tables a scan over [lo, hi] must consult."""
+        out = [t for t in self.level0 if t.overlaps(lo, hi)]
+        out.extend(t for t in self.level1 if t.overlaps(lo, hi))
+        return out
+
+    # -- compaction ------------------------------------------------------------------
+
+    @property
+    def needs_compaction(self) -> bool:
+        return len(self.level0) >= self.l0_compaction_trigger
+
+    def pick_compaction(self) -> tuple[list[SSTable], list[SSTable]]:
+        """(level-0 inputs, overlapping level-1 inputs) for the next job."""
+        l0 = list(self.level0)
+        if not l0:
+            return [], []
+        lo = min(t.min_key for t in l0)
+        hi = max(t.max_key for t in l0)
+        l1 = [t for t in self.level1 if t.overlaps(lo, hi)]
+        return l0, l1
+
+    def apply_compaction(
+        self, l0: list[SSTable], l1: list[SSTable], table_entries: int = 4096
+    ) -> list[SSTable]:
+        """Merge the inputs into fresh L1 tables; returns the new tables."""
+        merged: set[int] = set()
+        for t in l0 + l1:
+            merged |= t.key_set
+        keys = sorted(merged)
+        new_tables = [
+            SSTable(self._new_id(), keys[i : i + table_entries], self.value_bytes,
+                    self.entries_per_block)
+            for i in range(0, len(keys), table_entries)
+        ]
+        self.level0 = [t for t in self.level0 if t not in l0]
+        self.level1 = [t for t in self.level1 if t not in l1] + new_tables
+        self.level1.sort(key=lambda t: t.min_key)
+        self.compactions += 1
+        return new_tables
+
+    # -- stats ------------------------------------------------------------------------
+
+    def total_entries(self) -> int:
+        keys: set[int] = set(self.memtable.entries)
+        for imm in self.immutable:
+            keys |= set(imm.entries)
+        for t in self.level0 + self.level1:
+            keys |= t.key_set
+        return len(keys)

@@ -1,0 +1,167 @@
+"""RocksDB-like service: LSM tree + block cache + background compaction.
+
+The paper's observations this model must reproduce:
+
+* a stair-like latency CDF -- updates return quickly (async memtable
+  writes), reads split into block-cache hits (fast) and disk misses (slow);
+* background flush/compaction threads that are memory-intensive and
+  contribute to VPI on the service's CPUs;
+* long read tails that deteriorate further under SMT interference.
+"""
+
+from __future__ import annotations
+
+from repro.hw.ops import CompOp, MemOp
+from repro.oskernel import SimThread
+from repro.sim import Store
+from repro.workloads.kv.cache import LRUCache
+from repro.workloads.kv.common import KVService, ServiceCosts
+from repro.workloads.kv.lsm import LSMTree
+from repro.ycsb.workloads import Query
+
+#: disk block size (one SSTable block).
+BLOCK_BYTES = 4096
+
+
+class RocksDBService(KVService):
+    kind = "rocksdb"
+    default_workers = 4
+    supports_scan = True
+    default_costs = ServiceCosts(
+        read_cycles=12_000.0,  # bloom probes, index walk, version checks
+        read_lines=1400,
+        read_dram_frac=0.15,
+        update_cycles=10_000.0,
+        update_lines=1100,
+        update_dram_frac=0.15,
+        scan_cycles_per_rec=3_000.0,
+        scan_lines_per_rec=220,
+        scan_dram_frac=0.18,
+    )
+
+    def __init__(self, *args, cache_fraction: float = 0.30,
+                 memtable_entries: int = 8192,
+                 l0_compaction_trigger: int = 4, **kwargs):
+        self._cache_fraction = cache_fraction
+        self._memtable_entries = memtable_entries
+        self._l0_trigger = l0_compaction_trigger
+        super().__init__(*args, **kwargs)
+
+    def _load_data(self) -> None:
+        self.lsm = LSMTree(
+            memtable_entries=self._memtable_entries,
+            l0_compaction_trigger=self._l0_trigger,
+            entries_per_block=max(1, BLOCK_BYTES // (self.value_bytes + 16)),
+            value_bytes=self.value_bytes,
+        )
+        self.lsm.bulk_load(self.n_keys)
+        total_blocks = sum(t.n_blocks for t in self.lsm.level1)
+        self.block_cache = LRUCache(max(16, int(total_blocks * self._cache_fraction)))
+        self._flush_queue = Store(self.env, name=f"{self.name}:flushq")
+        self.disk_reads = 0
+        self.cache_hits = 0
+
+    def _start_background(self, lcpus) -> None:
+        self.proc.spawn_thread(
+            self._flush_body, affinity=lcpus, name=f"{self.name}/flush"
+        )
+        self.proc.spawn_thread(
+            self._compaction_body, affinity=lcpus, name=f"{self.name}/compact"
+        )
+
+    # -- foreground query path --------------------------------------------------
+
+    def _process(self, thread: SimThread, query: Query):
+        c = self.costs
+        if query.op == "read":
+            yield from thread.exec(CompOp(cycles=c.read_cycles))
+            yield from thread.exec(
+                MemOp(lines=c.read_lines, dram_frac=c.read_dram_frac)
+            )
+            loc = self.lsm.get(query.key)
+            if loc.location in ("memtable", "immutable", "missing"):
+                return
+            yield from self._read_block(thread, loc.table.id, loc.block)
+        elif query.op in ("update", "insert"):
+            # async write path: memtable insert + (buffered) WAL append.
+            yield from thread.exec(CompOp(cycles=c.update_cycles))
+            yield from thread.exec(
+                MemOp(lines=c.update_lines, dram_frac=c.update_dram_frac,
+                      store_frac=0.6)
+            )
+            imm = self.lsm.put(query.key, query.value_bytes)
+            if imm is not None:
+                self._flush_queue.put_nowait(imm)
+        elif query.op == "scan":
+            yield from thread.exec(CompOp(cycles=c.read_cycles))
+            lo, hi = query.key, query.key + query.scan_len - 1
+            for table in self.lsm.tables_for_range(lo, hi):
+                blocks = self._scan_blocks(table, lo, hi)
+                for block in blocks:
+                    yield from self._read_block(thread, table.id, block)
+                    yield from thread.exec(
+                        CompOp(cycles=c.scan_cycles_per_rec)
+                    )
+                    yield from thread.exec(
+                        MemOp(lines=c.scan_lines_per_rec,
+                              dram_frac=c.scan_dram_frac)
+                    )
+        else:
+            raise ValueError(f"unknown op {query.op!r}")
+
+    def _scan_blocks(self, table, lo: int, hi: int) -> range:
+        import numpy as np
+
+        i0 = int(np.searchsorted(table.keys, lo))
+        i1 = int(np.searchsorted(table.keys, hi, side="right"))
+        if i1 <= i0:
+            return range(0)
+        b0 = i0 // table.entries_per_block
+        b1 = (i1 - 1) // table.entries_per_block
+        return range(b0, b1 + 1)
+
+    def _read_block(self, thread: SimThread, table_id: int, block: int):
+        key = (table_id, block)
+        if self.block_cache.get(key) is not None:
+            self.cache_hits += 1
+            yield from thread.exec(MemOp(lines=64, dram_frac=0.5))
+            return
+        self.disk_reads += 1
+        yield from thread.disk_io(BLOCK_BYTES)
+        yield from thread.exec(CompOp(cycles=25_000))  # checksum + decompress
+        yield from thread.exec(MemOp(lines=64, dram_frac=1.0, store_frac=0.8))
+        self.block_cache.put(key, True)
+
+    # -- background threads ----------------------------------------------------------
+
+    def _flush_body(self, thread: SimThread):
+        """Materialise immutable memtables as L0 SSTables."""
+        while True:
+            imm = yield from thread.wait(self._flush_queue.get())
+            nbytes = imm.size_bytes()
+            # build the table: sort + serialise (memory heavy), then write
+            yield from thread.exec(
+                MemOp(lines=max(1, nbytes // 64), dram_frac=0.7, store_frac=0.7)
+            )
+            yield from thread.disk_io(max(1, nbytes), write=True)
+            self.lsm.flush(imm)
+
+    def _compaction_body(self, thread: SimThread, poll_us: float = 20_000.0):
+        """Merge L0 into L1 when the trigger is reached."""
+        while True:
+            if not self.lsm.needs_compaction:
+                yield from thread.sleep(poll_us)
+                continue
+            l0, l1 = self.lsm.pick_compaction()
+            if not l0:
+                yield from thread.sleep(poll_us)
+                continue
+            in_bytes = sum(t.size_bytes() for t in l0 + l1)
+            # read inputs, merge in memory, write outputs
+            yield from thread.disk_io(max(1, in_bytes))
+            yield from thread.exec(
+                MemOp(lines=max(1, in_bytes // 64), dram_frac=0.8, store_frac=0.5)
+            )
+            new_tables = self.lsm.apply_compaction(l0, l1)
+            out_bytes = sum(t.size_bytes() for t in new_tables)
+            yield from thread.disk_io(max(1, out_bytes), write=True)

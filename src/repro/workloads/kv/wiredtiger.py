@@ -1,0 +1,134 @@
+"""WiredTiger-like service: B-tree + page cache + background eviction.
+
+WiredTiger (MongoDB's storage engine) keeps hot leaf pages in an
+in-memory cache; reads that miss fetch the page from disk, updates dirty
+cached pages, and a background eviction thread writes dirty pages back
+and trims the cache.  The paper finds its workload-e (scans over
+consecutive keys, hence consecutive pages) largely insensitive to HT
+interference -- sequential pages are cheap and mostly cached -- which this
+model reproduces.
+"""
+
+from __future__ import annotations
+
+from repro.hw.ops import CompOp, MemOp
+from repro.oskernel import SimThread
+from repro.workloads.kv.btree import BTree
+from repro.workloads.kv.cache import LRUCache
+from repro.workloads.kv.common import KVService, ServiceCosts
+from repro.ycsb.workloads import Query
+
+
+class WiredTigerService(KVService):
+    kind = "wiredtiger"
+    default_workers = 4
+    supports_scan = True
+    default_costs = ServiceCosts(
+        read_cycles=11_000.0,
+        read_lines=1350,
+        read_dram_frac=0.15,
+        update_cycles=13_000.0,
+        update_lines=1500,
+        update_dram_frac=0.15,
+        scan_cycles_per_rec=2_500.0,
+        scan_lines_per_rec=180,
+        scan_dram_frac=0.18,
+    )
+
+    def __init__(self, *args, cache_fraction: float = 0.35,
+                 keys_per_page: int = 8, **kwargs):
+        self._cache_fraction = cache_fraction
+        self._keys_per_page = keys_per_page
+        super().__init__(*args, **kwargs)
+
+    def _load_data(self) -> None:
+        self.btree = BTree(keys_per_page=self._keys_per_page)
+        self.btree.bulk_load(self.n_keys)
+        self.page_cache = LRUCache(
+            max(16, int(self.btree.n_pages * self._cache_fraction))
+        )
+        self.disk_reads = 0
+        self.cache_hits = 0
+        self.evicted_writes = 0
+        self._dirty_backlog: list = []
+
+    def _start_background(self, lcpus) -> None:
+        self.proc.spawn_thread(
+            self._eviction_body, affinity=lcpus, name=f"{self.name}/evict"
+        )
+
+    # -- page access ------------------------------------------------------------
+
+    def _access_page(self, thread: SimThread, page_id: int, dirty: bool):
+        """Bring a leaf page into the cache, charging hit or miss costs."""
+        entry = self.page_cache.get(page_id)
+        if entry is not None:
+            self.cache_hits += 1
+            yield from thread.exec(MemOp(lines=32, dram_frac=0.4))
+        else:
+            self.disk_reads += 1
+            yield from thread.disk_io(self.btree.page_bytes)
+            yield from thread.exec(CompOp(cycles=18_000))  # page reconstruction
+            yield from thread.exec(MemOp(lines=128, dram_frac=1.0, store_frac=0.8))
+        evicted = self.page_cache.put(page_id, True)
+        if evicted is not None:
+            ev_pid, _ = evicted
+            page = self.btree.pages.get(ev_pid)
+            if page is not None and page.dirty:
+                self._dirty_backlog.append(page)
+        if dirty:
+            page = self.btree.pages.get(page_id)
+            if page is not None:
+                page.dirty = True
+
+    # -- query path ---------------------------------------------------------------
+
+    def _process(self, thread: SimThread, query: Query):
+        c = self.costs
+        if query.op == "read":
+            yield from thread.exec(CompOp(cycles=c.read_cycles))
+            yield from thread.exec(
+                MemOp(lines=c.read_lines, dram_frac=c.read_dram_frac)
+            )
+            if self.btree.get(query.key) is not None:
+                yield from self._access_page(
+                    thread, self.btree.page_of(query.key), dirty=False
+                )
+        elif query.op in ("update", "insert"):
+            yield from thread.exec(CompOp(cycles=c.update_cycles))
+            yield from thread.exec(
+                MemOp(lines=c.update_lines, dram_frac=c.update_dram_frac,
+                      store_frac=0.5)
+            )
+            yield from self._access_page(
+                thread, self.btree.page_of(query.key), dirty=True
+            )
+            self.btree.put(query.key)
+        elif query.op == "scan":
+            yield from thread.exec(CompOp(cycles=c.read_cycles))
+            lo, hi = query.key, query.key + query.scan_len - 1
+            for page in self.btree.pages_for_range(lo, hi):
+                yield from self._access_page(thread, page.page_id, dirty=False)
+                yield from thread.exec(
+                    CompOp(cycles=c.scan_cycles_per_rec * len(page))
+                )
+                yield from thread.exec(
+                    MemOp(lines=c.scan_lines_per_rec * len(page),
+                          dram_frac=c.scan_dram_frac)
+                )
+        else:
+            raise ValueError(f"unknown op {query.op!r}")
+
+    # -- background eviction -----------------------------------------------------------
+
+    def _eviction_body(self, thread: SimThread, poll_us: float = 10_000.0):
+        """Write evicted dirty pages back; checkpoint-style housekeeping."""
+        while True:
+            if not self._dirty_backlog:
+                yield from thread.sleep(poll_us)
+                continue
+            page = self._dirty_backlog.pop(0)
+            yield from thread.exec(MemOp(lines=128, dram_frac=0.8, store_frac=0.3))
+            yield from thread.disk_io(self.btree.page_bytes, write=True)
+            page.dirty = False
+            self.evicted_writes += 1

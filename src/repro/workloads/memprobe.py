@@ -1,0 +1,87 @@
+"""The Section 3.1 measurement program: an RPS-configurable memory prober.
+
+The paper's program sends fixed-size memory requests from pinned threads
+at a configurable rate (requests per second), used both to find the VPI
+metric (Table 1 / Figure 4 sweeps: 5,000 RPS up to the ~74,000 RPS
+saturation point alone, ~45,000 contended) and to stress KV-store siblings
+at Low/Medium/High rates (Figure 5).
+
+Request size: the observed saturation rate (~74 kRPS) implies ~13.5 us per
+request, i.e. ~158 uncached lines (~10 KB); with a fully contended sibling
+(x1.64) that drops to ~45 kRPS, exactly the paper's two saturation points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.ops import MemOp
+from repro.oskernel import System
+from repro.workloads.base import LatencyRecorder
+
+#: lines per probe request: 158 * 0.0854 us = ~13.5 us -> ~74 kRPS alone.
+REQUEST_LINES = 158
+
+
+class MemoryProber:
+    """One probing thread pinned to one logical CPU at a target rate.
+
+    ``rps`` is interpreted in requests per *simulated second*.  When the
+    achievable service rate is below the target, the prober saturates and
+    its measured throughput reveals the ceiling (the Fig. 4(b) behaviour).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        lcpu: int,
+        rps: float,
+        request_lines: int = REQUEST_LINES,
+        name: str = "prober",
+    ):
+        if rps <= 0:
+            raise ValueError(f"rps must be positive, got {rps}")
+        self.system = system
+        self.lcpu = lcpu
+        self.rps = rps
+        self.request_lines = request_lines
+        self.recorder = LatencyRecorder(name)
+        self.completed = 0
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+        self._proc = system.spawn_process(name)
+        self.name = name
+
+    def start(self, duration_us: float) -> None:
+        self.started_at = self.system.env.now
+        self.stopped_at = self.started_at + duration_us
+        self._proc.spawn_thread(self._body, affinity={self.lcpu}, name=self.name)
+
+    def achieved_rps(self) -> float:
+        """Measured request throughput over the probing interval."""
+        if self.started_at is None or self.completed == 0:
+            return 0.0
+        elapsed_s = (self.stopped_at - self.started_at) / 1e6
+        return self.completed / elapsed_s
+
+    def mean_latency(self) -> float:
+        return self.recorder.mean()
+
+    def _body(self, thread):
+        env = thread.env
+        interval = 1e6 / self.rps  # us between departures
+        next_deadline = env.now
+        while env.now < self.stopped_at:
+            t0 = env.now
+            yield from thread.exec(
+                MemOp(lines=self.request_lines, dram_frac=1.0)
+            )
+            self.recorder.record(t0, env.now - t0, op="probe")
+            self.completed += 1
+            next_deadline += interval
+            if env.now < next_deadline:
+                yield from thread.sleep(next_deadline - env.now)
+            else:
+                # saturated: re-anchor so we don't accumulate infinite debt
+                next_deadline = env.now

@@ -1,0 +1,79 @@
+"""The Section 2.2 micro benchmark: m-threads and c-threads.
+
+An *m-thread* continuously reads random 1 MB blocks out of a 600 MB pool
+(16,384 cache-line touches per block, all missing the caches).  A
+*c-thread* spins on floating-point work.  Figure 2 places combinations of
+them across cores and hyperthread siblings to isolate where memory-access
+latency comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.hw.ops import CompOp, MemOp
+from repro.oskernel import System
+from repro.workloads.base import LatencyRecorder
+
+#: cache lines in the paper's 1 MB request block.
+BLOCK_LINES = 16384
+
+
+@dataclass
+class MThreadResult:
+    """Latency samples from one m-thread."""
+
+    lcpu: int
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+
+def m_thread_body(thread, recorder: LatencyRecorder, until_us: float,
+                  block_lines: int = BLOCK_LINES):
+    """Continuously access random memory blocks, recording block latency."""
+    env = thread.env
+    while env.now < until_us:
+        t0 = env.now
+        yield from thread.exec(MemOp(lines=block_lines, dram_frac=1.0))
+        recorder.record(t0, env.now - t0, op="mem")
+
+
+def c_thread_body(thread, until_us: float, chunk_cycles: float = 120_000):
+    """Spin on floating-point work until ``until_us``."""
+    env = thread.env
+    while env.now < until_us:
+        yield from thread.exec(CompOp(cycles=chunk_cycles))
+
+
+def run_m_threads(
+    system: System,
+    m_lcpus: Iterable[int],
+    c_lcpus: Iterable[int] = (),
+    duration_us: float = 50_000.0,
+    block_lines: int = BLOCK_LINES,
+) -> list[MThreadResult]:
+    """Pin one m-thread per lcpu in ``m_lcpus`` (and c-threads on
+    ``c_lcpus``), run for ``duration_us``, and return per-thread latencies.
+
+    This is the driver for every Figure 2 case; the caller chooses the
+    placements (same core, separate cores, siblings...).
+    """
+    results = []
+    proc = system.spawn_process("microbench")
+    until = system.env.now + duration_us
+    for lcpu in m_lcpus:
+        res = MThreadResult(lcpu=lcpu)
+        results.append(res)
+        proc.spawn_thread(
+            lambda th, r=res.recorder: m_thread_body(th, r, until, block_lines),
+            affinity={lcpu},
+            name=f"m{lcpu}",
+        )
+    for lcpu in c_lcpus:
+        proc.spawn_thread(
+            lambda th: c_thread_body(th, until),
+            affinity={lcpu},
+            name=f"c{lcpu}",
+        )
+    system.run(until=until + 10_000.0)
+    return results

@@ -1,0 +1,22 @@
+"""Yarn-like batch-job management.
+
+The paper runs HiBench batch jobs under Apache Yarn, with a NodeManager
+modified to launch each container on a specified set of cores, one cgroup
+directory per container under a common batch parent (Section 5).  This
+package models that: a :class:`NodeManager` that launches jobs into
+containers/cgroups, and a :class:`ContinuousSubmitter` that keeps a fixed
+number of concurrent jobs running for the duration of an experiment
+("we continuously submit multiple concurrent workloads", Section 6.1).
+"""
+
+from repro.yarnlike.container import Container, JobInstance
+from repro.yarnlike.nodemanager import NodeManager, BATCH_CGROUP_ROOT
+from repro.yarnlike.jobqueue import ContinuousSubmitter
+
+__all__ = [
+    "Container",
+    "JobInstance",
+    "NodeManager",
+    "BATCH_CGROUP_ROOT",
+    "ContinuousSubmitter",
+]

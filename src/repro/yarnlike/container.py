@@ -1,0 +1,50 @@
+"""Containers and job instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.workloads.batch import BatchJobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.oskernel import OSProcess
+
+
+@dataclass
+class Container:
+    """One launched container: a process inside its own cgroup."""
+
+    container_id: str
+    cgroup_path: str
+    process: "OSProcess"
+    n_tasks: int
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def finished(self) -> bool:
+        return not self.process.alive
+
+
+@dataclass
+class JobInstance:
+    """One submitted batch job (possibly multiple containers)."""
+
+    job_id: int
+    spec: BatchJobSpec
+    containers: list[Container] = field(default_factory=list)
+    submitted_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def duration_us(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at

@@ -1,0 +1,141 @@
+"""The NodeManager: launches batch jobs into cgroup-backed containers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.oskernel import System
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike.container import Container, JobInstance
+
+#: parent cgroup for all batch containers (what Holmes' monitor scans).
+BATCH_CGROUP_ROOT = "/yarn"
+
+#: scheduling quantum for batch task threads (coarser than services).
+BATCH_QUANTUM_US = 100.0
+
+#: fixed per-container memory allotment ("each container of a batch job is
+#: configured with a fixed size of memory", paper Sec. 6.3).
+CONTAINER_MEMORY_BYTES = 8 * 1024**3
+
+
+class NodeManager:
+    """Launches and tracks batch jobs on one System.
+
+    ``default_cpuset`` is the core list this (paper-modified) NodeManager
+    passes to new containers -- the active co-location policy sets it so
+    batch jobs never launch onto reserved CPUs.  A per-launch override is
+    also accepted, which is how Holmes' Algorithm 1 places containers.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        default_cpuset: Optional[Iterable[int]] = None,
+        seed: int = 23,
+    ):
+        self.system = system
+        self.env = system.env
+        self.rng = np.random.default_rng(seed)
+        self.default_cpuset = (
+            frozenset(default_cpuset) if default_cpuset is not None else None
+        )
+        self.system.cgroups.create(BATCH_CGROUP_ROOT)
+        self.jobs: list[JobInstance] = []
+        self._next_job_id = 1
+        self._next_container_id = 1
+        #: callbacks fired when a job completes (ContinuousSubmitter hooks in).
+        self.on_job_finished: list[Callable[[JobInstance], None]] = []
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def running_jobs(self) -> list[JobInstance]:
+        return [j for j in self.jobs if not j.finished]
+
+    @property
+    def finished_jobs(self) -> list[JobInstance]:
+        return [j for j in self.jobs if j.finished]
+
+    def completed_count(self, t0: float = 0.0, t1: float = float("inf")) -> int:
+        """Jobs that finished within [t0, t1) -- the Table 3 metric."""
+        return sum(
+            1 for j in self.jobs if j.finished and t0 <= j.finished_at < t1
+        )
+
+    # -- launching -----------------------------------------------------------------
+
+    def launch_job(
+        self,
+        spec: BatchJobSpec,
+        n_containers: int = 1,
+        tasks_per_container: int = 4,
+        cpuset: Optional[Iterable[int]] = None,
+    ) -> JobInstance:
+        """Launch one job as ``n_containers`` containers."""
+        job = JobInstance(
+            job_id=self._next_job_id, spec=spec, submitted_at=self.env.now
+        )
+        self._next_job_id += 1
+        self.jobs.append(job)
+        for _ in range(n_containers):
+            job.containers.append(
+                self._launch_container(job, spec, tasks_per_container, cpuset)
+            )
+        self.env.process(self._watch_job(job), name=f"watch:job{job.job_id}")
+        return job
+
+    def _launch_container(
+        self,
+        job: JobInstance,
+        spec: BatchJobSpec,
+        n_tasks: int,
+        cpuset: Optional[Iterable[int]],
+    ) -> Container:
+        cid = f"container_{self._next_container_id:06d}"
+        self._next_container_id += 1
+        cgroup_path = f"{BATCH_CGROUP_ROOT}/{cid}"
+        cgroup = self.system.cgroups.create(cgroup_path)
+        cpus = cpuset if cpuset is not None else self.default_cpuset
+        if cpus is not None:
+            cgroup.set_cpuset(cpus)
+        proc = self.system.spawn_process(
+            f"{spec.name}:{cid}", cgroup_path=cgroup_path
+        )
+        proc.resident_bytes = CONTAINER_MEMORY_BYTES
+        task_rngs = self.rng.spawn(n_tasks)
+        for i, task_rng in enumerate(task_rngs):
+            proc.spawn_thread(
+                lambda th, r=task_rng: spec.task_body(th, r),
+                name=f"{cid}/task{i}",
+                quantum_us=BATCH_QUANTUM_US,
+            )
+        return Container(
+            container_id=cid, cgroup_path=cgroup_path, process=proc,
+            n_tasks=n_tasks,
+        )
+
+    def kill_job(self, job: JobInstance) -> None:
+        for container in job.containers:
+            container.process.kill()
+
+    # -- completion tracking -----------------------------------------------------------
+
+    def _watch_job(self, job: JobInstance):
+        events = [
+            t.sim_proc
+            for c in job.containers
+            for t in c.process.threads
+        ]
+        yield self.env.all_of(events)
+        job.finished_at = self.env.now
+        # tidy the cgroup directories (processes detach on exit)
+        for container in job.containers:
+            if self.system.cgroups.exists(container.cgroup_path):
+                group = self.system.cgroups.get(container.cgroup_path)
+                if not group.processes and not group.children:
+                    self.system.cgroups.remove(container.cgroup_path)
+        for callback in list(self.on_job_finished):
+            callback(job)

@@ -1,0 +1,50 @@
+"""YCSB-like workload generation (Cooper et al., SoCC '10).
+
+Implements the pieces of the Yahoo! Cloud Serving Benchmark the paper
+uses: the core workload mixes (workload-a: 50/50 read/update; workload-b:
+95/5 read/update; workload-e: 95/5 scan/insert), Zipfian and scrambled-
+Zipfian key choosers, an open-loop client, and the bursty traffic shaper
+of Section 6.1 (60-90 s bursts separated by 5-10 s gaps, both Poisson,
+scaled down for simulation).
+"""
+
+from repro.ycsb.distributions import (
+    ZipfianGenerator,
+    ScrambledZipfianGenerator,
+    LatestGenerator,
+    UniformGenerator,
+)
+from repro.ycsb.workloads import (
+    Query,
+    WorkloadSpec,
+    ALL_WORKLOADS,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    workload_by_name,
+)
+from repro.ycsb.traffic import BurstyTraffic, ConstantTraffic
+from repro.ycsb.client import YCSBClient
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "UniformGenerator",
+    "Query",
+    "WorkloadSpec",
+    "ALL_WORKLOADS",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "workload_by_name",
+    "BurstyTraffic",
+    "ConstantTraffic",
+    "YCSBClient",
+]

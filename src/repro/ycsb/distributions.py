@@ -1,0 +1,121 @@
+"""Key-chooser distributions from the YCSB core package."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: YCSB's default Zipfian constant.
+ZIPFIAN_CONSTANT = 0.99
+
+#: golden-ratio-ish hash constant used by YCSB's FNV-based scrambling;
+#: we use a splitmix-style mix which has the same purpose (decorrelate
+#: popularity rank from key order).
+_MIX = 0x9E3779B97F4A7C15
+
+
+class UniformGenerator:
+    """Uniform integers in [lo, hi] inclusive."""
+
+    def __init__(self, lo: int, hi: int, rng: np.random.Generator):
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.rng = rng
+
+    def next(self) -> int:
+        return int(self.rng.integers(self.lo, self.hi + 1))
+
+
+class ZipfianGenerator:
+    """The YCSB Zipfian generator (Gray et al.'s rejection-free method).
+
+    Draws ranks in [0, n) with P(rank=k) proportional to 1/(k+1)^theta.
+    Uses the closed-form approximation with precomputed zeta values, the
+    same algorithm as YCSB's ``ZipfianGenerator``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        theta: float = ZIPFIAN_CONSTANT,
+    ):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0,1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta_2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        if n <= 2:
+            # next() resolves every draw through the rank-0/rank-1 branches
+            # before eta is consulted, and the closed form is 0/0 at n=2.
+            self.eta = 0.0
+        else:
+            self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+                1.0 - self.zeta_2 / self.zeta_n
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        k = np.arange(1, n + 1, dtype=np.float64)
+        return float(np.sum(1.0 / k**theta))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
+
+
+class LatestGenerator:
+    """YCSB's "latest" chooser: recently inserted keys are hottest.
+
+    Used by workload-d ("read latest").  Draws a Zipfian rank and counts
+    back from the newest key, so popularity follows insertion recency.
+    The insert cursor advances via :meth:`advance` as new keys arrive.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator,
+                 theta: float = ZIPFIAN_CONSTANT):
+        self._zipf = ZipfianGenerator(n, rng)
+        self.newest = n - 1
+
+    def advance(self, newest: int) -> None:
+        if newest < self.newest:
+            raise ValueError("the insertion cursor cannot move backwards")
+        self.newest = newest
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        return max(0, self.newest - rank)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian ranks scrambled over the key space (YCSB default chooser).
+
+    Without scrambling, popular keys cluster at the low end of the key
+    space; scrambling spreads the hot set uniformly, which is what makes
+    YCSB's access pattern cache-unfriendly in the right way.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator,
+                 theta: float = ZIPFIAN_CONSTANT):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, rng, theta)
+
+    def next(self) -> int:
+        rank = self._zipf.next()
+        # splitmix64 finalizer as the scrambling hash
+        z = (rank + 1) * _MIX & 0xFFFFFFFFFFFFFFFF
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        z = z ^ (z >> 31)
+        return int(z % self.n)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_cdf_sparkline,
+    format_table,
+    normalize_to_baseline,
+    pearson,
+    percentile_summary,
+    slo_from_alone,
+    violation_ratio,
+)
+
+
+def test_pearson_known_value():
+    x = [1, 2, 3, 4, 5]
+    y = [2, 1, 4, 3, 5]
+    expected = np.corrcoef(x, y)[0, 1]
+    assert pearson(x, y) == pytest.approx(expected)
+
+
+def test_pearson_validation():
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])
+    with pytest.raises(ValueError):
+        pearson([1], [1])
+    with pytest.raises(ValueError):
+        pearson([1, 1, 1], [1, 2, 3])
+
+
+def test_normalize_to_baseline():
+    # the paper's Fig 5 semantics: 0.3 == "30% higher than Alone"
+    assert normalize_to_baseline(130.0, 100.0) == pytest.approx(0.3)
+    assert normalize_to_baseline(100.0, 100.0) == 0.0
+    with pytest.raises(ValueError):
+        normalize_to_baseline(1.0, 0.0)
+
+
+def test_percentile_summary_empty():
+    s = percentile_summary([])
+    assert math.isnan(s["mean"])
+    assert math.isnan(s["p99"])
+
+
+def test_slo_from_alone_is_p90():
+    lats = list(range(1, 101))
+    assert slo_from_alone(lats) == pytest.approx(np.percentile(lats, 90))
+    with pytest.raises(ValueError):
+        slo_from_alone([])
+
+
+def test_violation_ratio():
+    lats = [10, 20, 30, 40]
+    assert violation_ratio(lats, 25) == 0.5
+    assert violation_ratio(lats, 100) == 0.0
+    assert math.isnan(violation_ratio([], 10))
+    with pytest.raises(ValueError):
+        violation_ratio(lats, 0)
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "---" in lines[1]
+    assert "22.2" in lines[3]
+    # columns right-aligned: all lines same length
+    assert len({len(l) for l in lines}) == 1
+
+
+def test_sparkline_basics():
+    assert format_cdf_sparkline([]) == "(empty)"
+    line = format_cdf_sparkline([10.0] * 50 + [1000.0] * 50, n_bins=20)
+    assert len(line) == 20
+    assert line[0] != " " and line[-1] != " "
+    # a constant distribution degenerates gracefully
+    assert len(format_cdf_sparkline([5.0, 5.0, 5.0], n_bins=10)) == 10

@@ -1,0 +1,150 @@
+"""Unit tests for the baseline controllers (repro.baselines)."""
+
+import pytest
+
+from repro.baselines import CaladanLike, HeraclesLike, PartiesLike, PerfIso
+from repro.baselines.perfiso import PerfIsoConfig
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.oskernel import System
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike import NodeManager
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+HOG = BatchJobSpec(name="hog", iterations=1_000_000, mem_lines=8000,
+                   mem_dram_frac=0.9, comp_cycles=100_000)
+
+
+def lc_body(thread, until):
+    while thread.env.now < until:
+        yield from thread.exec(MemOp(lines=1200, dram_frac=0.15))
+        yield from thread.exec(CompOp(cycles=8_000))
+
+
+# -- PerfIso -----------------------------------------------------------------
+
+
+def test_perfiso_batch_pool_is_smt_oblivious():
+    system = small_system()
+    perfiso = PerfIso(system, lc_cpus=[0, 1, 2, 3])
+    # the pool contains every non-LC logical CPU, LC siblings included
+    assert 8 in perfiso.full_pool and 9 in perfiso.full_pool
+    assert 0 not in perfiso.full_pool
+
+
+def test_perfiso_requires_lc_cpus():
+    with pytest.raises(ValueError):
+        PerfIso(small_system(), lc_cpus=[])
+
+
+def test_perfiso_maintains_idle_buffer():
+    system = small_system()
+    perfiso = PerfIso(system, lc_cpus=[0, 1, 2, 3],
+                      config=PerfIsoConfig(buffer_size=2))
+    perfiso.start()
+    nm = NodeManager(system, default_cpuset=None)
+    nm.launch_job(HOG, tasks_per_container=12)
+    system.run(until=100_000)
+    # 12 pool CPUs - buffer: the pool shrank, leaving ~2 idle
+    assert len(perfiso.batch_cpus) <= 10
+    assert len(perfiso.batch_cpus) >= 8
+    assert perfiso.adjustments > 0
+
+
+def test_perfiso_double_start():
+    system = small_system()
+    p = PerfIso(system, lc_cpus=[0])
+    p.start()
+    with pytest.raises(RuntimeError):
+        p.start()
+
+
+def test_perfiso_grows_pool_back():
+    system = small_system()
+    perfiso = PerfIso(system, lc_cpus=[0, 1, 2, 3],
+                      config=PerfIsoConfig(buffer_size=2))
+    perfiso.start()
+    nm = NodeManager(system, default_cpuset=None)
+    job = nm.launch_job(HOG, tasks_per_container=12)
+
+    def killer(env):
+        yield env.timeout(60_000.0)
+        nm.kill_job(job)
+
+    system.env.process(killer(system.env))
+    system.run(until=200_000)
+    # all batch work gone: the pool returns to full size
+    assert perfiso.batch_cpus == set(perfiso.full_pool)
+
+
+# -- feedback controllers ------------------------------------------------------
+
+
+def _with_interference(controller_cls, **kwargs):
+    system = small_system()
+    svc = system.spawn_process("lc")
+    svc.spawn_thread(lambda th: lc_body(th, 10_000_000.0), affinity={0})
+    ctl = controller_cls(system, lc_cpus=[0, 1, 2, 3], **kwargs)
+    ctl.start()
+    nm = NodeManager(system)
+    sib = system.server.topology.sibling(0)
+    nm.launch_job(HOG, tasks_per_container=1, cpuset={sib})
+    return system, ctl, sib
+
+
+def test_heracles_isolates_after_two_epochs():
+    system, ctl, sib = _with_interference(HeraclesLike, epoch_us=100_000.0)
+    system.run(until=350_000)
+    assert ctl.stage == 2
+    assert sib not in ctl.batch_cpus
+    assert ctl.converged_at == pytest.approx(200_000.0, rel=0.01)
+
+
+def test_heracles_restores_when_calm():
+    system = small_system()
+    # LC serves only briefly; after it stops, slack returns
+    svc = system.spawn_process("lc")
+    svc.spawn_thread(lambda th: lc_body(th, 150_000.0), affinity={0})
+    ctl = HeraclesLike(system, lc_cpus=[0, 1, 2, 3], epoch_us=100_000.0)
+    ctl.start()
+    nm = NodeManager(system)
+    sib = system.server.topology.sibling(0)
+    nm.launch_job(HOG, tasks_per_container=1, cpuset={sib})
+    system.run(until=600_000)
+    assert ctl.stage == 0
+    assert sib in ctl.batch_cpus  # siblings handed back
+
+
+def test_parties_walks_the_ladder():
+    system, ctl, sib = _with_interference(PartiesLike, step_us=50_000.0)
+    system.run(until=400_000)
+    resources = [r for _, r in ctl.actions]
+    assert resources[:3] == ["frequency", "cores", "hyperthreads"]
+    assert ctl.converged_at == pytest.approx(150_000.0, rel=0.01)
+    assert sib not in ctl.batch_cpus
+
+
+def test_caladan_reacts_within_intervals():
+    system, ctl, sib = _with_interference(CaladanLike, interval_us=10.0)
+    system.run(until=5_000)
+    assert ctl.isolated
+    assert ctl.converged_at is not None
+    assert ctl.converged_at <= 100.0  # a few 10us polls
+    assert sib not in ctl.batch_cpus
+
+
+def test_caladan_restores_when_lc_idle():
+    system = small_system()
+    svc = system.spawn_process("lc")
+    svc.spawn_thread(lambda th: lc_body(th, 20_000.0), affinity={0})
+    ctl = CaladanLike(system, lc_cpus=[0, 1, 2, 3])
+    ctl.start()
+    nm = NodeManager(system)
+    sib = system.server.topology.sibling(0)
+    nm.launch_job(HOG, tasks_per_container=1, cpuset={sib})
+    system.run(until=60_000)
+    assert not ctl.isolated
+    assert sib in ctl.batch_cpus

@@ -1,0 +1,72 @@
+"""Tests for calibration helpers and bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci
+from repro.hw import HWConfig
+from repro.hw.calibration import (
+    calibrate_to_fig2_targets,
+    measure_block_latencies,
+)
+
+
+def test_default_config_hits_paper_targets():
+    alone, contended = measure_block_latencies(HWConfig())
+    assert alone == pytest.approx(1400, rel=0.02)
+    assert contended == pytest.approx(2300, rel=0.03)
+
+
+def test_calibration_roundtrip():
+    """Derive a config for different targets; measuring it matches."""
+    cfg = calibrate_to_fig2_targets(900.0, 1800.0)
+    alone, contended = measure_block_latencies(cfg)
+    assert alone == pytest.approx(900, rel=0.01)
+    assert contended == pytest.approx(1800, rel=0.01)
+
+
+def test_calibration_preserves_other_fields():
+    base = HWConfig(sockets=1, cores_per_socket=4, seed=99)
+    cfg = calibrate_to_fig2_targets(1000.0, 1500.0, base=base)
+    assert cfg.sockets == 1 and cfg.seed == 99
+    assert cfg.smt_mem_on_mem == pytest.approx(0.5)
+
+
+def test_calibration_validation():
+    with pytest.raises(ValueError):
+        calibrate_to_fig2_targets(-1.0, 100.0)
+    with pytest.raises(ValueError):
+        calibrate_to_fig2_targets(1000.0, 900.0)
+
+
+def test_bootstrap_ci_covers_mean():
+    rng = np.random.default_rng(1)
+    data = rng.normal(100.0, 10.0, size=500)
+    lo, hi = bootstrap_ci(data, rng=np.random.default_rng(2))
+    assert lo < data.mean() < hi
+    # interval is narrow for 500 samples of sigma 10
+    assert hi - lo < 4.0
+
+
+def test_bootstrap_ci_separates_distinct_populations():
+    rng = np.random.default_rng(3)
+    a = rng.exponential(50.0, size=400)
+    b = rng.exponential(80.0, size=400)
+    lo_a, hi_a = bootstrap_ci(a, rng=np.random.default_rng(4))
+    lo_b, hi_b = bootstrap_ci(b, rng=np.random.default_rng(5))
+    assert hi_a < lo_b  # clearly separated
+
+
+def test_bootstrap_ci_custom_stat():
+    rng = np.random.default_rng(6)
+    data = rng.normal(0.0, 1.0, size=300)
+    lo, hi = bootstrap_ci(data, stat=lambda x: np.percentile(x, 90),
+                          rng=np.random.default_rng(7))
+    assert lo < np.percentile(data, 90) < hi
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0])
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], confidence=1.5)

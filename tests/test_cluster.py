@@ -1,0 +1,113 @@
+"""Tests for the multi-server cluster extension (repro.cluster)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterBatchScheduler
+from repro.core import Holmes, HolmesConfig
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.workloads.batch import BatchJobSpec
+
+TINY = BatchJobSpec(name="tiny", iterations=20, mem_lines=1000,
+                    mem_dram_frac=0.8, comp_cycles=500_000)
+
+
+def test_cluster_shares_one_clock():
+    cluster = Cluster(n_servers=3)
+    envs = {node.system.env for node in cluster.nodes}
+    assert len(envs) == 1
+    assert len(cluster.nodes) == 3
+    assert cluster.nodes[0].name == "server0"
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        Cluster(n_servers=0)
+
+
+def test_scheduler_places_on_least_loaded():
+    cluster = Cluster(n_servers=2)
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=2)
+    j1 = sched.submit(TINY)
+    j2 = sched.submit(TINY)
+    # second job lands on the other server
+    assert j1.node is not j2.node
+
+
+def test_jobs_complete_across_servers():
+    cluster = Cluster(n_servers=2)
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=2)
+    jobs = [sched.submit(TINY) for _ in range(4)]
+    cluster.run(until=2_000_000)
+    assert all(j.instance.finished for j in jobs)
+    assert len(sched.finished_jobs()) == 4
+
+
+def test_starved_job_relocates():
+    """The paper's limitation scenario: sustained LC traffic starves batch
+    on one server; the cluster scheduler moves the job elsewhere."""
+    cluster = Cluster(n_servers=2)
+    hot = cluster.nodes[0]
+
+    # saturate server0 with an aggressive "LC" workload on every CPU so
+    # batch there makes no progress
+    def hog_body(thread):
+        while thread.env.now < 3_000_000:
+            yield from thread.exec(MemOp(lines=5000, dram_frac=0.5))
+            yield from thread.exec(CompOp(cycles=1_000_000))
+
+    lc = hot.system.spawn_process("lc-flood")
+    n = hot.system.server.topology.n_lcpus
+    for i in range(n):
+        lc.spawn_thread(hog_body, affinity={i}, name=f"hog{i}")
+
+    sched = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=20_000.0,
+        stall_patience_us=60_000.0,
+        # fair-share with one hog per CPU gives each task ~50% of a CPU;
+        # demand at least 75% to count as healthy
+        min_progress_fraction=0.75,
+        tasks_per_container=2,
+    )
+    # big enough that it cannot finish before the stall detector trips
+    slow = BatchJobSpec(name="slow", iterations=2000, mem_lines=1000,
+                        mem_dram_frac=0.8, comp_cycles=500_000)
+    job = sched.submit(slow, node=hot)  # force onto the saturated server
+    sched.start()
+    cluster.run(until=3_000_000)
+    assert job.relocations >= 1
+    assert job.node is cluster.nodes[1]
+    assert job.instance.finished
+
+
+def test_healthy_job_not_relocated():
+    cluster = Cluster(n_servers=2)
+    sched = ClusterBatchScheduler(cluster, check_interval_us=20_000.0,
+                                  stall_patience_us=60_000.0,
+                                  tasks_per_container=2)
+    job = sched.submit(TINY)
+    sched.start()
+    cluster.run(until=2_000_000)
+    assert job.relocations == 0
+    assert job.instance.finished
+
+
+def test_scheduler_double_start():
+    cluster = Cluster(n_servers=1)
+    sched = ClusterBatchScheduler(cluster)
+    sched.start()
+    with pytest.raises(RuntimeError):
+        sched.start()
+
+
+def test_holmes_per_server():
+    """Each server can run its own Holmes daemon on the shared clock."""
+    cluster = Cluster(n_servers=2)
+    daemons = []
+    for node in cluster.nodes:
+        h = Holmes(node.system, HolmesConfig(n_reserved=2))
+        h.start()
+        daemons.append(h)
+    cluster.run(until=10_000)
+    for h in daemons:
+        assert h.ticks == pytest.approx(200, abs=2)

@@ -1,0 +1,138 @@
+"""Tests for multi-stage (DAG) batch jobs."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.workloads.dag import (
+    SPARK_KMEANS_DAG,
+    Stage,
+    StagedJobRunner,
+    StagedJobSpec,
+    TERASORT_DAG,
+)
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+TINY_DAG = StagedJobSpec(
+    name="tiny",
+    stages=(
+        Stage("a", tasks=2, mem_lines=500, mem_dram_frac=0.8,
+              comp_cycles=100_000),
+        Stage("b", tasks=3, mem_lines=300, mem_dram_frac=0.5,
+              comp_cycles=200_000, deps=("a",)),
+        Stage("c", tasks=1, mem_lines=200, mem_dram_frac=0.5,
+              comp_cycles=100_000, deps=("a", "b")),
+    ),
+)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        Stage("x", tasks=0, mem_lines=1, mem_dram_frac=0.5, comp_cycles=1)
+    with pytest.raises(ValueError):
+        StagedJobSpec("dup", stages=(
+            Stage("a", 1, 1, 0.5, 1), Stage("a", 1, 1, 0.5, 1),
+        ))
+    with pytest.raises(ValueError):
+        StagedJobSpec("missing", stages=(
+            Stage("a", 1, 1, 0.5, 1, deps=("ghost",)),
+        ))
+    with pytest.raises(ValueError):
+        StagedJobSpec("cycle", stages=(
+            Stage("a", 1, 1, 0.5, 1, deps=("b",)),
+            Stage("b", 1, 1, 0.5, 1, deps=("a",)),
+        ))
+
+
+def test_topological_order():
+    order = [s.name for s in TINY_DAG.topological_order()]
+    assert order.index("a") < order.index("b") < order.index("c")
+    for dag in (SPARK_KMEANS_DAG, TERASORT_DAG):
+        order = [s.name for s in dag.topological_order()]
+        assert len(order) == len(dag.stages)
+
+
+def _run_dag(spec, n_workers=4):
+    system = small_system()
+    runner = StagedJobRunner(spec, system.env, np.random.default_rng(5))
+    proc = system.spawn_process(spec.name)
+    for i in range(n_workers):
+        proc.spawn_thread(runner.worker_body, name=f"w{i}",
+                          affinity=set(range(8)))
+    system.run(until=10_000_000)
+    return system, runner
+
+
+def test_dag_runs_to_completion():
+    system, runner = _run_dag(TINY_DAG)
+    assert runner.done.triggered
+    assert runner.finished_stages == [s.name for s in
+                                      TINY_DAG.topological_order()]
+
+
+def test_stage_barrier_enforced():
+    """No task of stage b starts before every task of stage a ended."""
+    system = small_system()
+    spec = StagedJobSpec("barrier", stages=(
+        Stage("a", tasks=3, mem_lines=2000, mem_dram_frac=0.8,
+              comp_cycles=500_000),
+        Stage("b", tasks=3, mem_lines=100, mem_dram_frac=0.5,
+              comp_cycles=100_000, deps=("a",)),
+    ))
+    runner = StagedJobRunner(spec, system.env, np.random.default_rng(5))
+
+    starts: list[tuple[str, float]] = []
+    ends: list[tuple[str, float]] = []
+    orig = runner.worker_body
+
+    def tracking_body(thread):
+        while True:
+            item = yield from thread.wait(runner._task_queue.get())
+            if item is None:
+                return
+            stage, jitter = item
+            starts.append((stage.name, thread.env.now))
+            from repro.hw.ops import CompOp, MemOp
+
+            yield from thread.exec(MemOp(
+                lines=max(1, int(stage.mem_lines * jitter)),
+                dram_frac=stage.mem_dram_frac))
+            yield from thread.exec(CompOp(cycles=stage.comp_cycles * jitter))
+            ends.append((stage.name, thread.env.now))
+            runner._completions.put_nowait(stage.name)
+
+    proc = system.spawn_process("p")
+    for i in range(3):
+        proc.spawn_thread(tracking_body, name=f"w{i}", affinity=set(range(8)))
+    system.run(until=10_000_000)
+
+    last_a_end = max(t for name, t in ends if name == "a")
+    first_b_start = min(t for name, t in starts if name == "b")
+    assert first_b_start >= last_a_end
+
+
+def test_fewer_workers_than_tasks():
+    """A 1-worker pool still drains every stage sequentially."""
+    system, runner = _run_dag(SPARK_KMEANS_DAG, n_workers=1)
+    assert runner.done.triggered
+
+
+def test_more_workers_than_poison_pills_is_safe():
+    system, runner = _run_dag(TINY_DAG, n_workers=8)
+    assert runner.done.triggered
+    # all workers exited (no one stuck waiting forever on the queue)
+    proc = system.processes[1]
+    assert all(not t.alive for t in proc.threads)
+
+
+def test_determinism():
+    def run_once():
+        system, runner = _run_dag(TERASORT_DAG)
+        return runner.done.value
+
+    assert run_once() == run_once()

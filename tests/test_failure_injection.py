@@ -1,0 +1,182 @@
+"""Failure-injection tests: the system under rude conditions.
+
+Co-location controllers must survive services dying mid-run, container
+kill storms, cgroup churn, and pathological affinity flapping without
+crashing or leaking state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Holmes, HolmesConfig
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.oskernel import System, ThreadState
+from repro.workloads.batch import BatchJobSpec
+from repro.workloads.kv import RedisService
+from repro.yarnlike import ContinuousSubmitter, NodeManager
+from repro.ycsb import WORKLOAD_A, YCSBClient
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+SHORT_JOB = BatchJobSpec(name="short", iterations=30, mem_lines=2000,
+                         mem_dram_frac=0.8, comp_cycles=1_000_000)
+
+
+def test_lc_service_death_mid_run():
+    """Holmes keeps running when the registered service process dies."""
+    system = small_system()
+    holmes = Holmes(system)
+    holmes.start()
+    service = RedisService(system, n_keys=1000)
+    service.start(lcpus=set(holmes.reserved_cpus))
+    holmes.register_lc_service(service.pid)
+    client = YCSBClient(system.env, service, WORKLOAD_A, 10_000,
+                        np.random.default_rng(1))
+    client.start(100_000)
+
+    def killer(env):
+        yield env.timeout(30_000.0)
+        service.proc.kill()
+
+    system.env.process(killer(system.env))
+    system.run(until=100_000)
+    assert not service.proc.alive
+    # the daemon kept ticking through the death
+    assert holmes.ticks == pytest.approx(2000, abs=5)
+    # dead service reads as not serving
+    assert not holmes.monitor.lc_services[service.pid].serving
+
+
+def test_container_kill_storm():
+    """Kill every container the moment it appears; nothing breaks."""
+    system = small_system()
+    holmes = Holmes(system)
+    holmes.start()
+    nm = NodeManager(system, default_cpuset=holmes.non_reserved_cpus())
+    sub = ContinuousSubmitter(nm, target_concurrent=3, mix=[SHORT_JOB],
+                              tasks_per_container=2)
+    sub.start()
+
+    def assassin(env):
+        while env.now < 60_000:
+            yield env.timeout(3_000.0)
+            for job in nm.running_jobs:
+                nm.kill_job(job)
+
+    system.env.process(assassin(system.env))
+    system.run(until=80_000)
+    # the submitter kept replacing murdered jobs
+    assert sub.submitted > 10
+    # monitor state converged: tracked containers match live cgroups
+    names = set(system.cgroups.list_children("/yarn"))
+    holmes.monitor.collect()
+    assert set(holmes.monitor.containers) == names
+
+
+def test_cgroup_churn_does_not_leak_tracking():
+    system = small_system()
+    holmes = Holmes(system)
+    for i in range(50):
+        path = f"/yarn/ghost_{i}"
+        system.cgroups.create(path)
+        sample = holmes.monitor.collect()
+        assert len(sample.new_containers) == 1
+        system.cgroups.remove(path)
+        sample = holmes.monitor.collect()
+        assert len(sample.gone_containers) == 1
+    assert holmes.monitor.containers == {}
+
+
+def test_affinity_flapping_storm():
+    """1,000 affinity changes against running threads stay consistent."""
+    system = small_system()
+    proc = system.spawn_process("victim")
+    threads = [
+        proc.spawn_thread(
+            lambda th: iter_body(th), affinity={0, 1}, name=f"t{i}"
+        )
+        for i in range(4)
+    ]
+
+    def iter_body(thread):
+        for _ in range(2000):
+            yield from thread.exec(CompOp(cycles=24_000))
+
+    rng = np.random.default_rng(7)
+
+    def flapper(env):
+        for _ in range(1000):
+            yield env.timeout(17.0)
+            t = threads[int(rng.integers(len(threads)))]
+            if not t.alive:
+                continue
+            cpus = set(int(c) for c in rng.choice(16, size=2, replace=False))
+            system.sched_setaffinity(t.tid, cpus)
+
+    system.env.process(flapper(system.env))
+    system.run(until=200_000)
+    for t in threads:
+        # each thread either finished cleanly or is still runnable
+        assert t.state in (ThreadState.DONE, ThreadState.RUNNING,
+                           ThreadState.WAITING_CPU)
+        if t.last_lcpu is not None and t.alive:
+            assert t.last_lcpu < 16
+    # no CPU slot leaked: everything eventually runs to completion
+    system.run()
+    assert all(t.state == ThreadState.DONE for t in threads)
+    for slot in system.cpu_slots:
+        assert slot.count == 0
+        assert slot.queue_length == 0
+
+
+def test_service_queue_overflow_under_flood():
+    """A flooded service rejects excess work instead of exploding."""
+    system = small_system()
+    service = RedisService(system, n_keys=1000, queue_capacity=100)
+    service.start(lcpus={0})
+    client = YCSBClient(system.env, service, WORKLOAD_A, 500_000,  # 10x cap
+                        np.random.default_rng(3))
+    client.start(100_000)
+    system.run(until=150_000)
+    assert client.dropped > 0
+    assert service.rejected == client.dropped
+    assert service.queue_depth() <= 100
+    # and the service is still live: everything accepted was served
+    assert service.completed > 1000
+
+
+def test_holmes_survives_zero_batch_and_zero_lc():
+    """A daemon with nothing to manage is a stable no-op."""
+    system = small_system()
+    holmes = Holmes(system)
+    holmes.start()
+    system.run(until=50_000)
+    assert holmes.ticks == pytest.approx(1000, abs=2)
+    actions = {e.action for e in holmes.scheduler.events}
+    assert "dealloc_sibling" not in actions
+    assert "expand" not in actions
+
+
+def test_kill_job_mid_disk_io():
+    """Threads blocked on disk I/O die cleanly when killed."""
+    system = small_system()
+
+    def io_body(thread):
+        for _ in range(100):
+            yield from thread.disk_io(1_000_000)  # long transfers
+
+    proc = system.spawn_process("io")
+    t = proc.spawn_thread(io_body, affinity={0})
+
+    def killer(env):
+        yield env.timeout(700.0)  # mid-transfer
+        t.kill()
+
+    system.env.process(killer(system.env))
+    system.run(until=10_000)
+    assert t.state == ThreadState.KILLED
+    # the disk channel was released despite the kill
+    assert system.server.disk.channels.count == 0

@@ -1,0 +1,102 @@
+"""Tests for Holmes' extension knobs (metric mode/event, guaranteed pool)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Holmes, HolmesConfig
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.hw.events import CYCLES_L3_MISS
+from repro.oskernel import System
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def service_body(thread, until):
+    while thread.env.now < until:
+        yield from thread.exec(MemOp(lines=1200, dram_frac=0.15))
+        yield from thread.exec(CompOp(cycles=8_000))
+
+
+def test_metric_mode_validation():
+    with pytest.raises(ValueError):
+        HolmesConfig(metric_mode="per-second")
+    with pytest.raises(ValueError):
+        HolmesConfig(batch_guaranteed_cpus=-1)
+
+
+def test_metric_event_override():
+    system = small_system()
+    holmes = Holmes(system, HolmesConfig(metric_event_code=0x02A3))
+    assert holmes.monitor.metric_event is CYCLES_L3_MISS
+
+
+def test_unknown_metric_event_rejected():
+    system = small_system()
+    with pytest.raises(KeyError):
+        Holmes(system, HolmesConfig(metric_event_code=0xBEEF))
+
+
+def test_cps_mode_threshold_resolution():
+    system = small_system()
+    cfg = HolmesConfig(metric_mode="cps", e_cps_threshold=1.0e9)
+    holmes = Holmes(system, cfg)
+    assert holmes.scheduler.threshold == 1.0e9
+    default = Holmes(small_system())
+    assert default.scheduler.threshold == 40.0
+
+
+def test_cps_mode_samples_counter_rate():
+    """In cps mode sample.vpi carries counter-per-second values."""
+    system = small_system()
+    holmes = Holmes(system, HolmesConfig(metric_mode="cps"))
+    proc = system.spawn_process("svc")
+    proc.spawn_thread(lambda th: service_body(th, 5_000), affinity={0})
+    samples = []
+
+    def observer(env):
+        while env.now < 5_000:
+            yield env.timeout(1_000.0)
+            samples.append(holmes.monitor.collect().vpi[0])
+
+    system.env.process(observer(system.env))
+    system.run(until=6_000)
+    # stall cycles per second land around 1e9, not the VPI scale (~20)
+    assert max(samples) > 1e8
+
+
+def test_guaranteed_pool_excluded_from_expansion():
+    system = small_system()
+    cfg = HolmesConfig(n_reserved=2, t_expand=0.5, batch_guaranteed_cpus=4)
+    holmes = Holmes(system, cfg)
+    guaranteed = holmes.scheduler.guaranteed_batch
+    assert len(guaranteed) == 4
+
+    proc = system.spawn_process("svc")
+    # overload the two reserved CPUs so expansion fires repeatedly
+    for i in range(8):
+        proc.spawn_thread(lambda th: service_body(th, 100_000),
+                          affinity={0, 1}, name=f"w{i}")
+    holmes.register_lc_service(proc.pid)
+    holmes.start()
+    system.run(until=100_000)
+    expands = [e for e in holmes.scheduler.events if e.action == "expand"]
+    assert expands  # expansion did happen...
+    assert not (set(holmes.lc_cpus) & guaranteed)  # ...but never onto the pool
+
+
+def test_without_guaranteed_pool_expansion_can_take_everything():
+    system = small_system()
+    cfg = HolmesConfig(n_reserved=2, t_expand=0.5, batch_guaranteed_cpus=0)
+    holmes = Holmes(system, cfg)
+    proc = system.spawn_process("svc")
+    for i in range(10):
+        proc.spawn_thread(lambda th: service_body(th, 150_000),
+                          affinity={0, 1}, name=f"w{i}")
+    holmes.register_lc_service(proc.pid)
+    holmes.start()
+    system.run(until=150_000)
+    # with 10 hot threads the LC set grows well beyond what a 4-CPU
+    # guaranteed pool would have allowed
+    assert len(holmes.lc_cpus) >= 5

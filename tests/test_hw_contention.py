@@ -1,0 +1,95 @@
+"""Unit tests for the SMT contention model (repro.hw.contention, ops)."""
+
+import pytest
+
+from repro.hw import CompOp, CpuKind, ContentionModel, HWConfig, MemOp
+from repro.hw.contention import IDLE
+
+
+@pytest.fixture
+def model():
+    return ContentionModel(HWConfig())
+
+
+def test_idle_sibling_no_inflation(model):
+    assert model.mem_latency_multiplier(IDLE) == 1.0
+    assert model.comp_latency_multiplier(IDLE) == 1.0
+
+
+def test_memory_sibling_inflates_memory_latency(model):
+    """Fig 2: 1,400us -> ~2,300us per MB, i.e. x ~1.64."""
+    mult = model.mem_latency_multiplier(CpuKind(mem=1.0, comp=0.0))
+    assert mult == pytest.approx(1.64, abs=0.01)
+
+
+def test_compute_sibling_inflates_memory_latency_mildly(model):
+    """Fig 2 case 6: a compute sibling hurts much less than a memory one."""
+    m_comp = model.mem_latency_multiplier(CpuKind(mem=0.0, comp=1.0))
+    m_mem = model.mem_latency_multiplier(CpuKind(mem=1.0, comp=0.0))
+    assert 1.0 < m_comp < 1.2
+    assert m_comp < (m_mem - 1.0) / 2 + 1.0
+
+
+def test_multiplier_monotone_in_pressure(model):
+    prev = 0.0
+    for p in [0.0, 0.25, 0.5, 0.75, 1.0]:
+        m = model.mem_latency_multiplier(CpuKind(mem=p))
+        assert m > prev
+        prev = m
+
+
+def test_compute_contention(model):
+    m = model.comp_latency_multiplier(CpuKind(comp=1.0))
+    assert m == pytest.approx(1.35, abs=0.01)
+
+
+def test_bandwidth_flat_below_knee(model):
+    """Paper: memory bandwidth is NOT a bottleneck at 32 threads."""
+    for _ in range(32):
+        model.stream_started()
+    assert model.bandwidth_multiplier() == 1.0
+
+
+def test_bandwidth_engages_beyond_knee(model):
+    for _ in range(model.config.bandwidth_knee_streams + 10):
+        model.stream_started()
+    assert model.bandwidth_multiplier() > 1.0
+
+
+def test_stream_counting(model):
+    model.stream_started()
+    model.stream_started()
+    model.stream_stopped()
+    assert model.active_dram_streams == 1
+    model.stream_stopped()
+    with pytest.raises(RuntimeError):
+        model.stream_stopped()
+
+
+def test_memop_pressure_scales_with_dram_frac():
+    full = MemOp(lines=100, dram_frac=1.0)
+    partial = MemOp(lines=100, dram_frac=0.2)
+    assert full.mem_pressure == 1.0
+    assert 0.0 < partial.mem_pressure < full.mem_pressure
+    # sublinear: 20% miss rate still exerts substantial pressure
+    assert partial.mem_pressure > 0.2
+
+
+def test_memop_validation():
+    with pytest.raises(ValueError):
+        MemOp(lines=0)
+    with pytest.raises(ValueError):
+        MemOp(lines=10, dram_frac=1.5)
+
+
+def test_compop_pressure_is_compute():
+    op = CompOp(cycles=1000)
+    assert op.comp_pressure == 1.0
+    assert op.mem_pressure < 0.1
+    with pytest.raises(ValueError):
+        CompOp(cycles=0)
+
+
+def test_cpukind_idle_flag():
+    assert CpuKind(0, 0).idle
+    assert not CpuKind(0.5, 0).idle

@@ -1,0 +1,183 @@
+"""Unit tests for repro.hw.server quantum execution and disk."""
+
+import numpy as np
+import pytest
+
+from repro.hw import CpuKind, HWConfig, Server
+from repro.sim import Environment
+
+
+@pytest.fixture
+def server():
+    return Server(Environment(), HWConfig())
+
+
+MB_LINES = 16384  # 1 MB / 64 B
+MEM_KIND = CpuKind(mem=1.0)
+COMP_KIND = CpuKind(comp=1.0)
+
+
+def _occupy(server, lcpu, kind, us=100000.0):
+    """Run a long quantum on ``lcpu`` so its activity window covers a test."""
+    if kind.mem > kind.comp:
+        server.mem_quantum(lcpu, kind, 10 * MB_LINES, 1.0, None, us)
+    else:
+        server.comp_quantum(lcpu, kind, 1e9, us)
+
+
+def test_uncontended_1mb_block_takes_about_1400us(server):
+    """Fig 2 calibration: ~1,400 us per random 1 MB block, sibling idle."""
+    duration, lines = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 1e9)
+    assert lines == MB_LINES
+    assert duration == pytest.approx(1400, rel=0.02)
+
+
+def test_contended_1mb_block_takes_about_2300us(server):
+    """Fig 2 calibration: ~2,300 us with a memory-streaming sibling."""
+    sibling = server.topology.sibling(0)
+    _occupy(server, sibling, MEM_KIND)
+    duration, _ = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 1e9)
+    assert duration == pytest.approx(2300, rel=0.03)
+
+
+def test_compute_sibling_mild_inflation(server):
+    sibling = server.topology.sibling(0)
+    _occupy(server, sibling, COMP_KIND)
+    duration, _ = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 1e9)
+    assert 1400 < duration < 1700
+
+
+def test_non_sibling_does_not_interfere(server):
+    _occupy(server, 1, MEM_KIND)  # different physical core
+    duration, _ = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 1e9)
+    assert duration == pytest.approx(1400, rel=0.02)
+
+
+def test_kind_window_expires(server):
+    """Sibling activity stops being visible once its window (plus grace)
+    has passed."""
+    env = server.env
+    sibling = server.topology.sibling(0)
+    d, _ = server.mem_quantum(sibling, MEM_KIND, 100, 1.0, None, 50.0)
+    assert not server.kind_of(sibling).idle
+    env.run(until=env.now + d + 10.0)  # beyond window + 2us grace
+    assert server.kind_of(sibling).idle
+    duration, _ = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 1e9)
+    assert duration == pytest.approx(1400, rel=0.02)
+
+
+def test_kind_window_grace_covers_lockstep_gap(server):
+    """A quantum priced at the exact end of the sibling's quantum still
+    sees the sibling as busy (the lock-step DES artifact fix)."""
+    env = server.env
+    sibling = server.topology.sibling(0)
+    d, _ = server.mem_quantum(sibling, MEM_KIND, 10 * MB_LINES, 1.0, None, 50.0)
+    env.run(until=env.now + d)  # exactly at the window edge
+    # priced as contended: a full 50us quantum moves fewer lines
+    _, lines_contended = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 50.0)
+    assert lines_contended < 50.0 / 0.0854 * 0.75
+
+
+def test_quantum_budget_respected(server):
+    duration, lines = server.mem_quantum(0, MEM_KIND, MB_LINES, 1.0, None, 100.0)
+    assert duration <= 100.0 + 1e-9
+    assert lines < MB_LINES
+
+
+def test_comp_quantum_rate(server):
+    cfg = server.config
+    duration, cycles = server.comp_quantum(0, COMP_KIND, 240000, 1e9)
+    assert cycles == 240000
+    assert duration == pytest.approx(240000 / cfg.freq_cycles_per_us)
+
+
+def test_comp_quantum_slowed_by_sibling(server):
+    sibling = server.topology.sibling(0)
+    _occupy(server, sibling, COMP_KIND)
+    duration, _ = server.comp_quantum(0, COMP_KIND, 240000, 1e9)
+    assert duration == pytest.approx(100 * 1.35, rel=0.01)
+
+
+def test_busy_accounting(server):
+    d1, _ = server.mem_quantum(3, MEM_KIND, 1000, 1.0, None, 1e9)
+    d2, _ = server.comp_quantum(3, COMP_KIND, 24000, 1e9)
+    assert server.busy_us[3] == pytest.approx(d1 + d2)
+    assert server.busy_us[4] == 0.0
+    snap = server.busy_snapshot()
+    snap[3] = 0  # snapshot is a copy
+    assert server.busy_us[3] > 0
+
+
+def test_stream_tracking_via_set_running(server):
+    server.set_running(0, CpuKind(mem=1.0))
+    assert server.contention.active_dram_streams == 1
+    server.set_running(0, CpuKind(mem=1.0))  # idempotent
+    assert server.contention.active_dram_streams == 1
+    server.set_idle(0)
+    assert server.contention.active_dram_streams == 0
+    server.set_idle(0)  # idempotent
+    assert server.contention.active_dram_streams == 0
+
+
+def test_low_pressure_not_counted_as_stream(server):
+    server.set_running(0, CpuKind(mem=0.1))
+    assert server.contention.active_dram_streams == 0
+    server.set_idle(0)
+
+
+def test_invalid_quantum_args(server):
+    with pytest.raises(ValueError):
+        server.mem_quantum(0, MEM_KIND, 0, 1.0, None, 100.0)
+    with pytest.raises(ValueError):
+        server.mem_quantum(0, MEM_KIND, 100, 1.0, None, 0.0)
+    with pytest.raises(ValueError):
+        server.comp_quantum(0, COMP_KIND, -1, 100.0)
+
+
+def test_disk_io_latency(server):
+    env = server.env
+    durations = []
+
+    def proc(env):
+        for _ in range(50):
+            t0 = env.now
+            yield from server.disk.io(4096)
+            durations.append(env.now - t0)
+
+    env.process(proc(env))
+    env.run()
+    mean = float(np.mean(durations))
+    # base 90us lognormal + ~2us transfer
+    assert 60 < mean < 140
+    assert server.disk.reads == 50
+    assert server.disk.bytes_read == 50 * 4096
+
+
+def test_disk_channels_queue(server):
+    env = server.env
+    done_at = []
+
+    def proc(env):
+        yield from server.disk.io(64)
+        done_at.append(env.now)
+
+    # 3x the channel count of concurrent requests must queue
+    for _ in range(server.config.disk_channels * 3):
+        env.process(proc(env))
+    env.run()
+    assert max(done_at) > min(done_at) * 1.5
+
+
+def test_disk_write_faster_than_read(server):
+    reads = [server.disk.service_time(4096, write=False) for _ in range(200)]
+    writes = [server.disk.service_time(4096, write=True) for _ in range(200)]
+    assert np.mean(writes) < np.mean(reads)
+
+
+def test_disk_rejects_bad_size(server):
+    def proc(env):
+        yield from server.disk.io(0)
+
+    p = server.env.process(proc(server.env))
+    with pytest.raises(ValueError):
+        server.env.run()

@@ -1,0 +1,104 @@
+"""Unit tests for repro.hw.topology and repro.hw.events."""
+
+import pytest
+
+from repro.hw import HWConfig, Topology
+from repro.hw import events
+
+
+@pytest.fixture
+def topo():
+    return Topology(HWConfig())
+
+
+def test_default_shape(topo):
+    # 2 sockets x 16 cores x 2 threads, like the paper's testbed
+    assert topo.n_cores == 32
+    assert topo.n_lcpus == 64
+
+
+def test_sibling_is_involution(topo):
+    for lcpu in topo.all_lcpus():
+        assert topo.sibling(topo.sibling(lcpu)) == lcpu
+        assert topo.sibling(lcpu) != lcpu
+
+
+def test_siblings_share_core(topo):
+    for lcpu in topo.all_lcpus():
+        assert topo.core_of(lcpu) == topo.core_of(topo.sibling(lcpu))
+
+
+def test_linux_style_numbering(topo):
+    assert topo.sibling(0) == 32
+    assert topo.sibling(31) == 63
+    assert topo.core_of(0) == 0
+    assert topo.core_of(32) == 0
+    assert topo.core_of(33) == 1
+
+
+def test_lcpus_of_core(topo):
+    for core in topo.all_cores():
+        a, b = topo.lcpus_of_core(core)
+        assert topo.core_of(a) == core
+        assert topo.core_of(b) == core
+        assert topo.sibling(a) == b
+
+
+def test_socket_of(topo):
+    assert topo.socket_of(0) == 0
+    assert topo.socket_of(15) == 0
+    assert topo.socket_of(16) == 1
+    assert topo.socket_of(32) == 0  # sibling of lcpu 0
+    assert topo.socket_of(48) == 1
+
+
+def test_non_siblings_of(topo):
+    lc = {0, 1}
+    non_sib = topo.non_siblings_of(lc)
+    assert 0 not in non_sib and 1 not in non_sib
+    assert 32 not in non_sib and 33 not in non_sib
+    assert 2 in non_sib and 34 in non_sib
+    assert len(non_sib) == 64 - 4
+
+
+def test_same_core(topo):
+    assert topo.same_core(0, 32)
+    assert not topo.same_core(0, 1)
+
+
+def test_out_of_range_rejected(topo):
+    with pytest.raises(ValueError):
+        topo.sibling(64)
+    with pytest.raises(ValueError):
+        topo.core_of(-1)
+    with pytest.raises(ValueError):
+        topo.lcpus_of_core(32)
+
+
+def test_only_two_way_smt_supported():
+    with pytest.raises(ValueError):
+        Topology(HWConfig(threads_per_core=4))
+
+
+def test_event_codes_match_paper_table1():
+    assert events.CYCLES_L3_MISS.code == 0x02A3
+    assert events.STALLS_L3_MISS.code == 0x06A3
+    assert events.CYCLES_MEM_ANY.code == 0x10A3
+    assert events.STALLS_MEM_ANY.code == 0x14A3
+
+
+def test_event_lookup():
+    assert events.by_code(0x14A3) is events.STALLS_MEM_ANY
+    assert events.by_name("CYCLES_MEM_ANY") is events.CYCLES_MEM_ANY
+    with pytest.raises(KeyError):
+        events.by_code(0xDEAD)
+
+
+def test_candidate_events_order():
+    names = [e.name for e in events.CANDIDATE_EVENTS]
+    assert names == [
+        "CYCLES_L3_MISS",
+        "STALLS_L3_MISS",
+        "CYCLES_MEM_ANY",
+        "STALLS_MEM_ANY",
+    ]

@@ -1,0 +1,118 @@
+"""Full-stack integration: every layer exercised together in one scenario.
+
+One simulated second of a production-shaped day: two services (an
+in-memory and a disk-backed store) sharing one Holmes-managed server with
+a continuous DAG-job stream, bursty traffic, a tracer attached, and
+results exported -- verifying the layers compose without special-casing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Holmes, HolmesConfig
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.tracing import ExecutionTracer, occupancy
+from repro.workloads.dag import SPARK_KMEANS_DAG, StagedJobRunner
+from repro.workloads.kv import RedisService, RocksDBService
+from repro.ycsb import BurstyTraffic, YCSBClient, workload_by_name
+from repro.yarnlike import ContinuousSubmitter, NodeManager
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    system = System(config=HWConfig(sockets=1, cores_per_socket=8, seed=5))
+    tracer = ExecutionTracer(system, max_records=3_000_000)
+    tracer.attach()
+
+    holmes = Holmes(system, HolmesConfig(n_reserved=4))
+    holmes.start()
+
+    redis = RedisService(system, n_keys=20_000, name="redis")
+    redis.start(lcpus={0, 1})
+    holmes.register_lc_service(redis.pid)
+
+    rocksdb = RocksDBService(system, n_keys=20_000, name="rocksdb")
+    rocksdb.start(lcpus={2, 3}, n_workers=2)
+    holmes.register_lc_service(rocksdb.pid)
+
+    nm = NodeManager(system, default_cpuset=holmes.non_reserved_cpus())
+    sub = ContinuousSubmitter(nm, target_concurrent=2, tasks_per_container=4)
+    sub.start()
+
+    # plus one DAG job running on the batch CPUs
+    dag = StagedJobRunner(SPARK_KMEANS_DAG, system.env,
+                          np.random.default_rng(9))
+    dag_proc = system.spawn_process("dag", cgroup_path="/yarn/dagjob")
+    system.cgroups.get("/yarn/dagjob").set_cpuset(holmes.non_reserved_cpus())
+    for i in range(4):
+        dag_proc.spawn_thread(dag.worker_body, name=f"dag{i}",
+                              quantum_us=100.0)
+
+    traffic_rng = np.random.default_rng(6)
+    for service, wl, rate, seed in ((redis, "a", 15_000, 7),
+                                    (rocksdb, "b", 20_000, 8)):
+        YCSBClient(
+            system.env, service, workload_by_name(wl), rate,
+            np.random.default_rng(seed),
+            traffic=BurstyTraffic(traffic_rng, scale=100.0),
+        ).start(1_000_000)
+
+    system.run(until=1_000_000)
+    tracer.detach()
+    return dict(system=system, holmes=holmes, redis=redis, rocksdb=rocksdb,
+                nm=nm, dag=dag, tracer=tracer)
+
+
+def test_both_services_served(scenario):
+    assert scenario["redis"].completed > 3_000
+    assert scenario["rocksdb"].completed > 4_000
+    # healthy latency for both despite the zoo around them
+    assert scenario["redis"].recorder.p99() < 600
+    assert scenario["rocksdb"].recorder.p99() < 2_000
+
+
+def test_dag_job_finished(scenario):
+    assert scenario["dag"].done.triggered
+    assert scenario["dag"].finished_stages[-1] == "update"
+
+
+def test_batch_stream_progressed(scenario):
+    assert scenario["nm"].jobs  # submitted
+    total_cpu = sum(
+        c.process.cputime_us
+        for j in scenario["nm"].jobs for c in j.containers
+    )
+    assert total_cpu > 1_000_000  # batch actually consumed CPU time
+
+
+def test_holmes_stayed_in_control(scenario):
+    holmes = scenario["holmes"]
+    assert holmes.ticks == pytest.approx(20_000, abs=10)
+    actions = {e.action for e in holmes.scheduler.events}
+    assert "container_launch" in actions
+    # interference was detected and dealt with at least once
+    assert "dealloc_sibling" in actions
+    ov = holmes.estimated_overhead()
+    assert 0.01 < ov["cpu_fraction"] < 0.035
+
+
+def test_trace_consistent_with_accounting(scenario):
+    tracer = scenario["tracer"]
+    system = scenario["system"]
+    occ = occupancy(tracer, 0.0, 1_000_000.0)
+    busy = system.server.busy_snapshot() / 1_000_000.0
+    for lcpu, frac in occ.items():
+        assert frac == pytest.approx(min(busy[lcpu], 1.0), abs=0.02)
+
+
+def test_reserved_cpus_never_ran_batch(scenario):
+    tracer = scenario["tracer"]
+    nm = scenario["nm"]
+    batch_tids = {
+        t.tid
+        for j in nm.jobs for c in j.containers for t in c.process.threads
+    }
+    for lcpu in scenario["holmes"].reserved_cpus:
+        for rec in tracer.records(lcpu=lcpu):
+            assert rec.tid not in batch_tids

@@ -1,0 +1,182 @@
+"""Integration tests for the four latency-critical services."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.workloads import MemoryProber
+from repro.workloads.kv import (
+    MemcachedService,
+    RedisService,
+    RocksDBService,
+    WiredTigerService,
+    make_service,
+)
+from repro.ycsb import WORKLOAD_A, WORKLOAD_B, WORKLOAD_E, YCSBClient
+from repro.ycsb.workloads import Query
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def run_service(service_cls, spec, rate_qps, duration_us=300_000, n_keys=20_000,
+                lcpus=(0, 1), system=None, **service_kwargs):
+    system = system or small_system()
+    service = service_cls(system, n_keys=n_keys, **service_kwargs)
+    service.start(lcpus=set(lcpus))
+    client = YCSBClient(
+        system.env, service, spec, rate_qps, np.random.default_rng(5)
+    )
+    client.start(duration_us)
+    system.run(until=duration_us + 50_000)
+    return system, service, client
+
+
+def test_redis_serves_workload_a():
+    _, service, client = run_service(RedisService, WORKLOAD_A, rate_qps=10_000)
+    assert service.completed > 2000
+    assert service.completed <= client.submitted
+    # sane microsecond-scale latencies
+    assert 20 < service.recorder.mean() < 500
+    assert service.recorder.p99() < 5_000
+
+
+def test_redis_single_worker():
+    system = small_system()
+    service = RedisService(system, n_keys=1000)
+    service.start(lcpus={0, 1})
+    workers = [t for t in service.proc.threads if "/w" in t.name]
+    assert len(workers) == 1
+
+
+def test_redis_scan_heavier_than_read():
+    system = small_system()
+    service = RedisService(system, n_keys=5000)
+    service.start(lcpus={0})
+    service.submit(Query(op="read", key=10), system.env.now)
+    service.submit(Query(op="scan", key=10, scan_len=50), system.env.now)
+    system.run(until=100_000)
+    reads = service.recorder.latencies("read")
+    scans = service.recorder.latencies("scan")
+    assert scans[0] > reads[0] * 5
+
+
+def test_memcached_multi_worker_and_no_scan():
+    system = small_system()
+    service = MemcachedService(system, n_keys=1000)
+    service.start(lcpus={0, 1, 2, 3})
+    workers = [t for t in service.proc.threads if "/w" in t.name]
+    assert len(workers) == 4
+    with pytest.raises(ValueError):
+        service.submit(Query(op="scan", key=1, scan_len=10), 0.0)
+
+
+def test_memcached_serves_workload_b():
+    _, service, _ = run_service(
+        MemcachedService, WORKLOAD_B, rate_qps=20_000, lcpus=(0, 1, 2, 3)
+    )
+    assert service.completed > 4000
+    assert 20 < service.recorder.mean() < 400
+
+
+def test_rocksdb_stair_cdf():
+    """Disk-backed store: cache hits fast, disk misses slow (Fig. 8 shape)."""
+    _, service, _ = run_service(
+        RocksDBService, WORKLOAD_B, rate_qps=8_000, lcpus=(0, 1, 2, 3),
+        duration_us=400_000,
+    )
+    assert service.completed > 1500
+    assert service.disk_reads > 50
+    assert service.cache_hits > 50
+    lat = service.recorder.latencies("read")
+    p25, p90 = np.percentile(lat, [25, 90])
+    # the slow step sits well above the fast step
+    assert p90 > p25 + 80
+
+
+def test_rocksdb_updates_faster_than_reads():
+    """Async memtable writes return quicker than reads (paper Sec. 6.2)."""
+    _, service, _ = run_service(
+        RocksDBService, WORKLOAD_A, rate_qps=8_000, lcpus=(0, 1, 2, 3),
+        duration_us=400_000,
+    )
+    reads = service.recorder.latencies("read")
+    updates = service.recorder.latencies("update")
+    assert np.percentile(updates, 90) < np.percentile(reads, 90)
+
+
+def test_rocksdb_flush_and_compaction_happen():
+    system, service, _ = run_service(
+        RocksDBService, WORKLOAD_A, rate_qps=15_000, lcpus=(0, 1, 2, 3),
+        duration_us=800_000, n_keys=10_000, memtable_entries=512,
+        l0_compaction_trigger=2,
+    )
+    assert service.lsm.flushes >= 2
+    assert service.lsm.compactions >= 1
+
+
+def test_wiredtiger_serves_and_caches():
+    _, service, _ = run_service(
+        WiredTigerService, WORKLOAD_B, rate_qps=8_000, lcpus=(0, 1, 2, 3),
+        duration_us=400_000,
+    )
+    assert service.completed > 1500
+    assert service.page_cache.hit_rate > 0.3  # Zipfian keeps the hot set
+    assert service.disk_reads > 10
+
+
+def test_wiredtiger_eviction_writes_back():
+    system, service, _ = run_service(
+        WiredTigerService, WORKLOAD_A, rate_qps=10_000, lcpus=(0, 1, 2, 3),
+        duration_us=600_000, cache_fraction=0.05,  # tiny cache forces eviction
+    )
+    assert service.evicted_writes > 0
+    assert service.btree.get(0) is not None
+
+
+def test_make_service_factory():
+    system = small_system()
+    s = make_service("redis", system, n_keys=100)
+    assert isinstance(s, RedisService)
+    with pytest.raises(KeyError):
+        make_service("cassandra", system)
+
+
+def test_interference_raises_redis_latency():
+    """The core phenomenon: probers on sibling lcpus inflate query latency."""
+    # run 1: alone
+    _, svc_alone, _ = run_service(
+        RedisService, WORKLOAD_A, rate_qps=15_000, lcpus=(0,),
+        duration_us=300_000,
+    )
+    # run 2: prober saturating the sibling
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+    prober = MemoryProber(system, lcpu=sib, rps=200_000)
+    prober.start(duration_us=350_000)
+    _, svc_hot, _ = run_service(
+        RedisService, WORKLOAD_A, rate_qps=15_000, lcpus=(0,),
+        duration_us=300_000, system=system,
+    )
+    assert svc_hot.recorder.mean() > svc_alone.recorder.mean() * 1.2
+    assert svc_hot.recorder.p99() > svc_alone.recorder.p99()
+
+
+def test_queue_backlog_counts_rejections():
+    system = small_system()
+    service = RedisService(system, n_keys=100, queue_capacity=5)
+    for i in range(10):
+        service.submit(Query(op="read", key=i), 0.0)
+    assert service.rejected == 5
+
+
+def test_service_double_start_rejected():
+    system = small_system()
+    service = RedisService(system, n_keys=100)
+    service.start(lcpus={0})
+    with pytest.raises(RuntimeError):
+        service.start(lcpus={1})
+    with pytest.raises(ValueError):
+        RedisService(system, n_keys=100, name="r2").start(lcpus=set())

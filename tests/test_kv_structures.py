@@ -1,0 +1,216 @@
+"""Unit tests for the KV substrates: LRU cache, LSM tree, B-tree."""
+
+import pytest
+
+from repro.workloads.kv.btree import BTree
+from repro.workloads.kv.cache import LRUCache
+from repro.workloads.kv.lsm import LSMTree, MemTable, SSTable
+
+
+# -- LRUCache -----------------------------------------------------------------
+
+
+def test_lru_basic_put_get():
+    c = LRUCache(2)
+    c.put("a", 1)
+    c.put("b", 2)
+    assert c.get("a") == 1
+    assert len(c) == 2
+
+
+def test_lru_evicts_least_recent():
+    c = LRUCache(2)
+    c.put("a", 1)
+    c.put("b", 2)
+    c.get("a")  # touch a; b is now LRU
+    evicted = c.put("c", 3)
+    assert evicted == ("b", 2)
+    assert "a" in c and "c" in c and "b" not in c
+
+
+def test_lru_put_existing_refreshes():
+    c = LRUCache(2)
+    c.put("a", 1)
+    c.put("b", 2)
+    c.put("a", 10)  # refresh
+    evicted = c.put("c", 3)
+    assert evicted == ("b", 2)
+    assert c.get("a") == 10
+
+
+def test_lru_hit_rate():
+    c = LRUCache(4)
+    c.put("x", 1)
+    c.get("x")
+    c.get("y")
+    assert c.hits == 1 and c.misses == 1
+    assert c.hit_rate == 0.5
+
+
+def test_lru_peek_does_not_count(caplog):
+    c = LRUCache(2)
+    c.put("a", 1)
+    assert c.peek("a") == 1
+    assert c.peek("zz") is None
+    assert c.hits == 0 and c.misses == 0
+
+
+def test_lru_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+# -- MemTable / SSTable -----------------------------------------------------------
+
+
+def test_memtable_fills_and_reports():
+    mt = MemTable(max_entries=3)
+    for k in range(3):
+        mt.put(k, 100)
+        assert mt.get(k) == 100
+    assert mt.full
+    assert mt.size_bytes() == 3 * 116
+
+
+def test_memtable_overwrite_does_not_grow():
+    mt = MemTable(max_entries=2)
+    mt.put(1, 100)
+    mt.put(1, 200)
+    assert len(mt) == 1
+    assert mt.get(1) == 200
+
+
+def test_sstable_lookup_and_blocks():
+    t = SSTable(1, [5, 3, 9, 7], value_bytes=1000, entries_per_block=2)
+    assert t.min_key == 3 and t.max_key == 9
+    assert t.contains(7) and not t.contains(4)
+    assert t.n_blocks == 2
+    assert t.block_of(3) == 0 and t.block_of(5) == 0
+    assert t.block_of(7) == 1 and t.block_of(9) == 1
+    assert t.overlaps(0, 4) and not t.overlaps(10, 20)
+
+
+def test_sstable_rejects_empty():
+    with pytest.raises(ValueError):
+        SSTable(1, [], value_bytes=1000)
+
+
+# -- LSMTree ---------------------------------------------------------------------
+
+
+def test_lsm_bulk_load_and_get():
+    lsm = LSMTree()
+    lsm.bulk_load(10_000)
+    assert lsm.total_entries() == 10_000
+    res = lsm.get(1234)
+    assert res.location == "sstable"
+    assert res.table.contains(1234)
+    assert lsm.get(999_999).location == "missing"
+
+
+def test_lsm_put_hits_memtable_first():
+    lsm = LSMTree()
+    lsm.bulk_load(1000)
+    lsm.put(42)
+    assert lsm.get(42).location == "memtable"
+
+
+def test_lsm_rotation_and_flush():
+    lsm = LSMTree(memtable_entries=4)
+    imm = None
+    for k in range(4):
+        imm = lsm.put(k) or imm
+    assert imm is not None
+    assert lsm.get(2).location == "immutable"
+    table = lsm.flush(imm)
+    assert lsm.level0 == [table]
+    assert lsm.get(2).location == "sstable"
+    assert lsm.flushes == 1
+
+
+def test_lsm_flush_unknown_memtable_rejected():
+    lsm = LSMTree()
+    with pytest.raises(ValueError):
+        lsm.flush(MemTable())
+
+
+def test_lsm_compaction_merges_into_l1():
+    lsm = LSMTree(memtable_entries=4, l0_compaction_trigger=2)
+    lsm.bulk_load(100)
+    for k in range(8):  # two rotations -> two L0 tables
+        imm = lsm.put(k * 10)
+        if imm:
+            lsm.flush(imm)
+    assert lsm.needs_compaction
+    l0, l1 = lsm.pick_compaction()
+    assert len(l0) == 2
+    new_tables = lsm.apply_compaction(l0, l1)
+    assert lsm.level0 == []
+    assert lsm.compactions == 1
+    # L1 stays sorted and non-overlapping
+    for a, b in zip(lsm.level1, lsm.level1[1:]):
+        assert a.max_key < b.min_key
+    # no data loss
+    assert lsm.total_entries() == 100
+
+
+def test_lsm_newest_l0_wins():
+    """L0 is searched newest-first (freshest version of a key)."""
+    lsm = LSMTree(memtable_entries=2)
+    imm1 = None
+    for k in (1, 2):
+        imm1 = lsm.put(k) or imm1
+    t1 = lsm.flush(imm1)
+    imm2 = None
+    for k in (1, 3):
+        imm2 = lsm.put(k) or imm2
+    t2 = lsm.flush(imm2)
+    res = lsm.get(1)
+    assert res.table is t2  # newest first
+
+
+def test_lsm_tables_for_range():
+    lsm = LSMTree()
+    lsm.bulk_load(10_000, table_entries=1000)
+    tables = lsm.tables_for_range(2500, 3500)
+    assert len(tables) == 2
+    assert all(t.overlaps(2500, 3500) for t in tables)
+
+
+# -- BTree -----------------------------------------------------------------------
+
+
+def test_btree_bulk_load_shape():
+    bt = BTree(keys_per_page=8)
+    bt.bulk_load(100)
+    assert bt.n_pages == 13  # ceil(100/8)
+    assert bt.get(55) is not None
+    assert bt.get(100) is None
+
+
+def test_btree_put_marks_dirty():
+    bt = BTree(keys_per_page=8)
+    bt.bulk_load(16)
+    page = bt.put(3)
+    assert page.dirty
+    assert bt.dirty_pages() == [page]
+
+
+def test_btree_insert_new_key_creates_page():
+    bt = BTree(keys_per_page=8)
+    bt.bulk_load(16)
+    page = bt.put(1000)
+    assert page.page_id == 125
+    assert bt.get(1000) is page
+
+
+def test_btree_pages_for_range():
+    bt = BTree(keys_per_page=10)
+    bt.bulk_load(100)
+    pages = bt.pages_for_range(15, 44)
+    assert [p.page_id for p in pages] == [1, 2, 3, 4]
+
+
+def test_btree_validation():
+    with pytest.raises(ValueError):
+        BTree(keys_per_page=0)

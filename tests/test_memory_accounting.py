@@ -1,0 +1,71 @@
+"""Tests for process memory accounting (the paper's Sec. 6.3 metric)."""
+
+import pytest
+
+from repro.hw import CompOp, HWConfig
+from repro.oskernel import System
+from repro.workloads.batch import BatchJobSpec
+from repro.workloads.kv import RedisService, RocksDBService
+from repro.yarnlike import NodeManager
+from repro.yarnlike.nodemanager import CONTAINER_MEMORY_BYTES
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def test_empty_system_uses_no_memory():
+    system = small_system()
+    assert system.memory_used_bytes() == 0
+    assert system.memory_utilization() == 0.0
+
+
+def test_service_memory_scales_with_data():
+    system = small_system()
+    small = RedisService(system, n_keys=1_000, name="s")
+    big = RedisService(system, n_keys=100_000, name="b")
+    assert big.resident_bytes() > 50 * small.resident_bytes()
+
+
+def test_started_service_counts_toward_utilization():
+    system = small_system()
+    service = RocksDBService(system, n_keys=10_000)
+    service.start(lcpus={0})
+    assert system.memory_used_bytes() == service.resident_bytes()
+    assert 0.0 < system.memory_utilization() < 1.0
+
+
+def test_container_fixed_allotment_and_release_on_exit():
+    system = small_system()
+    nm = NodeManager(system)
+    tiny = BatchJobSpec(name="t", iterations=3, mem_lines=100,
+                        mem_dram_frac=0.5, comp_cycles=100_000)
+    job = nm.launch_job(tiny, n_containers=2, tasks_per_container=1)
+    assert system.memory_used_bytes() == 2 * CONTAINER_MEMORY_BYTES
+    system.run()
+    assert job.finished
+    # exited containers no longer count ("fixed size ... unless changed")
+    assert system.memory_used_bytes() == 0
+
+
+def test_memory_utilization_stable_under_colocation():
+    """The paper's Sec. 6.3 observation: utilisation is flat over a run
+    (services hold steady-state data; containers hold fixed allotments)."""
+    system = small_system()
+    service = RedisService(system, n_keys=20_000)
+    service.start(lcpus={0, 1})
+    nm = NodeManager(system)
+    hog = BatchJobSpec(name="h", iterations=1_000, mem_lines=2000,
+                       mem_dram_frac=0.8, comp_cycles=1_000_000)
+    nm.launch_job(hog, n_containers=2, tasks_per_container=2)
+    samples = []
+
+    def sampler(env):
+        while env.now < 100_000:
+            yield env.timeout(10_000.0)
+            samples.append(system.memory_utilization())
+
+    system.env.process(sampler(system.env))
+    system.run(until=100_000)
+    assert samples
+    assert max(samples) == min(samples)  # perfectly flat mid-run

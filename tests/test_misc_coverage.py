@@ -1,0 +1,115 @@
+"""Small behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.hw import CompOp, DiskOp, HWConfig, MemOp
+from repro.oskernel import System
+from repro.workloads.kv.common import ServiceCosts
+from repro.ycsb.workloads import Query
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def test_service_costs_overrides():
+    base = ServiceCosts()
+    tweaked = base.with_overrides(read_cycles=1.0, net_overhead_us=0.0)
+    assert tweaked.read_cycles == 1.0
+    assert tweaked.net_overhead_us == 0.0
+    assert tweaked.read_lines == base.read_lines  # untouched fields kept
+    assert base.read_cycles != 1.0  # frozen original unchanged
+
+
+def test_thread_exec_dispatches_diskop():
+    system = small_system()
+    done = []
+
+    def body(thread):
+        yield from thread.exec(DiskOp(nbytes=4096))
+        done.append(thread.env.now)
+
+    system.spawn_process("p").spawn_thread(body, affinity={0})
+    system.run()
+    assert done and done[0] > 0
+    assert system.server.disk.reads == 1
+
+
+def test_thread_exec_rejects_unknown_op():
+    system = small_system()
+
+    def body(thread):
+        yield from thread.exec("not an op")
+
+    system.spawn_process("p").spawn_thread(body, affinity={0})
+    with pytest.raises(TypeError):
+        system.run()
+
+
+def test_thread_quantum_validation():
+    system = small_system()
+    proc = system.spawn_process("p")
+    with pytest.raises(ValueError):
+        proc.spawn_thread(lambda th: iter(()), affinity={0}, quantum_us=0.0)
+
+
+def test_system_quantum_validation():
+    with pytest.raises(ValueError):
+        System(quantum_us=-1.0)
+
+
+def test_sched_getaffinity():
+    system = small_system()
+    proc = system.spawn_process("p")
+
+    def body(thread):
+        yield from thread.sleep(100.0)
+
+    t = proc.spawn_thread(body, affinity={3, 4})
+    assert system.sched_getaffinity(t.tid) == frozenset({3, 4})
+    with pytest.raises(KeyError):
+        system.sched_getaffinity(9999)
+    system.run()
+
+
+def test_query_defaults():
+    q = Query(op="read", key=5)
+    assert q.value_bytes == 1000
+    assert q.scan_len == 1
+
+
+def test_memop_store_frac_none_uses_config_default():
+    system = small_system()
+
+    def body(thread):
+        yield from thread.exec(MemOp(lines=1000, dram_frac=0.5))
+
+    system.spawn_process("p").spawn_thread(body, affinity={0})
+    system.run()
+    from repro.hw.events import INSTR_LOAD, INSTR_STORE
+
+    loads = system.server.counters.read(0, INSTR_LOAD)
+    stores = system.server.counters.read(0, INSTR_STORE)
+    assert stores / loads == pytest.approx(
+        system.server.config.stores_per_line
+    )
+
+
+def test_process_thread_lcpus_view():
+    system = small_system()
+    proc = system.spawn_process("p")
+
+    def body(thread):
+        yield from thread.sleep(10.0)
+
+    proc.spawn_thread(body, affinity={1, 2})
+    proc.spawn_thread(body, affinity={2, 3})
+    assert proc.thread_lcpus() == {1, 2, 3}
+    system.run()
+    assert proc.thread_lcpus() == set()  # no live threads
+
+
+def test_run_until_and_now_passthrough():
+    system = small_system()
+    system.run(until=123.0)
+    assert system.now == 123.0

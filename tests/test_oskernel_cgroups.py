@@ -1,0 +1,195 @@
+"""Unit tests for the cgroup tree and usage accounting."""
+
+import pytest
+
+from repro.hw import CompOp, HWConfig
+from repro.oskernel import System
+from repro.oskernel.accounting import CumulativeUsage, UsageTracker
+
+
+@pytest.fixture
+def system():
+    return System(config=HWConfig())
+
+
+def test_create_and_get(system):
+    g = system.cgroups.create("/batch/container_01")
+    assert g.path == "/batch/container_01"
+    assert system.cgroups.get("/batch/container_01") is g
+    assert system.cgroups.get("/batch").children["container_01"] is g
+
+
+def test_create_is_mkdir_p(system):
+    a = system.cgroups.create("/a/b/c")
+    b = system.cgroups.create("/a/b/c")
+    assert a is b
+
+
+def test_get_missing_raises(system):
+    with pytest.raises(KeyError):
+        system.cgroups.get("/nope")
+
+
+def test_relative_path_rejected(system):
+    with pytest.raises(ValueError):
+        system.cgroups.create("batch")
+
+
+def test_list_children_sorted(system):
+    system.cgroups.create("/batch/c2")
+    system.cgroups.create("/batch/c1")
+    assert system.cgroups.list_children("/batch") == ["c1", "c2"]
+
+
+def test_remove_rules(system):
+    system.cgroups.create("/batch/c1")
+    with pytest.raises(ValueError):
+        system.cgroups.remove("/batch")  # has children
+    system.cgroups.remove("/batch/c1")
+    assert system.cgroups.list_children("/batch") == []
+    with pytest.raises(ValueError):
+        system.cgroups.remove("/")
+
+
+def test_attach_applies_cpuset(system):
+    g = system.cgroups.create("/batch/c1")
+    g.set_cpuset({4, 5})
+    proc = system.spawn_process("job")
+
+    def body(thread):
+        yield from thread.exec(CompOp(cycles=240_000))
+
+    t = proc.spawn_thread(body)  # affinity defaults to all
+    g.attach(proc)
+    assert t.affinity == frozenset({4, 5})
+    system.run()
+    assert t.last_lcpu in {4, 5}
+
+
+def test_spawn_into_cgroup_inherits_cpuset(system):
+    g = system.cgroups.create("/batch/c2")
+    g.set_cpuset({7})
+    proc = system.spawn_process("job", cgroup_path="/batch/c2")
+
+    def body(thread):
+        yield from thread.exec(CompOp(cycles=240_000))
+
+    t = proc.spawn_thread(body)
+    assert t.affinity == frozenset({7})
+    system.run()
+    assert t.last_lcpu == 7
+
+
+def test_cpuset_change_moves_running_threads(system):
+    g = system.cgroups.create("/batch/c3")
+    g.set_cpuset({0})
+    proc = system.spawn_process("job", cgroup_path="/batch/c3")
+    seen = set()
+
+    def body(thread):
+        for _ in range(40):
+            yield from thread.exec(CompOp(cycles=120_000))
+            seen.add(thread.last_lcpu)
+
+    proc.spawn_thread(body)
+
+    def mover(env):
+        yield env.timeout(500.0)
+        g.set_cpuset({9})
+
+    system.env.process(mover(system.env))
+    system.run()
+    assert seen == {0, 9}
+
+
+def test_cpuset_inheritance(system):
+    parent = system.cgroups.create("/batch")
+    child = system.cgroups.create("/batch/c4")
+    parent.set_cpuset({2, 3})
+    assert child.effective_cpuset() == frozenset({2, 3})
+    child.set_cpuset({2})
+    assert child.effective_cpuset() == frozenset({2})
+    # parent change no longer affects the child with its own cpuset
+    parent.set_cpuset({4, 5})
+    assert child.effective_cpuset() == frozenset({2})
+
+
+def test_parent_cpuset_change_reapplies_to_inheriting_child(system):
+    parent = system.cgroups.create("/batch")
+    child = system.cgroups.create("/batch/c5")
+    parent.set_cpuset({0})
+    proc = system.spawn_process("job", cgroup_path="/batch/c5")
+
+    def body(thread):
+        yield from thread.sleep(1000.0)
+
+    t = proc.spawn_thread(body)
+    assert t.affinity == frozenset({0})
+    parent.set_cpuset({11})
+    assert t.affinity == frozenset({11})
+    system.run()
+
+
+def test_cpuset_validation(system):
+    g = system.cgroups.create("/x")
+    with pytest.raises(ValueError):
+        g.set_cpuset(set())
+    with pytest.raises(ValueError):
+        g.set_cpuset({1000})
+
+
+def test_process_detaches_from_cgroup_on_exit(system):
+    g = system.cgroups.create("/batch/c6")
+    proc = system.spawn_process("job", cgroup_path="/batch/c6")
+
+    def body(thread):
+        yield from thread.exec(CompOp(cycles=240_000))
+
+    proc.spawn_thread(body, affinity={0})
+    assert g.pids() == [proc.pid]
+    system.run()
+    assert g.pids() == []
+
+
+def test_walk(system):
+    system.cgroups.create("/a/b")
+    system.cgroups.create("/a/c")
+    paths = [g.path for g in system.cgroups.root.walk()]
+    assert paths == ["/", "/a", "/a/b", "/a/c"]
+
+
+def test_usage_tracker_windows(system):
+    def body(thread):
+        yield from thread.exec(CompOp(cycles=2_400_000))  # 1000us on lcpu 0
+
+    proc = system.spawn_process("p")
+    proc.spawn_thread(body, affinity={0})
+
+    tracker = UsageTracker(system.env, system.server)
+    samples = []
+
+    def monitor(env):
+        for _ in range(4):
+            yield env.timeout(500.0)
+            samples.append(tracker.sample())
+
+    system.env.process(monitor(system.env))
+    system.run()
+    # busy for the first two windows, idle afterwards
+    assert samples[0][0] == pytest.approx(1.0, abs=0.05)
+    assert samples[1][0] == pytest.approx(1.0, abs=0.05)
+    assert samples[2][0] == pytest.approx(0.0, abs=0.05)
+    assert samples[0][1] == 0.0  # other lcpus idle
+
+
+def test_cumulative_usage(system):
+    def body(thread):
+        yield from thread.exec(CompOp(cycles=2_400_000))
+
+    proc = system.spawn_process("p")
+    proc.spawn_thread(body, affinity={0})
+    usage = CumulativeUsage(system.env, system.server)
+    system.run(until=2000.0)
+    n = system.server.topology.n_lcpus
+    assert usage.average() == pytest.approx(0.5 / n, rel=0.1)
+    assert usage.per_cpu()[0] == pytest.approx(0.5, rel=0.05)

@@ -1,0 +1,107 @@
+"""Tests for the perf API and VPI reader."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HWConfig, CpuKind, Server, STALLS_MEM_ANY, CYCLES_MEM_ANY
+from repro.hw.events import INSTR_LOAD
+from repro.core.vpi import VPIReader, aggregate_per_core
+from repro.perf import CounterGroup, PerfEvent, perf_event_open
+from repro.sim import Environment
+
+
+@pytest.fixture
+def server():
+    return Server(Environment(), HWConfig(sockets=1, cores_per_socket=4))
+
+
+MEM = CpuKind(mem=1.0)
+
+
+def test_perf_event_reads_cumulative(server):
+    ev = perf_event_open(server, 0, STALLS_MEM_ANY)
+    assert ev.read() == 0.0
+    server.mem_quantum(0, MEM, 1000, 1.0, None, 1e9)
+    assert ev.read() > 0.0
+
+
+def test_perf_event_read_delta(server):
+    ev = PerfEvent(server, 0, STALLS_MEM_ANY)
+    server.mem_quantum(0, MEM, 1000, 1.0, None, 1e9)
+    d1 = ev.read_delta()
+    assert d1 > 0
+    assert ev.read_delta() == 0.0
+    server.mem_quantum(0, MEM, 500, 1.0, None, 1e9)
+    assert 0 < ev.read_delta() < d1
+
+
+def test_perf_event_accepts_code(server):
+    ev = perf_event_open(server, 0, 0x14A3)
+    assert ev.event is STALLS_MEM_ANY
+    with pytest.raises(KeyError):
+        perf_event_open(server, 0, 0xBEEF)
+    with pytest.raises(ValueError):
+        perf_event_open(server, 99, STALLS_MEM_ANY)
+
+
+def test_counter_group_sample_shape(server):
+    group = CounterGroup(server, [STALLS_MEM_ANY, CYCLES_MEM_ANY, INSTR_LOAD])
+    delta = group.sample()
+    assert delta.shape == (8, 3)
+    assert np.all(delta == 0)
+    server.mem_quantum(2, MEM, 1000, 1.0, None, 1e9)
+    delta = group.sample()
+    assert delta[2, 0] > 0 and delta[2, 2] == pytest.approx(1000)
+    assert delta[0, 0] == 0
+
+
+def test_vpi_reader_scales_and_gates(server):
+    reader = VPIReader(server, scale=10.0, min_instructions=50.0)
+    # (scale=10 here only to exercise the knob; Holmes' default is 1.0)
+    reader.sample()
+    # below the instruction floor: reads zero
+    server.mem_quantum(0, MEM, 10, 1.0, None, 1e9)
+    vpi = reader.sample()
+    assert vpi[0] == 0.0
+    # above the floor: scaled Equation 1
+    server.mem_quantum(0, MEM, 5000, 1.0, None, 1e9)
+    vpi = reader.sample()
+    assert vpi[0] > 0
+    snap = server.counters.snapshot(0)
+    # cross-check the scale against the cumulative-value VPI
+    assert vpi[0] == pytest.approx(10.0 * snap.vpi(STALLS_MEM_ANY), rel=0.2)
+
+
+def test_vpi_contended_vs_alone_separation(server):
+    """The property Holmes depends on: sibling memory contention moves a
+    service-like CPU's VPI across the paper's E=40 threshold."""
+    reader = VPIReader(server, scale=1.0)
+    reader.sample()
+    # lcpu 0: service-like op (dram_frac 0.15), sibling idle
+    server.mem_quantum(0, CpuKind(mem=0.39), 20000, 0.15, None, 1e9)
+    # lcpu 1: same op while its sibling streams memory
+    sib = server.topology.sibling(1)
+    server.mem_quantum(sib, MEM, 200000, 1.0, None, 1e9)
+    server.mem_quantum(1, CpuKind(mem=0.39), 20000, 0.15, None, 1e9)
+    vpi = reader.sample()
+    assert vpi[0] < 30  # alone: well under E
+    assert vpi[1] > 40  # contended: above E
+    # mixed comp+mem instruction stream still stays under E when alone
+    server.comp_quantum(0, CpuKind(comp=1.0), 100000, 1e9)
+    server.mem_quantum(0, CpuKind(mem=0.39), 20000, 0.15, None, 1e9)
+    assert reader.sample()[0] < 40
+
+
+def test_aggregate_per_core():
+    values = np.array([10.0, 20.0, 30.0, 40.0])  # 2 cores x 2 threads
+    weights = np.array([1.0, 3.0, 0.0, 0.0])
+    core = aggregate_per_core(values, weights, 2)
+    assert core[0] == pytest.approx((10 * 1 + 30 * 0) / 1)
+    assert core[1] == pytest.approx(20.0 * 3 / 3)
+
+
+def test_aggregate_per_core_validation():
+    with pytest.raises(ValueError):
+        aggregate_per_core(np.zeros(4), np.zeros(3), 2)
+    with pytest.raises(ValueError):
+        aggregate_per_core(np.zeros(4), np.zeros(4), 3)

@@ -1,0 +1,103 @@
+"""Property-based fuzz of the Holmes scheduler's core invariants.
+
+Whatever sequence of batch launches, kills, and traffic phases occurs,
+these must always hold at every point in time:
+
+* batch containers never get a reserved CPU;
+* no container's cpuset is ever empty;
+* sibling grants are always siblings of current LC CPUs;
+* the LC CPU set always contains the reserved set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Holmes, HolmesConfig
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.oskernel import System
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike import NodeManager
+
+JOB = BatchJobSpec(name="fuzzjob", iterations=100_000, mem_lines=5000,
+                   mem_dram_frac=0.85, comp_cycles=2_000_000)
+
+
+def service_body(thread, phases):
+    """Alternate serving/idle phases as dictated by the fuzz schedule."""
+    for serve_us, idle_us in phases:
+        end = thread.env.now + serve_us
+        while thread.env.now < end:
+            yield from thread.exec(MemOp(lines=1200, dram_frac=0.15))
+            yield from thread.exec(CompOp(cycles=8_000))
+        if idle_us > 0:
+            yield from thread.sleep(idle_us)
+
+
+# each action: (delay_us, kind) where kind 0 = launch job, 1 = kill newest
+action_strategy = st.lists(
+    st.tuples(st.floats(min_value=100.0, max_value=5_000.0),
+              st.integers(min_value=0, max_value=1)),
+    min_size=1, max_size=8,
+)
+
+phase_strategy = st.lists(
+    st.tuples(st.floats(min_value=1_000.0, max_value=10_000.0),
+              st.floats(min_value=0.0, max_value=5_000.0)),
+    min_size=1, max_size=4,
+)
+
+
+@given(actions=action_strategy, phases=phase_strategy,
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_scheduler_invariants_hold_under_fuzz(actions, phases, seed):
+    system = System(config=HWConfig(sockets=1, cores_per_socket=8,
+                                    seed=seed))
+    holmes = Holmes(system, HolmesConfig(n_reserved=4, s_hold_us=3_000.0))
+    holmes.start()
+
+    svc = system.spawn_process("svc")
+    svc.spawn_thread(lambda th: service_body(th, phases), affinity={0})
+    holmes.register_lc_service(svc.pid)
+
+    nm = NodeManager(system, default_cpuset=holmes.non_reserved_cpus(),
+                     seed=seed + 1)
+
+    def driver(env):
+        for delay, kind in actions:
+            yield env.timeout(delay)
+            if kind == 0 or not nm.running_jobs:
+                nm.launch_job(JOB, tasks_per_container=2)
+            else:
+                nm.kill_job(nm.running_jobs[-1])
+
+    system.env.process(driver(system.env))
+
+    violations = []
+
+    def checker(env):
+        reserved = set(holmes.reserved_cpus)
+        while env.now < 60_000:
+            yield env.timeout(500.0)
+            if not set(reserved) <= set(holmes.lc_cpus):
+                violations.append((env.now, "reserved not in lc_cpus"))
+            lc_sibs = holmes.scheduler.lc_sibling_cpus
+            for info in holmes.monitor.containers.values():
+                cpuset = info.cgroup.effective_cpuset()
+                if cpuset is None or not cpuset:
+                    violations.append((env.now, f"{info.name}: empty cpuset"))
+                    continue
+                if cpuset & reserved:
+                    violations.append(
+                        (env.now, f"{info.name}: on reserved {cpuset & reserved}")
+                    )
+                bad_grants = info.sibling_grants - lc_sibs
+                if bad_grants:
+                    violations.append(
+                        (env.now, f"{info.name}: stale grants {bad_grants}")
+                    )
+
+    system.env.process(checker(system.env))
+    system.run(until=60_000)
+    assert not violations, violations[:5]

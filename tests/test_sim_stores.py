@@ -1,0 +1,192 @@
+"""Unit tests for repro.sim.stores and repro.sim.monitor."""
+
+import pytest
+
+from repro.sim import Environment, PeriodicSampler, Series, Store, QueueFull
+
+
+def test_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        yield store.put("item1")
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(0.0, "item1")]
+
+
+def test_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(10.0)
+        store.put_nowait("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(10.0, "late")]
+
+
+def test_fifo_item_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            store.put_nowait(i)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_fifo_getter_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env, label, start):
+        yield env.timeout(start)
+        item = yield store.get()
+        got.append((label, item))
+
+    def producer(env):
+        yield env.timeout(10.0)
+        store.put_nowait("x")
+        store.put_nowait("y")
+
+    env.process(consumer(env, "early", 0.0))
+    env.process(consumer(env, "later", 1.0))
+    env.process(producer(env))
+    env.run()
+    assert got == [("early", "x"), ("later", "y")]
+
+
+def test_bounded_put_nowait_raises():
+    env = Environment()
+    store = Store(env, capacity=1)
+    store.put_nowait("a")
+    with pytest.raises(QueueFull):
+        store.put_nowait("b")
+
+
+def test_bounded_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("a", env.now))
+        yield store.put("b")
+        log.append(("b", env.now))
+
+    def consumer(env):
+        yield env.timeout(10.0)
+        item = yield store.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert log == [("a", 0.0), ("got", "a", 10.0), ("b", 10.0)]
+
+
+def test_get_nowait():
+    env = Environment()
+    store = Store(env)
+    with pytest.raises(LookupError):
+        store.get_nowait()
+    store.put_nowait(5)
+    assert store.get_nowait() == 5
+    assert len(store) == 0
+
+
+def test_len_and_waiting_getters():
+    env = Environment()
+    store = Store(env)
+    store.put_nowait(1)
+    store.put_nowait(2)
+    assert len(store) == 2
+    assert store.waiting_getters == 0
+    store.get_nowait()
+    store.get_nowait()
+    store.get()
+    assert store.waiting_getters == 1
+
+
+def test_series_statistics():
+    s = Series("latency")
+    for t, v in [(0, 10.0), (1, 20.0), (2, 30.0), (3, 40.0)]:
+        s.record(t, v)
+    assert s.mean() == 25.0
+    assert s.percentile(50) == 25.0
+    assert s.window_mean(1, 3) == 25.0
+    assert len(s) == 4
+
+
+def test_series_empty_stats_are_nan():
+    import math
+
+    s = Series()
+    assert math.isnan(s.mean())
+    assert math.isnan(s.percentile(99))
+    assert math.isnan(s.window_mean(0, 1))
+
+
+def test_periodic_sampler_samples_on_schedule():
+    env = Environment()
+    sampler = PeriodicSampler(env, period=10.0, fn=lambda now: now * 2)
+
+    def stopper(env):
+        yield env.timeout(35.0)
+        sampler.stop()
+
+    env.process(stopper(env))
+    env.run(until=100.0)
+    assert list(sampler.series.times) == [10.0, 20.0, 30.0]
+    assert list(sampler.series.values) == [20.0, 40.0, 60.0]
+
+
+def test_periodic_sampler_skips_none():
+    env = Environment()
+    sampler = PeriodicSampler(
+        env, period=1.0, fn=lambda now: now if now > 2.5 else None
+    )
+
+    def stopper(env):
+        yield env.timeout(5.5)
+        sampler.stop()
+
+    env.process(stopper(env))
+    env.run(until=10.0)
+    assert list(sampler.series.times) == [3.0, 4.0, 5.0]
+
+
+def test_periodic_sampler_rejects_bad_period():
+    env = Environment()
+    with pytest.raises(ValueError):
+        PeriodicSampler(env, period=0.0, fn=lambda now: 1.0)

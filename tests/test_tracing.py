@@ -1,0 +1,148 @@
+"""Tests for the execution-tracing subsystem."""
+
+import pytest
+
+from repro.hw import CompOp, HWConfig, MemOp
+from repro.oskernel import System
+from repro.tracing import ExecutionTracer, gantt, occupancy, sibling_overlap
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def mem_body(thread, until):
+    while thread.env.now < until:
+        yield from thread.exec(MemOp(lines=1000, dram_frac=0.8))
+
+
+def comp_body(thread, until):
+    while thread.env.now < until:
+        yield from thread.exec(CompOp(cycles=120_000))
+
+
+def test_tracer_records_quanta():
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: mem_body(th, 1_000), affinity={0})
+    system.run(until=2_000)
+    tracer.detach()
+    recs = tracer.records(lcpu=0)
+    assert recs
+    assert all(r.kind == "mem" for r in recs)
+    assert all(r.duration > 0 for r in recs)
+    # quanta tile the busy period without overlap
+    recs.sort(key=lambda r: r.start)
+    for a, b in zip(recs, recs[1:]):
+        assert b.start >= a.end - 1e-9
+
+
+def test_tracer_busy_time_matches_server_accounting():
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 5_000), affinity={2})
+    system.run(until=6_000)
+    assert tracer.busy_time(2) == pytest.approx(system.server.busy_us[2])
+    assert tracer.busy_time(3) == 0.0
+
+
+def test_tracer_single_hook_enforced():
+    system = small_system()
+    t1 = ExecutionTracer(system)
+    t1.attach()
+    t2 = ExecutionTracer(system)
+    with pytest.raises(RuntimeError):
+        t2.attach()
+    t1.detach()
+    t2.attach()  # fine now
+
+
+def test_tracer_caps_records():
+    system = small_system()
+    tracer = ExecutionTracer(system, max_records=10)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 10_000), affinity={0})
+    system.run(until=11_000)
+    assert len(tracer) == 10
+    assert tracer.dropped > 0
+
+
+def test_occupancy_from_trace():
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 2_000), affinity={1})
+    system.run(until=4_000)
+    occ = occupancy(tracer, 0.0, 4_000.0)
+    assert occ[1] == pytest.approx(0.5, abs=0.05)
+    with pytest.raises(ValueError):
+        occupancy(tracer, 10.0, 10.0)
+
+
+def test_sibling_overlap_detects_concurrent_mem():
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: mem_body(th, 3_000), affinity={0})
+    proc.spawn_thread(lambda th: mem_body(th, 3_000), affinity={sib})
+    system.run(until=4_000)
+    # both streams run ~continuously: overlap ~= 1.0
+    assert sibling_overlap(tracer, system, 0) > 0.9
+    # a non-sibling pair records no overlap through this lens
+    assert sibling_overlap(tracer, system, 1) == 0.0
+
+
+def test_sibling_overlap_zero_when_exclusive():
+    """Alternating (never-concurrent) siblings measure ~zero overlap."""
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+
+    def ping(thread):
+        for _ in range(10):
+            yield from thread.exec(MemOp(lines=500, dram_frac=0.8))
+            yield from thread.sleep(100.0)
+
+    def pong(thread):
+        yield from thread.sleep(50.0)
+        for _ in range(10):
+            yield from thread.exec(MemOp(lines=300, dram_frac=0.8))
+            yield from thread.sleep(120.0)
+
+    proc = system.spawn_process("p")
+    proc.spawn_thread(ping, affinity={0})
+    proc.spawn_thread(pong, affinity={sib})
+    system.run()
+    ov = sibling_overlap(tracer, system, 0)
+    assert ov < 0.6  # mostly exclusive (they do collide occasionally)
+
+
+def test_gantt_rendering():
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: mem_body(th, 1_000), affinity={0})
+    proc.spawn_thread(lambda th: comp_body(th, 1_000), affinity={1})
+    system.run(until=2_000)
+    out = gantt(tracer, lcpus=[0, 1, 2], width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("lcpu  0")
+    assert "M" in lines[0] or "m" in lines[0]
+    assert "C" in lines[1] or "c" in lines[1]
+    assert set(lines[2].split("|")[1]) == {"."}  # lcpu 2 idle
+
+
+def test_gantt_empty():
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    assert gantt(tracer, lcpus=[0]) == "(empty trace)"

@@ -1,0 +1,118 @@
+"""Tests for the Section 2.2 microbenchmark and the Section 3.1 prober."""
+
+import pytest
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.workloads import MemoryProber, run_m_threads
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+def test_single_m_thread_baseline():
+    """Fig 2 case 1: ~1,400us per 1 MB block."""
+    system = small_system()
+    results = run_m_threads(system, m_lcpus=[0], duration_us=30_000)
+    mean = results[0].recorder.mean()
+    assert mean == pytest.approx(1400, rel=0.05)
+
+
+def test_two_m_threads_separate_cores():
+    """Fig 2 case 2: same as baseline -- no controller/bandwidth effect."""
+    system = small_system()
+    results = run_m_threads(system, m_lcpus=[0, 1], duration_us=30_000)
+    for r in results:
+        assert r.recorder.mean() == pytest.approx(1400, rel=0.05)
+
+
+def test_two_m_threads_sibling_lcpus():
+    """Fig 2 case 3: HT siblings -> ~2,300us."""
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+    results = run_m_threads(system, m_lcpus=[0, sib], duration_us=30_000)
+    for r in results:
+        assert r.recorder.mean() == pytest.approx(2300, rel=0.08)
+
+
+def test_m_threads_all_cores_no_bandwidth_bottleneck():
+    """Fig 2 case 4: one m-thread per core, still ~1,400us."""
+    system = small_system()
+    results = run_m_threads(system, m_lcpus=list(range(8)), duration_us=20_000)
+    for r in results:
+        assert r.recorder.mean() == pytest.approx(1400, rel=0.05)
+
+
+def test_m_threads_all_lcpus_ht_dominates():
+    """Fig 2 case 5: all hyperthreads -> sibling effect, not bandwidth."""
+    system = small_system()
+    results = run_m_threads(system, m_lcpus=list(range(16)), duration_us=20_000)
+    for r in results:
+        assert r.recorder.mean() == pytest.approx(2300, rel=0.08)
+
+
+def test_c_thread_sibling_mild_effect():
+    """Fig 2 case 6: compute sibling degrades memory access mildly."""
+    system = small_system()
+    m_lcpus = list(range(4))
+    c_lcpus = [system.server.topology.sibling(c) for c in m_lcpus]
+    results = run_m_threads(system, m_lcpus=m_lcpus, c_lcpus=c_lcpus,
+                            duration_us=20_000)
+    for r in results:
+        assert 1450 < r.recorder.mean() < 1750
+
+
+def test_prober_tracks_target_rate():
+    system = small_system()
+    prober = MemoryProber(system, lcpu=0, rps=20_000)
+    prober.start(duration_us=200_000)  # 0.2 s
+    system.run()
+    assert prober.achieved_rps() == pytest.approx(20_000, rel=0.05)
+
+
+def test_prober_saturates_alone_near_74k():
+    """The paper's one-thread saturation point (~74 kRPS)."""
+    system = small_system()
+    prober = MemoryProber(system, lcpu=0, rps=200_000)  # far above capacity
+    prober.start(duration_us=200_000)
+    system.run()
+    assert prober.achieved_rps() == pytest.approx(74_000, rel=0.05)
+
+
+def test_prober_saturates_contended_near_45k():
+    """The paper's two-thread saturation point (~45 kRPS)."""
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+    p1 = MemoryProber(system, lcpu=0, rps=200_000, name="p1")
+    p2 = MemoryProber(system, lcpu=sib, rps=200_000, name="p2")
+    p1.start(duration_us=200_000)
+    p2.start(duration_us=200_000)
+    system.run()
+    assert p1.achieved_rps() == pytest.approx(45_000, rel=0.06)
+    assert p2.achieved_rps() == pytest.approx(45_000, rel=0.06)
+
+
+def test_prober_latency_rises_with_sibling_load():
+    system = small_system()
+    sib = system.server.topology.sibling(0)
+
+    alone = MemoryProber(system, lcpu=0, rps=10_000, name="alone")
+    alone.start(duration_us=100_000)
+    system.run()
+
+    system2 = small_system()
+    sib2 = system2.server.topology.sibling(0)
+    probed = MemoryProber(system2, lcpu=0, rps=10_000, name="probed")
+    hog = MemoryProber(system2, lcpu=sib2, rps=200_000, name="hog")
+    probed.start(duration_us=100_000)
+    hog.start(duration_us=100_000)
+    system2.run()
+
+    assert probed.mean_latency() > alone.mean_latency() * 1.4
+
+
+def test_prober_rejects_bad_rate():
+    system = small_system()
+    with pytest.raises(ValueError):
+        MemoryProber(system, lcpu=0, rps=0)

@@ -1,0 +1,136 @@
+"""Tests for the Yarn-like NodeManager and continuous job submission."""
+
+import pytest
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike import BATCH_CGROUP_ROOT, ContinuousSubmitter, NodeManager
+
+
+def small_system():
+    return System(config=HWConfig(sockets=1, cores_per_socket=8))
+
+
+TINY_JOB = BatchJobSpec(
+    name="tiny", iterations=5, mem_lines=500, mem_dram_frac=0.8,
+    comp_cycles=200_000,
+)
+
+
+def test_launch_creates_cgroup_per_container():
+    system = small_system()
+    nm = NodeManager(system)
+    job = nm.launch_job(TINY_JOB, n_containers=2, tasks_per_container=2)
+    children = system.cgroups.list_children(BATCH_CGROUP_ROOT)
+    assert len(children) == 2
+    for c in job.containers:
+        assert system.cgroups.exists(c.cgroup_path)
+        assert c.process.alive
+        assert len(c.process.threads) == 2
+
+
+def test_default_cpuset_applied():
+    system = small_system()
+    nm = NodeManager(system, default_cpuset={4, 5})
+    job = nm.launch_job(TINY_JOB)
+    for c in job.containers:
+        for t in c.process.threads:
+            assert t.affinity == frozenset({4, 5})
+
+
+def test_per_launch_cpuset_override():
+    system = small_system()
+    nm = NodeManager(system, default_cpuset={4, 5})
+    job = nm.launch_job(TINY_JOB, cpuset={6})
+    for t in job.containers[0].process.threads:
+        assert t.affinity == frozenset({6})
+
+
+def test_job_completion_detected_and_cgroup_removed():
+    system = small_system()
+    nm = NodeManager(system)
+    job = nm.launch_job(TINY_JOB, tasks_per_container=2)
+    path = job.containers[0].cgroup_path
+    system.run()
+    assert job.finished
+    assert job.duration_us > 0
+    assert not system.cgroups.exists(path)
+    assert nm.completed_count() == 1
+
+
+def test_kill_job_terminates_quickly():
+    system = small_system()
+    nm = NodeManager(system)
+    big = BatchJobSpec(name="big", iterations=10_000, mem_lines=5000,
+                       mem_dram_frac=0.9, comp_cycles=5_000_000)
+    job = nm.launch_job(big)
+
+    def killer(env):
+        yield env.timeout(1_000.0)
+        nm.kill_job(job)
+
+    system.env.process(killer(system.env))
+    system.run(until=50_000)
+    assert job.finished
+    assert job.finished_at < 5_000
+
+
+def test_tasks_jitter_deterministically():
+    def run_once():
+        system = small_system()
+        nm = NodeManager(system, seed=99)
+        job = nm.launch_job(TINY_JOB, tasks_per_container=3)
+        system.run()
+        return job.duration_us
+
+    assert run_once() == run_once()
+
+
+def test_continuous_submitter_keeps_jobs_running():
+    system = small_system()
+    nm = NodeManager(system)
+    sub = ContinuousSubmitter(nm, target_concurrent=2, mix=[TINY_JOB],
+                              tasks_per_container=2)
+    sub.start()
+    system.run(until=60_000)
+    assert sub.submitted > 4  # several generations replaced
+    assert len(nm.running_jobs) == 2
+
+
+def test_continuous_submitter_stop():
+    system = small_system()
+    nm = NodeManager(system)
+    sub = ContinuousSubmitter(nm, target_concurrent=1, mix=[TINY_JOB],
+                              tasks_per_container=1)
+    sub.start()
+    system.run(until=10_000)
+    sub.stop()
+    count_at_stop = sub.submitted
+    system.run(until=200_000)
+    assert sub.submitted == count_at_stop
+    assert nm.running_jobs == []
+
+
+def test_submitter_validation():
+    system = small_system()
+    nm = NodeManager(system)
+    with pytest.raises(ValueError):
+        ContinuousSubmitter(nm, target_concurrent=0)
+    with pytest.raises(ValueError):
+        ContinuousSubmitter(nm, mix=[])
+    sub = ContinuousSubmitter(nm, mix=[TINY_JOB])
+    sub.start()
+    with pytest.raises(RuntimeError):
+        sub.start()
+    system.run(until=1000)
+
+
+def test_completed_count_window():
+    system = small_system()
+    nm = NodeManager(system)
+    nm.launch_job(TINY_JOB, tasks_per_container=1)
+    system.run()
+    end = system.env.now
+    assert nm.completed_count(0, end + 1) == 1
+    assert nm.completed_count(end + 1) == 0

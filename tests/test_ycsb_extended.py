@@ -1,0 +1,94 @@
+"""Tests for the extended YCSB suite (workloads c/d/f, latest chooser)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HWConfig
+from repro.oskernel import System
+from repro.workloads.kv import MemcachedService, RedisService
+from repro.ycsb import (
+    LatestGenerator,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_F,
+    YCSBClient,
+    workload_by_name,
+)
+from repro.ycsb.workloads import QueryGenerator, WorkloadSpec
+
+
+def test_full_suite_lookup():
+    for letter in "abcdef":
+        spec = workload_by_name(letter)
+        assert spec.name == f"workload-{letter}"
+
+
+def test_workload_c_read_only():
+    rng = np.random.default_rng(1)
+    gen = QueryGenerator(WORKLOAD_C, 1000, rng)
+    ops = {gen.next().op for _ in range(500)}
+    assert ops == {"read"}
+
+
+def test_workload_f_mix():
+    rng = np.random.default_rng(2)
+    gen = QueryGenerator(WORKLOAD_F, 1000, rng)
+    ops = [gen.next().op for _ in range(4000)]
+    assert set(ops) == {"read", "rmw"}
+    assert ops.count("rmw") / len(ops) == pytest.approx(0.5, abs=0.03)
+
+
+def test_latest_generator_prefers_new_keys():
+    rng = np.random.default_rng(3)
+    gen = LatestGenerator(10_000, rng)
+    draws = np.array([gen.next() for _ in range(5000)])
+    # the newest keys dominate
+    assert np.median(draws) > 9_500
+    assert draws.max() == 9_999
+    gen.advance(20_000)
+    draws2 = np.array([gen.next() for _ in range(5000)])
+    assert np.median(draws2) > 19_500
+    with pytest.raises(ValueError):
+        gen.advance(5)
+
+
+def test_workload_d_reads_follow_inserts():
+    rng = np.random.default_rng(4)
+    gen = QueryGenerator(WORKLOAD_D, 1000, rng)
+    queries = [gen.next() for _ in range(4000)]
+    inserts = [q for q in queries if q.op == "insert"]
+    assert inserts, "workload-d must insert"
+    # after inserts advance the cursor, reads chase the new keys
+    late_reads = [q.key for q in queries[-500:] if q.op == "read"]
+    assert np.median(late_reads) > 900
+
+
+def test_invalid_key_chooser():
+    with pytest.raises(ValueError):
+        WorkloadSpec("bad", read=1.0, key_chooser="gaussian")
+
+
+def _run_workload(service_cls, spec, rate=10_000, duration=200_000):
+    system = System(config=HWConfig(sockets=1, cores_per_socket=8))
+    service = service_cls(system, n_keys=5_000)
+    service.start(lcpus={0, 1, 2, 3})
+    client = YCSBClient(system.env, service, spec, rate,
+                        np.random.default_rng(5))
+    client.start(duration)
+    system.run(until=duration + 20_000)
+    return service
+
+
+def test_redis_serves_workload_f_rmw():
+    service = _run_workload(RedisService, WORKLOAD_F)
+    rmw = service.recorder.latencies("rmw")
+    reads = service.recorder.latencies("read")
+    assert rmw.size > 100
+    # an RMW is a read plus an update: visibly slower than a plain read
+    assert rmw.mean() > reads.mean() * 1.3
+
+
+def test_memcached_serves_workload_c_and_d():
+    for spec in (WORKLOAD_C, WORKLOAD_D):
+        service = _run_workload(MemcachedService, spec)
+        assert service.completed > 500, spec.name
