@@ -9,8 +9,10 @@ Set ``REPRO_BENCH_FAST=1`` to run everything at reduced horizons.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
 
@@ -23,6 +25,43 @@ FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
 COLO_DURATION_US = 400_000.0 if FAST else 1_200_000.0
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: per-test wall-clock, filled by the autouse timer below and flushed to
+#: ``benchmarks/results/bench_timings.json`` at session end.
+_TIMINGS: dict[str, float] = {}
+
+
+@pytest.fixture(autouse=True)
+def _time_each_bench(request):
+    """Record every benchmark's wall-clock with a monotonic clock.
+
+    ``time.perf_counter()`` (not ``time.time()``) everywhere: wall-clock
+    deltas must come from a monotonic high-resolution source or NTP steps
+    corrupt the recorded trajectory.
+    """
+    start = time.perf_counter()
+    yield
+    _TIMINGS[request.node.nodeid] = time.perf_counter() - start
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_bench_timings():
+    yield
+    if not _TIMINGS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "clock": "time.perf_counter",
+        "fast_mode": FAST,
+        "colo_duration_us": COLO_DURATION_US,
+        "total_wall_s": round(sum(_TIMINGS.values()), 3),
+        "per_test_wall_s": {
+            k: round(v, 3) for k, v in sorted(_TIMINGS.items())
+        },
+    }
+    (RESULTS_DIR / "bench_timings.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def bench_scale(duration_us: float | None = None) -> ExperimentScale:

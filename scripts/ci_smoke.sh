@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI smoke job: the fast tier-1 test slice plus a 2-worker runner
+# equivalence check.
+#
+# Slow tests (multi-experiment determinism replays, full runner
+# equivalence sweeps) carry the @pytest.mark.slow marker and are excluded
+# here; run `pytest` with no marker filter for the full suite.
+#
+# `repro bench` recomputes a 4-experiment sweep serially and through the
+# 2-worker pooled runner and exits non-zero if the merged results are not
+# byte-identical, so this doubles as the parallel-equivalence gate.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 tests (excluding slow) =="
+python -m pytest -x -q -m "not slow"
+
+echo "== 2-worker runner equivalence bench =="
+python -m repro bench --parallel 2 --duration 0.03 \
+    --output "$(mktemp -d)/BENCH_smoke.json"
+
+echo "ci_smoke: OK"

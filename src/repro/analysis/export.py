@@ -45,6 +45,16 @@ def _to_jsonable(obj: Any) -> Any:
     raise TypeError(f"cannot export {type(obj).__name__} to JSON")
 
 
+def canonical_dumps(obj: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace.
+
+    This is the byte form the runner hashes for cache keys, compares for
+    serial-vs-parallel equivalence, and diffs across same-seed runs; two
+    results are "bit-identical" iff their canonical dumps match.
+    """
+    return json.dumps(_to_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
 def export_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
     """Serialise one experiment result object to a JSON file."""
     path = pathlib.Path(path)

@@ -160,6 +160,74 @@ def cmd_sweep_e(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.runner import run_bench
+
+    print(f"benching: 4-experiment sweep, serial vs --parallel {args.parallel} "
+          f"({args.duration:g} simulated seconds per cell) ...", file=sys.stderr)
+    record = run_bench(
+        parallel=args.parallel,
+        duration_us=args.duration * 1e6,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        output=args.output,
+    )
+    sweep = record["sweep"]
+    loop = record["event_loop"]
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["serial wall (s)", round(sweep["serial_wall_s"], 2)],
+            ["parallel wall (s)", round(sweep["parallel_wall_s"], 2)],
+            ["speedup", round(sweep["speedup"], 2)],
+            ["serial cell runs", sweep["serial_cell_runs"]],
+            ["parallel cell runs", sweep["parallel_cell_runs"]],
+            ["merged results identical", str(sweep["identical_merged_results"])],
+            ["event loop events/sec", int(loop["events_per_sec"])],
+        ],
+    ))
+    print(f"wrote {args.output}")
+    if not sweep["identical_merged_results"]:
+        print("ERROR: serial and parallel merged results differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_run_all(args) -> int:
+    from repro.analysis.export import export_result
+    from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
+
+    duration_us = args.duration * 1e6
+    requests = []
+    for service in args.services:
+        params = {"service": service, "workload": args.workload,
+                  "duration_us": duration_us}
+        for name in ("compare", "latency", "slo", "throughput"):
+            requests.append(ExperimentRequest.make(name, params, args.seed))
+    requests += [
+        ExperimentRequest.make("microbench", {}, args.seed),
+        ExperimentRequest.make("hpe", {}, args.seed),
+        ExperimentRequest.make("convergence", {}, args.seed),
+    ]
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    print(f"running {len(requests)} experiments "
+          f"(--parallel {args.parallel}) ...", file=sys.stderr)
+    report = runner.run(requests)
+
+    out = export_result(report.merged(), args.output)
+    rows = [[cid, f"{secs:.2f}"] for cid, secs in report.timings.items()]
+    print(format_table(["cell", "compute s"], rows))
+    if report.cache_stats:
+        print(f"cache: {report.cache_stats}")
+    print(f"{len(report.experiments)} experiments, {len(report.cells)} cells, "
+          f"{report.n_cell_runs} computed, {report.wall_s:.1f}s wall")
+    print(f"wrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +267,33 @@ def build_parser() -> argparse.ArgumentParser:
                                        "wiredtiger"])
     p.add_argument("--duration", type=float, default=0.6)
 
+    p = sub.add_parser(
+        "bench",
+        help="serial-vs-parallel runner bench; writes BENCH_runner.json",
+    )
+    p.add_argument("--parallel", type=int, default=4,
+                   help="worker processes for the parallel column (default 4)")
+    p.add_argument("--duration", type=float, default=0.08,
+                   help="simulated seconds per sweep cell (default 0.08)")
+    p.add_argument("--output", default="BENCH_runner.json")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: fresh temp dir, cold)")
+
+    p = sub.add_parser(
+        "run-all",
+        help="reproduce all figures in one sweep through the runner",
+    )
+    p.add_argument("--parallel", type=int, default=4)
+    p.add_argument("--duration", type=float, default=0.4,
+                   help="simulated seconds per co-location cell (default 0.4)")
+    p.add_argument("--workload", default="a")
+    p.add_argument("--services", nargs="+",
+                   default=["redis", "memcached", "rocksdb", "wiredtiger"],
+                   choices=["redis", "memcached", "rocksdb", "wiredtiger"])
+    p.add_argument("--cache-dir", default=".repro-cache",
+                   help="shared result cache (default .repro-cache)")
+    p.add_argument("--output", default="runner_report.json")
+
     return parser
 
 
@@ -210,6 +305,8 @@ COMMANDS = {
     "metric": cmd_metric,
     "convergence": cmd_convergence,
     "sweep-e": cmd_sweep_e,
+    "bench": cmd_bench,
+    "run-all": cmd_run_all,
 }
 
 

@@ -87,9 +87,13 @@ class Holmes:
     # -- the closed loop ------------------------------------------------------------
 
     def _loop(self):
-        interval = self.config.interval_us
+        from repro.sim import RecurringTimeout
+
+        # reusable tick event: the 50 us loop otherwise allocates one
+        # Timeout per tick, tens of thousands per simulated second.
+        timer = RecurringTimeout(self.env, self.config.interval_us)
         while self._running:
-            yield self.env.timeout(interval)
+            yield timer
             if not self._running:
                 return
             sample = self.monitor.collect()
@@ -104,6 +108,7 @@ class Holmes:
                 self.usage_history.record(
                     sample.time, float(np.mean(sample.usage_ema[lc]))
                 )
+            timer.rearm()
 
     # -- Section 6.6: overhead ----------------------------------------------------------
 

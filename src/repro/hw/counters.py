@@ -210,6 +210,15 @@ class CounterEngine:
         """Raw [n_lcpus x n_events] copy for vectorised monitor reads."""
         return self._values.copy()
 
+    def take_columns(self, cols: np.ndarray) -> np.ndarray:
+        """[n_lcpus x len(cols)] copy of selected event columns.
+
+        Monitor-style consumers read the same three or four events every
+        50 us; copying only those columns avoids the full-matrix copy of
+        :meth:`snapshot_all` on the hot path.
+        """
+        return self._values[:, cols]
+
     def column(self, event: HPE | int) -> np.ndarray:
         """Cumulative values of one event across all logical CPUs."""
         code = event.code if isinstance(event, HPE) else event

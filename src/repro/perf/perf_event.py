@@ -60,11 +60,11 @@ class CounterGroup:
         self.events = list(events)
         engine = server.counters
         self._cols = np.array([engine.event_index[e.code] for e in self.events])
-        self._last = engine.snapshot_all()[:, self._cols]
+        self._last = engine.take_columns(self._cols)
 
     def sample(self) -> np.ndarray:
         """[n_lcpus x n_events] deltas since the previous sample."""
-        now = self.server.counters.snapshot_all()[:, self._cols]
+        now = self.server.counters.take_columns(self._cols)
         delta = now - self._last
         self._last = now
         return delta

@@ -1,0 +1,46 @@
+"""Parallel experiment runner: cells, content-hash cache, fan-out, merge.
+
+The layers, bottom up:
+
+* :mod:`repro.runner.cells` — atomic units of work ((kind, params, seed)
+  triples) whose payloads are plain JSON-able dicts;
+* :mod:`repro.runner.cache` — an on-disk result cache keyed by a content
+  hash of (params, seed, code version), with payload-hash verification so
+  corrupted entries are recomputed instead of trusted;
+* :mod:`repro.runner.aggregate` — the experiment registry: expansion of
+  user-level experiments into role-labelled cells and pure aggregation of
+  payloads back into figure/table structures;
+* :mod:`repro.runner.runner` — the process-pool executor with
+  deterministic (byte-identical serial-vs-parallel) merging;
+* :mod:`repro.runner.bench` — the ``repro bench`` harness emitting
+  ``BENCH_runner.json``.
+"""
+
+from repro.runner.cells import Cell, execute_cell, latency_summary
+from repro.runner.cache import ResultCache, cell_key, code_fingerprint
+from repro.runner.aggregate import (
+    EXPERIMENTS,
+    ExperimentRequest,
+    expand_request,
+    aggregate_request,
+)
+from repro.runner.runner import ExperimentRunner, RunReport
+from repro.runner.bench import bench_event_loop, bench_sweep, run_bench
+
+__all__ = [
+    "Cell",
+    "execute_cell",
+    "latency_summary",
+    "ResultCache",
+    "cell_key",
+    "code_fingerprint",
+    "EXPERIMENTS",
+    "ExperimentRequest",
+    "expand_request",
+    "aggregate_request",
+    "ExperimentRunner",
+    "RunReport",
+    "bench_event_loop",
+    "bench_sweep",
+    "run_bench",
+]

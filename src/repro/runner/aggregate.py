@@ -1,0 +1,218 @@
+"""Experiment registry: expansion into cells plus result aggregation.
+
+An *experiment* is what a user asks for (``latency redis a``); it expands
+into role-labelled cells and a pure aggregation function that folds the
+cell payloads back into the figure/table structure the ``analysis``
+report path renders.  Aggregation is deterministic arithmetic over
+already-deterministic payloads, so the merged output of a sweep is
+byte-comparable regardless of how (or whether) the cells were fanned out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runner.cells import (
+    Cell,
+    DEFAULT_DURATION_US,
+    quantiles_violation_ratio,
+)
+
+SETTINGS = ("alone", "holmes", "perfiso")
+
+#: Fig. 14's E sweep, reused by the "sensitivity" experiment.
+E_VALUES = (40.0, 50.0, 60.0, 70.0, 80.0)
+
+
+@dataclass(frozen=True)
+class ExperimentRequest:
+    """One user-level experiment in a sweep."""
+
+    name: str
+    params: tuple
+    seed: int = 42
+
+    @classmethod
+    def make(cls, name: str, params: dict | None = None,
+             seed: int = 42) -> "ExperimentRequest":
+        return cls(name, tuple(sorted((params or {}).items())), int(seed))
+
+    @property
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    @property
+    def experiment_id(self) -> str:
+        parts = [self.name]
+        parts += [f"{k}={v}" for k, v in self.params]
+        parts.append(f"seed={self.seed}")
+        return ";".join(parts)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    name: str
+    #: (params, seed) -> ordered [(role, Cell), ...]
+    expand: Callable[[dict, int], list[tuple[str, Cell]]]
+    #: (params, {role: payload}) -> JSON-able aggregate
+    aggregate: Callable[[dict, dict[str, Any]], Any]
+
+
+def _colo_triple(params: dict, seed: int) -> list[tuple[str, Cell]]:
+    """The alone/holmes/perfiso triple every per-service figure needs."""
+    base = {
+        "service": params["service"],
+        "workload": params.get("workload", "a"),
+        "duration_us": float(params.get("duration_us", DEFAULT_DURATION_US)),
+    }
+    return [
+        (setting, Cell.make("colocation", {**base, "setting": setting}, seed))
+        for setting in SETTINGS
+    ]
+
+
+def _agg_compare(params: dict, by_role: dict[str, Any]) -> dict:
+    rows = {}
+    for setting in SETTINGS:
+        p = by_role[setting]
+        lat = p["latency"]
+        rows[setting] = {
+            "mean_us": lat["mean"],
+            "p90_us": lat["quantiles"][90] if lat["quantiles"] else None,
+            "p99_us": lat["quantiles"][99] if lat["quantiles"] else None,
+            "queries": lat["count"],
+            "avg_cpu_utilization": p["avg_cpu_utilization"],
+        }
+    h, pi = rows["holmes"], rows["perfiso"]
+    reductions = {}
+    if h["mean_us"] and pi["mean_us"]:
+        reductions = {
+            "mean_pct": 100.0 * (1.0 - h["mean_us"] / pi["mean_us"]),
+            "p99_pct": 100.0 * (1.0 - h["p99_us"] / pi["p99_us"]),
+        }
+    return {"settings": rows, "holmes_vs_perfiso": reductions}
+
+
+def _agg_latency(params: dict, by_role: dict[str, Any]) -> dict:
+    out = {}
+    for setting in SETTINGS:
+        lat = by_role[setting]["latency"]
+        out[setting] = {
+            "mean_us": lat["mean"],
+            "quantiles": lat["quantiles"],
+            "queries": lat["count"],
+        }
+    return out
+
+
+def _agg_slo(params: dict, by_role: dict[str, Any]) -> dict:
+    alone_q = by_role["alone"]["latency"]["quantiles"]
+    slo_us = alone_q[90] if alone_q else None
+    ratios = {}
+    if slo_us is not None:
+        for setting in SETTINGS:
+            q = by_role[setting]["latency"]["quantiles"]
+            ratios[setting] = quantiles_violation_ratio(q, slo_us)
+    return {"slo_us": slo_us, "violation_ratios": ratios}
+
+
+def _agg_throughput(params: dict, by_role: dict[str, Any]) -> dict:
+    out = {}
+    for setting in SETTINGS:
+        p = by_role[setting]
+        hours = p["duration_us"] / 3.6e9
+        out[setting] = {
+            "avg_cpu_utilization": p["avg_cpu_utilization"],
+            "jobs_completed": p["jobs_completed"],
+            "jobs_per_hour_equivalent": (
+                p["jobs_completed"] / hours if hours > 0 else 0.0
+            ),
+        }
+    return out
+
+
+def _expand_sensitivity(params: dict, seed: int) -> list[tuple[str, Cell]]:
+    base = {
+        "service": params["service"],
+        "workload": params.get("workload", "a"),
+        "duration_us": float(params.get("duration_us", DEFAULT_DURATION_US)),
+    }
+    cells = [("alone", Cell.make("colocation", {**base, "setting": "alone"}, seed))]
+    for e in params.get("e_values", E_VALUES):
+        cells.append((
+            f"E={e:g}",
+            Cell.make(
+                "colocation",
+                {**base, "setting": "holmes", "e_threshold": float(e)},
+                seed,
+            ),
+        ))
+    return cells
+
+
+def _agg_sensitivity(params: dict, by_role: dict[str, Any]) -> dict:
+    alone = by_role["alone"]["latency"]
+    rows = {}
+    for role, payload in by_role.items():
+        if role == "alone":
+            continue
+        lat = payload["latency"]
+        norm = {"mean": lat["mean"] / alone["mean"]}
+        for q in (70, 80, 90, 99):
+            norm[f"p{q}"] = lat["quantiles"][q] / alone["quantiles"][q]
+        rows[role] = norm
+    return {"normalized_to_alone": rows}
+
+
+def _single_cell(kind: str, passthrough_params: tuple[str, ...] = ()):
+    def expand(params: dict, seed: int) -> list[tuple[str, Cell]]:
+        cell_params = {
+            k: params[k] for k in passthrough_params if k in params
+        }
+        return [(kind, Cell.make(kind, cell_params, seed))]
+
+    return expand
+
+
+def _agg_passthrough(params: dict, by_role: dict[str, Any]) -> Any:
+    # single-cell experiments: the payload already is the aggregate
+    (payload,) = by_role.values()
+    return payload
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "compare": ExperimentSpec("compare", _colo_triple, _agg_compare),
+    "latency": ExperimentSpec("latency", _colo_triple, _agg_latency),
+    "slo": ExperimentSpec("slo", _colo_triple, _agg_slo),
+    "throughput": ExperimentSpec("throughput", _colo_triple, _agg_throughput),
+    "sensitivity": ExperimentSpec(
+        "sensitivity", _expand_sensitivity, _agg_sensitivity
+    ),
+    "microbench": ExperimentSpec(
+        "microbench", _single_cell("fig2", ("duration_us",)), _agg_passthrough
+    ),
+    "hpe": ExperimentSpec(
+        "hpe", _single_cell("hpe", ("duration_us",)), _agg_passthrough
+    ),
+    "convergence": ExperimentSpec(
+        "convergence",
+        _single_cell("convergence", ("heracles_epoch_us", "parties_step_us")),
+        _agg_passthrough,
+    ),
+}
+
+
+def expand_request(request: ExperimentRequest) -> list[tuple[str, Cell]]:
+    try:
+        spec = EXPERIMENTS[request.name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {request.name!r}; have {sorted(EXPERIMENTS)}"
+        ) from None
+    return spec.expand(request.param_dict, request.seed)
+
+
+def aggregate_request(request: ExperimentRequest,
+                      by_role: dict[str, Any]) -> Any:
+    return EXPERIMENTS[request.name].aggregate(request.param_dict, by_role)

@@ -1,0 +1,124 @@
+"""``repro bench``: perf tracking for the runner and the sim hot path.
+
+Two measurements, both written to ``BENCH_runner.json`` so the perf
+trajectory is tracked from PR to PR:
+
+* **events/sec** of the bare event loop (a timer-flood microbench over
+  ``Environment.run``), the number the sim hot-path work moves;
+* **serial vs parallel wall-clock** of a 4-experiment co-location sweep.
+  The serial baseline is the legacy behaviour — every experiment
+  recomputes its own cells back to back, no cache, one process.  The
+  runner column fans the deduped cells out over a worker pool with a
+  cold shared cache.  On a single-core host the speedup comes from
+  cross-experiment cell dedup alone (the sweep's four experiments share
+  one alone/holmes/perfiso triple); on multicore hosts process fan-out
+  compounds it.
+
+The bench *fails* (nonzero exit through the CLI) if the serial and
+parallel merged results are not byte-identical: speed that changes
+results is a bug, not a feature.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+import time
+from typing import Optional
+
+from repro.runner.aggregate import ExperimentRequest
+from repro.runner.cache import ResultCache
+from repro.runner.runner import ExperimentRunner
+
+#: simulated horizon of each bench sweep cell (microseconds).  Short
+#: enough that the whole bench stays interactive, long enough that each
+#: cell does real scheduling work.
+BENCH_DURATION_US = 80_000.0
+
+
+def bench_event_loop(n_timers: int = 64, horizon_us: float = 40_000.0) -> dict:
+    """Events/sec of the bare engine under a periodic-timer flood."""
+    from repro.sim import Environment, RecurringTimeout
+
+    env = Environment()
+
+    def ticker(env: Environment, period: float):
+        timer = RecurringTimeout(env, period)
+        while True:
+            yield timer
+            timer.rearm()
+
+    for i in range(n_timers):
+        # distinct co-prime-ish periods so firings interleave rather than
+        # batching at shared timestamps
+        env.process(ticker(env, 1.0 + 0.37 * i))
+    t0 = time.perf_counter()
+    env.run(until=horizon_us)
+    wall = time.perf_counter() - t0
+    return {
+        "events": env._seq,
+        "wall_s": wall,
+        "events_per_sec": env._seq / wall if wall > 0 else None,
+    }
+
+
+def bench_sweep(duration_us: float = BENCH_DURATION_US,
+                seed: int = 42) -> list[ExperimentRequest]:
+    """The 4-experiment sweep: four figures over one co-location triple."""
+    params = {"service": "redis", "workload": "a", "duration_us": duration_us}
+    return [
+        ExperimentRequest.make(name, params, seed)
+        for name in ("compare", "latency", "slo", "throughput")
+    ]
+
+
+def run_bench(
+    parallel: int = 4,
+    duration_us: float = BENCH_DURATION_US,
+    seed: int = 42,
+    cache_dir: Optional[str] = None,
+    output: str | pathlib.Path = "BENCH_runner.json",
+) -> dict:
+    """Run the bench and write ``BENCH_runner.json``; returns the record."""
+    requests = bench_sweep(duration_us, seed)
+
+    serial = ExperimentRunner(cache=None, parallel=1, dedupe=False).run(requests)
+
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_root = tmp.name
+    else:
+        tmp = None
+        cache_root = cache_dir
+    try:
+        cache = ResultCache(cache_root)
+        par = ExperimentRunner(cache=cache, parallel=parallel,
+                               dedupe=True).run(requests)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    identical = serial.merged_bytes() == par.merged_bytes()
+    loop = bench_event_loop()
+    record = {
+        "sweep": {
+            "experiments": [r.experiment_id for r in requests],
+            "duration_us": duration_us,
+            "seed": seed,
+            "serial_wall_s": serial.wall_s,
+            "parallel_wall_s": par.wall_s,
+            "speedup": (
+                serial.wall_s / par.wall_s if par.wall_s > 0 else None
+            ),
+            "serial_cell_runs": serial.n_cell_runs,
+            "parallel_cell_runs": par.n_cell_runs,
+            "parallel": parallel,
+            "identical_merged_results": identical,
+            "cache": par.cache_stats,
+        },
+        "event_loop": loop,
+    }
+    path = pathlib.Path(output)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record

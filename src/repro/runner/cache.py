@@ -1,0 +1,127 @@
+"""Content-addressed on-disk cache of cell results.
+
+Keys are SHA-256 over the canonical JSON of ``(kind, params, seed,
+code_fingerprint)``: any change to the cell's inputs *or to the repro
+package sources* produces a fresh key, so a cache can never serve results
+computed by different code.  Entries embed a second hash over the payload
+itself; a stored entry whose payload no longer matches its recorded hash
+(truncated write, bit rot, hand editing) is treated as a miss and
+recomputed — corrupted results are detected, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.export import canonical_dumps
+from repro.runner.cells import Cell
+
+#: memoised per process; hashing ~180 source files costs a few ms.
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the repro package sources (relative path + bytes)."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_fingerprint = h.hexdigest()
+    return _code_fingerprint
+
+
+def payload_hash(payload: dict) -> str:
+    return hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+
+
+def cell_key(cell: Cell, code: Optional[str] = None) -> str:
+    """Content hash identifying one cell under the current code version."""
+    material = canonical_dumps(
+        {
+            "kind": cell.kind,
+            "params": cell.param_dict,
+            "seed": cell.seed,
+            "code": code if code is not None else code_fingerprint(),
+        }
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    corrupted: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupted": self.corrupted,
+            "writes": self.writes,
+        }
+
+
+class ResultCache:
+    """One directory of ``<key>.json`` entries shared across sweeps."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, cell: Cell) -> Optional[dict]:
+        """Verified payload for ``cell``, or None (missing or corrupted)."""
+        key = cell_key(cell)
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            payload = entry["payload"]
+            stored_sha = entry["payload_sha256"]
+            stored_key = entry["key"]
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            self.stats.corrupted += 1
+            return None
+        if stored_key != key or payload_hash(payload) != stored_sha:
+            self.stats.corrupted += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, cell: Cell, payload: dict) -> pathlib.Path:
+        """Store a payload atomically (write-then-rename)."""
+        key = cell_key(cell)
+        entry = {
+            "key": key,
+            "kind": cell.kind,
+            "params": cell.param_dict,
+            "seed": cell.seed,
+            "code": code_fingerprint(),
+            "payload_sha256": payload_hash(payload),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        tmp.replace(path)
+        self.stats.writes += 1
+        return path

@@ -1,0 +1,150 @@
+"""The experiment runner: fan-out, cache, and deterministic merge.
+
+``ExperimentRunner.run`` takes a sweep of :class:`ExperimentRequest`\\ s,
+expands each into cells, dedupes identical cells across experiments,
+satisfies what it can from the on-disk :class:`ResultCache`, computes the
+rest — serially or across a process pool — and folds cell payloads back
+into per-experiment aggregates.  The merge is deterministic: cells and
+experiments are keyed and ordered by their stable ids, so a sweep's
+merged output is byte-identical whether it ran on one process or sixteen,
+cold or warm.
+
+``dedupe=False`` reproduces the legacy serial behaviour (every experiment
+recomputes its own cells, duplicates and all); the bench harness uses it
+as the baseline the runner is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.export import canonical_dumps
+from repro.runner.aggregate import (
+    ExperimentRequest,
+    aggregate_request,
+    expand_request,
+)
+from repro.runner.cache import ResultCache
+from repro.runner.cells import Cell, execute_cell
+
+
+def _execute_cell_worker(args: tuple) -> tuple[dict, float]:
+    """Module-level worker body (must be picklable for the pool)."""
+    kind, params, seed = args
+    t0 = time.perf_counter()
+    payload = execute_cell(Cell.make(kind, params, seed))
+    return payload, time.perf_counter() - t0
+
+
+@dataclass
+class RunReport:
+    """Merged output of one sweep."""
+
+    #: experiment_id -> aggregated result (insertion = sorted order)
+    experiments: dict[str, Any]
+    #: cell_id -> payload
+    cells: dict[str, Any]
+    #: cell_id -> compute seconds (0.0 when served from cache)
+    timings: dict[str, float]
+    cache_stats: Optional[dict]
+    wall_s: float
+    #: cell executions actually performed (cache hits and dedupe excluded)
+    n_cell_runs: int
+
+    def merged(self) -> dict:
+        """The deterministic, regression-comparable view of the sweep."""
+        return {"experiments": self.experiments, "cells": self.cells}
+
+    def merged_bytes(self) -> bytes:
+        return canonical_dumps(self.merged()).encode()
+
+
+class ExperimentRunner:
+    """Runs sweeps of experiments over a worker pool with a shared cache."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        parallel: int = 1,
+        dedupe: bool = True,
+    ):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        self.cache = cache
+        self.parallel = parallel
+        self.dedupe = dedupe
+
+    def run(self, requests: list[ExperimentRequest]) -> RunReport:
+        t0 = time.perf_counter()
+        expansions = [(req, expand_request(req)) for req in requests]
+
+        # -- collect the cells to execute --------------------------------
+        unique: dict[str, Cell] = {}
+        occurrences = 0
+        for _req, role_cells in expansions:
+            for _role, cell in role_cells:
+                occurrences += 1
+                unique.setdefault(cell.cell_id, cell)
+
+        payloads: dict[str, Any] = {}
+        timings: dict[str, float] = {}
+        if self.cache is not None:
+            for cell_id, cell in unique.items():
+                hit = self.cache.get(cell)
+                if hit is not None:
+                    payloads[cell_id] = hit
+                    timings[cell_id] = 0.0
+
+        if self.dedupe:
+            to_run = [
+                cell for cell_id, cell in sorted(unique.items())
+                if cell_id not in payloads
+            ]
+        else:
+            # legacy semantics: one execution per occurrence, in request
+            # order, even for cells another experiment already computed.
+            to_run = [
+                cell
+                for _req, role_cells in expansions
+                for _role, cell in role_cells
+                if cell.cell_id not in payloads
+            ]
+
+        n_cell_runs = len(to_run)
+        if to_run:
+            args = [(c.kind, c.param_dict, c.seed) for c in to_run]
+            if self.parallel > 1:
+                with ProcessPoolExecutor(max_workers=self.parallel) as pool:
+                    results = list(pool.map(_execute_cell_worker, args))
+            else:
+                results = [_execute_cell_worker(a) for a in args]
+            for cell, (payload, secs) in zip(to_run, results):
+                payloads[cell.cell_id] = payload
+                timings[cell.cell_id] = timings.get(cell.cell_id, 0.0) + secs
+                if self.cache is not None:
+                    self.cache.put(cell, payload)
+
+        # -- aggregate back into experiment-level results ----------------
+        experiments: dict[str, Any] = {}
+        for req, role_cells in sorted(
+            expansions, key=lambda e: e[0].experiment_id
+        ):
+            by_role = {
+                role: payloads[cell.cell_id] for role, cell in role_cells
+            }
+            experiments[req.experiment_id] = aggregate_request(req, by_role)
+
+        cells_sorted = {cid: payloads[cid] for cid in sorted(payloads)}
+        return RunReport(
+            experiments=experiments,
+            cells=cells_sorted,
+            timings={cid: timings[cid] for cid in sorted(timings)},
+            cache_stats=(
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
+            wall_s=time.perf_counter() - t0,
+            n_cell_runs=n_cell_runs,
+        )

@@ -21,6 +21,7 @@ from repro.sim.core import (
     Environment,
     Event,
     Timeout,
+    RecurringTimeout,
     Process,
     Interrupt,
     AnyOf,
@@ -35,6 +36,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "RecurringTimeout",
     "Process",
     "Interrupt",
     "AnyOf",

@@ -17,6 +17,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 # Event priorities: URGENT fires before NORMAL at the same timestamp.  The
 # engine uses URGENT for process-resumption bookkeeping (e.g. interrupts) so
 # that control-flow events beat same-time timeouts.
@@ -126,6 +129,54 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule(self, NORMAL, delay)
+
+
+class RecurringTimeout(Event):
+    """A reusable timeout for fixed-period loops (daemon ticks, samplers).
+
+    A periodic 50 us control loop over a multi-second horizon allocates
+    tens of thousands of single-use :class:`Timeout` objects (plus their
+    callback lists).  A recurring timeout is one event object that its
+    owner re-arms after every firing::
+
+        timer = RecurringTimeout(env, period)
+        while True:
+            yield timer
+            ...                 # one tick of work
+            timer.rearm()       # reschedule before yielding again
+
+    ``rearm`` resets the event to a freshly-fired-timeout state and
+    reschedules it ``period`` into the future, so the firing order is
+    bit-identical to allocating a new :class:`Timeout` at the same point.
+    Only the owning process may wait on it: sharing one event object
+    across waiters and firings would cross-deliver values.
+    """
+
+    __slots__ = ("period",)
+
+    def __init__(self, env: "Environment", period: float, value: Any = None):
+        if period < 0:
+            raise SimulationError(f"negative timeout delay: {period!r}")
+        super().__init__(env)
+        self.period = period
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, period)
+
+    def rearm(self, period: Optional[float] = None) -> "RecurringTimeout":
+        """Reset to pending-fire state and reschedule ``period`` from now."""
+        if self.callbacks is not None:
+            raise SimulationError(
+                "rearm() called before the previous firing was processed"
+            )
+        if period is not None:
+            if period < 0:
+                raise SimulationError(f"negative timeout delay: {period!r}")
+            self.period = period
+        self.callbacks = []
+        self._processed = False
+        self.env._schedule(self, NORMAL, self.period)
+        return self
 
 
 class Initialize(Event):
@@ -356,8 +407,8 @@ class Environment:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0):
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        _heappush(self._heap, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the calendar is empty."""
@@ -367,7 +418,7 @@ class Environment:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("no scheduled events")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        t, _prio, _seq, event = _heappop(self._heap)
         self._now = t
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks:
@@ -377,17 +428,34 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the calendar drains or the clock reaches ``until``."""
-        if until is not None:
-            until = float(until)
+        """Run until the calendar drains or the clock reaches ``until``.
+
+        The loop body is :meth:`step` inlined with the heap and heappop
+        bound to locals: this path pops every event of every run, and the
+        per-event call/attribute overhead of delegating to ``step()`` is
+        measurable on multi-second horizons.
+        """
+        if until is None:
+            limit = float("inf")
+        else:
+            limit = until = float(until)
             if until < self._now:
                 raise SimulationError(
                     f"run(until={until}) is in the past (now={self._now})"
                 )
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = _heappop
+        while heap:
+            if heap[0][0] > limit:
                 self._now = until
                 return
-            self.step()
+            t, _prio, _seq, event = pop(heap)
+            self._now = t
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks:
+                cb(event)
+            event._processed = True
+            if not event._ok and not event._defused:
+                raise event._value
         if until is not None:
             self._now = until

@@ -1,0 +1,196 @@
+"""Determinism regression tests: same seed => bit-identical results.
+
+The runner's cache and parallel fan-out are only sound if every cell is a
+pure function of (params, seed).  These tests pin that property at three
+levels: the event-loop tie-breaking it rests on, the Holmes daemon loop,
+and each experiment entry point the runner dispatches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import canonical_dumps
+from repro.runner import Cell, execute_cell
+from repro.sim import Environment, RecurringTimeout
+from repro.sim.core import NORMAL, URGENT
+
+# -- heapq tie-breaking ----------------------------------------------------------
+
+
+def test_same_timestamp_flood_fires_fifo():
+    """500 timeouts landing on one instant fire in creation order."""
+    env = Environment()
+    order = []
+
+    def waiter(env, i):
+        yield env.timeout(5.0)
+        order.append(i)
+
+    for i in range(500):
+        env.process(waiter(env, i))
+    env.run()
+    assert order == list(range(500))
+
+
+def test_equal_time_mixed_delays_fifo_by_schedule_order():
+    """Events scheduled for the same instant via different (delay, creation
+    time) pairs fire in scheduling order, not delay or creation order."""
+    env = Environment()
+    order = []
+
+    def late_scheduler(env):
+        # at t=2, schedule a timeout for t=5 -- *after* the t=0 processes
+        # scheduled theirs, so it must fire after every one of them
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+        order.append("late")
+
+    def early(env, i):
+        yield env.timeout(5.0)
+        order.append(i)
+
+    env.process(late_scheduler(env))
+    for i in range(10):
+        env.process(early(env, i))
+    env.run()
+    assert order == list(range(10)) + ["late"]
+
+
+def test_urgent_priority_beats_fifo_at_same_instant():
+    env = Environment()
+    fired = []
+    normal = env.event()
+    urgent = env.event()
+    normal.callbacks.append(lambda e: fired.append("normal"))
+    urgent.callbacks.append(lambda e: fired.append("urgent"))
+    normal.succeed(priority=NORMAL)
+    urgent.succeed(priority=URGENT)  # scheduled second, fires first
+    env.run()
+    assert fired == ["urgent", "normal"]
+
+
+def test_recurring_timeout_orders_like_fresh_timeouts():
+    """A rearm()ed RecurringTimeout interleaves with competitors exactly
+    like a loop allocating a fresh Timeout at the same point would."""
+
+    def run(use_recurring: bool) -> list:
+        env = Environment()
+        log = []
+
+        def periodic(env):
+            if use_recurring:
+                timer = RecurringTimeout(env, 10.0)
+                while env.now < 100.0:
+                    yield timer
+                    log.append(("tick", env.now))
+                    timer.rearm()
+            else:
+                while env.now < 100.0:
+                    yield env.timeout(10.0)
+                    log.append(("tick", env.now))
+
+        def competitor(env):
+            # same-timestamp competitor: fires at every multiple of 10 too
+            while env.now < 100.0:
+                yield env.timeout(5.0)
+                log.append(("comp", env.now))
+
+        env.process(periodic(env))
+        env.process(competitor(env))
+        env.run(until=120.0)
+        return log
+
+    assert run(True) == run(False)
+
+
+def test_recurring_timeout_rearm_before_fire_is_an_error():
+    from repro.sim import SimulationError
+
+    env = Environment()
+    timer = RecurringTimeout(env, 10.0)
+    with pytest.raises(SimulationError):
+        timer.rearm()
+
+
+# -- daemon loop -----------------------------------------------------------------
+
+
+def _daemon_trace() -> dict:
+    """One short Holmes run over live traffic + batch; full internal state."""
+    from repro.core import Holmes, HolmesConfig
+    from repro.experiments.common import ExperimentScale, build_system
+    from repro.workloads.kv import make_service
+    from repro.yarnlike import ContinuousSubmitter, NodeManager
+    from repro.ycsb import YCSBClient, workload_by_name
+
+    scale = ExperimentScale(duration_us=20_000.0)
+    system = build_system(scale)
+    service = make_service("redis", system, n_keys=2_000)
+    service.start(lcpus={0, 1, 2, 3})
+    holmes = Holmes(system, HolmesConfig(n_reserved=4))
+    holmes.start()
+    holmes.register_lc_service(service.pid)
+    nm = NodeManager(system, seed=scale.seed + 7)
+    ContinuousSubmitter(nm, target_concurrent=2, tasks_per_container=2).start()
+    client = YCSBClient(
+        system.env, service, workload_by_name("a"), 30_000.0,
+        np.random.default_rng(scale.seed + 17),
+    )
+    client.start(scale.duration_us)
+    system.run(until=scale.duration_us)
+    return {
+        "ticks": holmes.ticks,
+        "active_ticks": holmes.active_ticks,
+        "events": [
+            (e.time, e.action, e.detail) for e in holmes.scheduler.events
+        ],
+        "vpi_times": holmes.vpi_history.times.tolist(),
+        "vpi_values": holmes.vpi_history.values.tolist(),
+        "latencies": service.recorder.latencies().tolist(),
+    }
+
+
+def test_daemon_loop_bit_identical_across_runs():
+    a = canonical_dumps(_daemon_trace())
+    b = canonical_dumps(_daemon_trace())
+    assert a == b
+
+
+# -- experiment entry points -----------------------------------------------------
+
+
+def _payload_bytes(kind: str, params: dict, seed: int = 42) -> bytes:
+    return canonical_dumps(execute_cell(Cell.make(kind, params, seed))).encode()
+
+
+@pytest.mark.parametrize(
+    "kind,params",
+    [
+        ("colocation", {"service": "redis", "workload": "a",
+                        "setting": "holmes", "duration_us": 20_000.0}),
+        ("colocation", {"service": "memcached", "workload": "b",
+                        "setting": "perfiso", "duration_us": 20_000.0}),
+        ("colocation", {"service": "rocksdb", "workload": "a",
+                        "setting": "alone", "duration_us": 20_000.0}),
+        ("fig2", {"duration_us": 3_000.0}),
+        ("hpe", {"duration_us": 10_000.0}),
+        ("convergence", {"heracles_epoch_us": 150_000.0,
+                         "parties_step_us": 50_000.0}),
+    ],
+    ids=["colo-holmes", "colo-perfiso", "colo-alone", "fig2", "hpe",
+         "convergence"],
+)
+@pytest.mark.slow
+def test_experiment_entry_points_bit_identical(kind, params):
+    assert _payload_bytes(kind, params) == _payload_bytes(kind, params)
+
+
+def test_different_seeds_differ():
+    """Sanity: the seed actually reaches the experiment."""
+    params = {"service": "redis", "workload": "a", "setting": "alone",
+              "duration_us": 10_000.0}
+    assert _payload_bytes("colocation", params, seed=1) != _payload_bytes(
+        "colocation", params, seed=2
+    )

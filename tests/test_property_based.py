@@ -248,3 +248,202 @@ def test_percentile_summary_ordering(lats):
     s = percentile_summary(lats)
     assert s["p50"] <= s["p70"] <= s["p80"] <= s["p90"] <= s["p99"]
     assert min(lats) - 1e-9 <= s["mean"] <= max(lats) + 1e-9
+
+
+# -- scheduler invariants under random interleavings ------------------------------
+#
+# The scheduler is driven directly with fabricated MonitorSamples: random
+# per-tick VPI/usage vectors, serving flags and container launch/exit
+# events, decoupled from any workload.  Whatever the interleaving, the
+# paper's structural guarantees must hold after every tick.
+
+_N_LCPUS = 16  # 1 socket x 8 SMT-2 cores
+
+
+def _fresh_scheduler():
+    from repro.core.config import HolmesConfig
+    from repro.core.monitor import MetricMonitor
+    from repro.core.scheduler import HolmesScheduler
+    from repro.oskernel import System
+
+    system = System(config=HWConfig(sockets=1, cores_per_socket=8))
+    cfg = HolmesConfig(n_reserved=4)
+    monitor = MetricMonitor(system, cfg)
+    return system, cfg, monitor, HolmesScheduler(system, cfg, monitor)
+
+
+def _all_batch_cpus(monitor):
+    """Every logical CPU any batch container may currently run on."""
+    cpus: set[int] = set()
+    for info in monitor.containers.values():
+        cpus |= info.cpus | info.sibling_grants
+    return cpus
+
+
+def _grant_set(monitor):
+    return {
+        (info.name, sib)
+        for info in monitor.containers.values()
+        for sib in info.sibling_grants
+    }
+
+
+def _drive(ticks):
+    """Apply fabricated ticks; yield state snapshots for invariant checks."""
+    from types import SimpleNamespace
+
+    from repro.core.monitor import ContainerInfo, MonitorSample
+
+    system, cfg, monitor, sched = _fresh_scheduler()
+    env = system.env
+    n_launched = 0
+    for dt, serving, action, vpi, usage in ticks:
+        env.timeout(dt)
+        env.run()
+        now = env.now
+        new, gone = [], []
+        if action == "launch":
+            name = f"c{n_launched}"
+            n_launched += 1
+            cg = system.cgroups.create(f"{cfg.batch_cgroup_root}/{name}")
+            info = ContainerInfo(name=name, cgroup=cg, discovered_at=now)
+            monitor.containers[name] = info
+            new.append(info)
+        elif action == "exit" and monitor.containers:
+            gone.append(monitor.containers.pop(sorted(monitor.containers)[0]))
+        vpi_arr = np.asarray(vpi, dtype=float)
+        usage_arr = np.asarray(usage, dtype=float)
+        lc_before = list(sched.lc_cpus)
+        grants_before = _grant_set(monitor)
+        sample = MonitorSample(
+            time=now,
+            usage=usage_arr,
+            usage_ema=usage_arr,
+            vpi=vpi_arr,
+            core_vpi=np.zeros(_N_LCPUS // 2),
+            new_containers=new,
+            gone_containers=gone,
+            lc_statuses=[SimpleNamespace(serving=serving)],
+        )
+        sched.tick(sample)
+        yield {
+            "system": system,
+            "cfg": cfg,
+            "monitor": monitor,
+            "sched": sched,
+            "now": now,
+            "serving": serving,
+            "vpi": vpi_arr,
+            "lc_before": lc_before,
+            "grants_before": grants_before,
+            "launched": bool(new),
+        }
+
+
+_tick_st = st.tuples(
+    st.floats(min_value=100.0, max_value=30_000.0),              # dt (us)
+    st.booleans(),                                               # serving
+    st.sampled_from(["none", "none", "launch", "exit"]),
+    st.lists(st.floats(0.0, 100.0), min_size=_N_LCPUS, max_size=_N_LCPUS),
+    st.lists(st.floats(0.0, 1.0), min_size=_N_LCPUS, max_size=_N_LCPUS),
+)
+
+
+@given(st.lists(_tick_st, min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_reserved_floor_never_violated(ticks):
+    """The LC CPU set always contains the reserved 4-core floor, and never
+    two hyperthread siblings of the same physical core."""
+    for s in _drive(ticks):
+        sched, topo = s["sched"], s["sched"].topology
+        assert set(sched.reserved) <= set(sched.lc_cpus)
+        assert len(sched.lc_cpus) >= s["cfg"].n_reserved
+        for lc in sched.lc_cpus:
+            assert topo.sibling(lc) not in set(sched.lc_cpus)
+
+
+@given(st.lists(_tick_st, min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_high_vpi_sibling_never_shared_with_batch(ticks):
+    """While serving, an LC CPU observed at VPI >= E never shares its
+    physical core with a batch container after the tick."""
+    for s in _drive(ticks):
+        if not s["serving"]:
+            continue
+        sched, topo = s["sched"], s["sched"].topology
+        batch = _all_batch_cpus(s["monitor"])
+        for lc in s["lc_before"]:
+            if s["vpi"][lc] >= sched.threshold:
+                assert topo.sibling(lc) not in batch, (
+                    f"batch on sibling of hot LC cpu {lc}"
+                )
+
+
+@given(st.lists(_tick_st, min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_sibling_regrant_respects_hold_down(ticks):
+    """While serving, Algorithm 2 only re-grants an LC sibling after the
+    VPI has stayed below E for the hold-down S.  (Ticks that launch a
+    container are excluded: Algorithm 1's spill path may legitimately
+    grant a calm sibling at launch, independent of S.)"""
+    for s in _drive(ticks):
+        if not s["serving"] or s["launched"]:
+            continue
+        sched, cfg = s["sched"], s["cfg"]
+        new_grants = _grant_set(s["monitor"]) - s["grants_before"]
+        for _name, sib in new_grants:
+            lc = sched.topology.sibling(sib)
+            last_high = sched._last_high.get(lc, -np.inf)
+            assert s["now"] - last_high >= cfg.s_hold_us, (
+                f"sibling {sib} re-granted {s['now'] - last_high:.0f} us "
+                f"after high VPI on {lc} (S={cfg.s_hold_us:.0f})"
+            )
+
+
+def test_hold_down_sequence_directed():
+    """Deterministic walk through the dealloc -> hold-down -> regrant cycle."""
+    from types import SimpleNamespace
+
+    from repro.core.monitor import ContainerInfo, MonitorSample
+
+    system, cfg, monitor, sched = _fresh_scheduler()
+    env = system.env
+    topo = sched.topology
+
+    def tick(dt, serving, vpi_value, new=()):
+        env.timeout(dt)
+        env.run()
+        sched.tick(MonitorSample(
+            time=env.now,
+            usage=np.full(_N_LCPUS, 0.2),
+            usage_ema=np.full(_N_LCPUS, 0.2),
+            vpi=np.full(_N_LCPUS, float(vpi_value)),
+            core_vpi=np.zeros(_N_LCPUS // 2),
+            new_containers=list(new),
+            gone_containers=[],
+            lc_statuses=[SimpleNamespace(serving=serving)],
+        ))
+
+    cg = system.cgroups.create(f"{cfg.batch_cgroup_root}/c0")
+    info = ContainerInfo(name="c0", cgroup=cg, discovered_at=env.now)
+    monitor.containers["c0"] = info
+
+    # idle: every LC sibling is granted to the lone batch container
+    tick(50.0, serving=False, vpi_value=0.0, new=[info])
+    sibs = {topo.sibling(lc) for lc in sched.lc_cpus}
+    assert info.sibling_grants == sibs
+
+    # traffic + high VPI: every sibling is deallocated
+    tick(50.0, serving=True, vpi_value=cfg.e_threshold + 10.0)
+    t_high = env.now
+    assert info.sibling_grants == set()
+
+    # calm but within the hold-down: still nothing granted
+    tick(cfg.s_hold_us * 0.5, serving=True, vpi_value=0.0)
+    assert env.now - t_high < cfg.s_hold_us
+    assert info.sibling_grants == set()
+
+    # calm past the hold-down: siblings come back
+    tick(cfg.s_hold_us, serving=True, vpi_value=0.0)
+    assert env.now - t_high >= cfg.s_hold_us
+    assert info.sibling_grants == sibs

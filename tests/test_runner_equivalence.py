@@ -1,0 +1,133 @@
+"""Parallel runner == serial runner, byte for byte.
+
+Three representative experiments (a figure triple, an SLO derivation over
+the same triple, and an E-threshold sensitivity sweep) are run through
+the legacy serial path (no cache, no dedupe, one process) and through the
+pooled runner under three cache regimes: cold, warm, and deliberately
+corrupted.  The merged output must be byte-identical in every case, and
+corrupted entries must be detected via the payload hash and recomputed —
+never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import (
+    ExperimentRequest,
+    ExperimentRunner,
+    ResultCache,
+)
+
+#: short horizon: equivalence is about plumbing, not simulation fidelity.
+DURATION_US = 15_000.0
+
+
+def _requests() -> list[ExperimentRequest]:
+    colo = {"service": "redis", "workload": "a", "duration_us": DURATION_US}
+    return [
+        ExperimentRequest.make("compare", colo),
+        ExperimentRequest.make("slo", colo),
+        ExperimentRequest.make(
+            "sensitivity", {**colo, "e_values": (50.0, 70.0)}
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return ExperimentRunner(cache=None, parallel=1, dedupe=False).run(
+        _requests()
+    )
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("runner-cache")
+
+
+@pytest.mark.slow
+def test_parallel_cold_cache_equals_serial(serial_report, cache_dir):
+    cache = ResultCache(cache_dir)
+    par = ExperimentRunner(cache=cache, parallel=2, dedupe=True).run(
+        _requests()
+    )
+    assert par.merged_bytes() == serial_report.merged_bytes()
+    # the three experiments share the alone/holmes/perfiso triple: five
+    # unique cells (triple + two extra E-holmes) vs nine serial executions
+    assert par.n_cell_runs == 5
+    assert serial_report.n_cell_runs == 9
+    assert cache.stats.misses == 5
+    assert cache.stats.writes == 5
+    assert cache.stats.corrupted == 0
+
+
+@pytest.mark.slow
+def test_parallel_warm_cache_equals_serial(serial_report, cache_dir):
+    cache = ResultCache(cache_dir)
+    par = ExperimentRunner(cache=cache, parallel=2, dedupe=True).run(
+        _requests()
+    )
+    assert par.merged_bytes() == serial_report.merged_bytes()
+    assert par.n_cell_runs == 0
+    assert cache.stats.hits == 5
+    assert cache.stats.misses == 0
+
+
+@pytest.mark.slow
+def test_corrupted_cache_detected_and_recomputed(serial_report, cache_dir):
+    entries = sorted(cache_dir.glob("*.json"))
+    assert len(entries) == 5
+
+    # tamper with one payload but keep its recorded hash: the entry still
+    # parses, so only hash verification can catch it
+    tampered = entries[0]
+    entry = json.loads(tampered.read_text())
+    entry["payload"]["avg_cpu_utilization"] = 0.123456789
+    tampered.write_text(json.dumps(entry))
+
+    # and truncate another one outright
+    truncated = entries[1]
+    truncated.write_text(truncated.read_text()[: 40])
+
+    cache = ResultCache(cache_dir)
+    par = ExperimentRunner(cache=cache, parallel=2, dedupe=True).run(
+        _requests()
+    )
+    assert par.merged_bytes() == serial_report.merged_bytes()
+    assert cache.stats.corrupted == 2
+    assert cache.stats.hits == 3
+    assert par.n_cell_runs == 2  # both bad entries recomputed
+    assert cache.stats.writes == 2
+
+    # the rewritten entries verify again on the next pass
+    cache2 = ResultCache(cache_dir)
+    again = ExperimentRunner(cache=cache2, parallel=2, dedupe=True).run(
+        _requests()
+    )
+    assert again.merged_bytes() == serial_report.merged_bytes()
+    assert cache2.stats.hits == 5
+    assert cache2.stats.corrupted == 0
+
+
+def test_wrong_key_entry_is_not_trusted(tmp_path):
+    """An entry whose stored key mismatches its filename/key is rejected."""
+    from repro.runner import Cell, cell_key
+
+    cell = Cell.make(
+        "colocation",
+        {"service": "redis", "workload": "a", "setting": "alone",
+         "duration_us": 5_000.0},
+    )
+    cache = ResultCache(tmp_path)
+    key = cell_key(cell)
+    bogus = {
+        "key": "not-the-right-key",
+        "payload_sha256": "0" * 64,
+        "payload": {"queries": 1},
+    }
+    cache.path_for(key).write_text(json.dumps(bogus))
+    assert cache.get(cell) is None
+    assert cache.stats.corrupted == 1
