@@ -13,8 +13,8 @@ Not paper figures -- these justify the choices the paper makes:
 """
 
 import pytest
-from conftest import FAST, bench_scale, report
 
+from conftest import FAST, report
 from repro.analysis import format_table
 from repro.core import HolmesConfig
 from repro.experiments.colocation import run_colocation

@@ -1,9 +1,8 @@
 """Figure 4 bench: normalized latency and VPI curves across RPS sweeps."""
 
 import numpy as np
-import pytest
-from conftest import report
 
+from conftest import report
 from repro.analysis import format_table
 from repro.experiments.fig4_table1_hpe import run_hpe_selection
 from repro.hw.events import CANDIDATE_EVENTS

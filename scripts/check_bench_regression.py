@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI gate: compare a fresh ``repro bench`` record against the committed
+baseline (``BENCH_runner.json``).
+
+Two checks, mirroring what the bench itself promises:
+
+* the serial and parallel merged results of the fresh run must be
+  byte-identical (fan-out that changes results is a correctness bug);
+* the fresh serial wall-clock, normalised per simulated microsecond so a
+  ``--quick`` run is comparable to the committed full-length baseline,
+  must not exceed ``max_ratio`` times the baseline (default 2x -- CI
+  runners are noisy, so only flag real regressions).
+
+Exit status is nonzero on either failure, so the workflow step fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def normalised_serial_wall(record: dict) -> float:
+    """Serial seconds per simulated microsecond of sweep cell."""
+    sweep = record["sweep"]
+    duration_us = float(sweep["duration_us"])
+    if duration_us <= 0:
+        raise ValueError(f"bad duration_us in bench record: {duration_us}")
+    return float(sweep["serial_wall_s"]) / duration_us
+
+
+def check(current: dict, baseline: dict, max_ratio: float) -> list[str]:
+    failures = []
+    if not current["sweep"]["identical_merged_results"]:
+        failures.append(
+            "serial and parallel merged results differ: the runner's "
+            "fan-out changed experiment output"
+        )
+    cur = normalised_serial_wall(current)
+    base = normalised_serial_wall(baseline)
+    ratio = cur / base if base > 0 else float("inf")
+    print(
+        f"serial wall per simulated us: current {cur:.3e}, "
+        f"baseline {base:.3e}, ratio {ratio:.2f}x (limit {max_ratio:.2f}x)"
+    )
+    if ratio > max_ratio:
+        failures.append(
+            f"serial sweep wall regressed {ratio:.2f}x vs baseline "
+            f"(limit {max_ratio:.2f}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="bench record from this run")
+    parser.add_argument("baseline", nargs="?", default="BENCH_runner.json",
+                        help="committed baseline (default BENCH_runner.json)")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="allowed normalised serial-wall slowdown")
+    args = parser.parse_args(argv)
+
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = check(current, baseline, args.max_ratio)
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    if not failures:
+        print("bench regression check passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@ from repro.analysis.stats import (
 )
 from repro.analysis.slo import slo_from_alone, violation_ratio
 from repro.analysis.report import format_table, format_cdf_sparkline
+from repro.analysis.cluster import (
+    compare_policies,
+    format_cluster_table,
+    policy_row,
+)
 
 __all__ = [
     "pearson",
@@ -16,4 +21,7 @@ __all__ = [
     "violation_ratio",
     "format_table",
     "format_cdf_sparkline",
+    "compare_policies",
+    "format_cluster_table",
+    "policy_row",
 ]

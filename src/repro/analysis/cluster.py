@@ -1,0 +1,114 @@
+"""Aggregation of cluster-sweep payloads into the policy comparison.
+
+The ``cluster`` experiment runs one :func:`repro.cluster.sweep.run_cluster_sweep`
+cell per placement policy over identically-seeded churn; these helpers
+fold the per-policy payloads into the comparison table the report path
+renders -- per-policy LC P99 and SLO violations, batch throughput,
+queueing delay and relocation counts, plus the score-vs-baseline deltas
+that make the experiment's conclusion legible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def policy_row(payload: dict) -> dict:
+    """Flatten one sweep payload into a comparison-table row."""
+    lc = payload["lc"]
+    batch = payload["batch"]
+    lat = lc["latency"]
+    quantiles = lat["quantiles"]
+    return {
+        "policy": payload["policy"],
+        "lc_queries": lat["count"],
+        "lc_mean_us": lat["mean"],
+        "lc_p99_us": quantiles[99] if quantiles else None,
+        "slo_us": lc["slo_us"],
+        "slo_violation_ratio": lc["slo_violation_ratio"],
+        "jobs_completed": batch["completed"],
+        "jobs_per_s": batch["jobs_per_s"],
+        "jobs_rejected": batch["rejected"],
+        "queue_delay_p99_us": batch["queue_delay"]["p99_us"],
+        "relocations": batch["relocations"]["total"],
+        "stall_relocations": batch["relocations"]["stall"],
+        "preemptive_relocations": batch["relocations"]["preemptive"],
+    }
+
+
+def _pct_reduction(baseline: Optional[float],
+                   candidate: Optional[float]) -> Optional[float]:
+    if not baseline or candidate is None:
+        return None
+    return 100.0 * (1.0 - candidate / baseline)
+
+
+def compare_policies(by_policy: dict[str, dict]) -> dict:
+    """Fold per-policy payloads into the experiment aggregate.
+
+    ``by_policy`` maps policy name -> sweep payload.  When both the
+    ``score`` policy and the ``least-loaded`` baseline are present the
+    aggregate carries explicit deltas (positive = score is better).
+    """
+    rows = {name: policy_row(p) for name, p in sorted(by_policy.items())}
+    out: dict[str, Any] = {"policies": rows}
+    base, cand = rows.get("least-loaded"), rows.get("score")
+    if base and cand:
+        out["score_vs_least_loaded"] = {
+            "p99_reduction_pct": _pct_reduction(
+                base["lc_p99_us"], cand["lc_p99_us"]
+            ),
+            "violation_reduction_pct": _pct_reduction(
+                base["slo_violation_ratio"], cand["slo_violation_ratio"]
+            ),
+            "throughput_ratio": (
+                cand["jobs_per_s"] / base["jobs_per_s"]
+                if base["jobs_per_s"]
+                else None
+            ),
+        }
+    return out
+
+
+def format_cluster_table(aggregate: dict) -> str:
+    """Render the policy comparison as an aligned text table."""
+    headers = (
+        "policy", "lc_p99_us", "slo_viol", "jobs/s",
+        "queue_p99_ms", "relocations",
+    )
+    lines = []
+    for name, row in aggregate["policies"].items():
+        qd = row["queue_delay_p99_us"]
+        lines.append((
+            name,
+            f"{row['lc_p99_us']:.1f}" if row["lc_p99_us"] is not None else "-",
+            (
+                f"{100.0 * row['slo_violation_ratio']:.2f}%"
+                if row["slo_violation_ratio"] is not None
+                else "-"
+            ),
+            f"{row['jobs_per_s']:.1f}",
+            f"{qd / 1e3:.1f}" if qd is not None else "-",
+            str(row["relocations"]),
+        ))
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in lines)) if lines else len(headers[i])
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    rendered = [fmt.format(*headers)]
+    rendered += [fmt.format(*row) for row in lines]
+    delta = aggregate.get("score_vs_least_loaded")
+    if delta:
+        parts = []
+        if delta["p99_reduction_pct"] is not None:
+            parts.append(f"P99 {delta['p99_reduction_pct']:+.1f}%")
+        if delta["violation_reduction_pct"] is not None:
+            parts.append(
+                f"SLO violations {delta['violation_reduction_pct']:+.1f}%"
+            )
+        if delta["throughput_ratio"] is not None:
+            parts.append(f"throughput x{delta['throughput_ratio']:.2f}")
+        if parts:
+            rendered.append("score vs least-loaded: " + ", ".join(parts))
+    return "\n".join(rendered)

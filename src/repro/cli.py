@@ -18,8 +18,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro.analysis import format_table
 from repro.analysis.figures import render_bars, render_cdf, render_series
 
@@ -160,14 +158,56 @@ def cmd_sweep_e(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    import pathlib
+
+    from repro.analysis.cluster import format_cluster_table
+    from repro.analysis.export import canonical_dumps
+    from repro.cluster import POLICIES
+    from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
+
+    policies = tuple(POLICIES) if args.policy == "both" else (args.policy,)
+    params = {
+        "n_nodes": args.nodes,
+        "n_jobs": args.jobs,
+        "duration_us": args.duration * 1e6,
+        "policies": policies,
+    }
+    request = ExperimentRequest.make("cluster", params, args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    print(f"cluster sweep: {args.nodes} nodes, {args.jobs} jobs, "
+          f"policies: {', '.join(policies)} ...", file=sys.stderr)
+    report = runner.run([request])
+    aggregate = report.experiments[request.experiment_id]
+
+    path = pathlib.Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # canonical bytes: same seed and scale => byte-identical report file
+    path.write_text(canonical_dumps(report.merged()) + "\n")
+
+    print(format_cluster_table(aggregate))
+    print(f"{report.n_cell_runs} cells computed, {report.wall_s:.1f}s wall")
+    print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.runner import run_bench
 
-    print(f"benching: 4-experiment sweep, serial vs --parallel {args.parallel} "
-          f"({args.duration:g} simulated seconds per cell) ...", file=sys.stderr)
+    # --quick: CI mode.  Cells keep the committed baseline's duration so
+    # BENCH_runner.json stays an apples-to-apples reference (shorter cells
+    # would be dominated by fixed setup cost); only the pool shrinks to
+    # match small CI runners.
+    duration = args.duration if args.duration is not None else 0.08
+    parallel = args.parallel
+    if parallel is None:
+        parallel = 2 if args.quick else 4
+    print(f"benching: 4-experiment sweep, serial vs --parallel {parallel} "
+          f"({duration:g} simulated seconds per cell) ...", file=sys.stderr)
     record = run_bench(
-        parallel=args.parallel,
-        duration_us=args.duration * 1e6,
+        parallel=parallel,
+        duration_us=duration * 1e6,
         seed=args.seed,
         cache_dir=args.cache_dir,
         output=args.output,
@@ -271,13 +311,35 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="serial-vs-parallel runner bench; writes BENCH_runner.json",
     )
-    p.add_argument("--parallel", type=int, default=4,
-                   help="worker processes for the parallel column (default 4)")
-    p.add_argument("--duration", type=float, default=0.08,
+    p.add_argument("--parallel", type=int, default=None,
+                   help="worker processes for the parallel column "
+                        "(default 4, or 2 with --quick)")
+    p.add_argument("--duration", type=float, default=None,
                    help="simulated seconds per sweep cell (default 0.08)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI mode: baseline-comparable cells, small pool")
     p.add_argument("--output", default="BENCH_runner.json")
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: fresh temp dir, cold)")
+
+    p = sub.add_parser(
+        "cluster",
+        help="interference-aware cluster scheduling sweep (score vs "
+             "least-loaded placement under churn)",
+    )
+    p.add_argument("--nodes", type=int, default=8,
+                   help="servers in the cluster (default 8)")
+    p.add_argument("--jobs", type=int, default=200,
+                   help="batch jobs submitted over the run (default 200)")
+    p.add_argument("--policy", default="both",
+                   choices=["score", "least-loaded", "both"])
+    p.add_argument("--duration", type=float, default=0.6,
+                   help="simulated seconds (default 0.6)")
+    p.add_argument("--parallel", type=int, default=2,
+                   help="worker processes, one per policy cell (default 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: no cache)")
+    p.add_argument("--output", default="cluster_report.json")
 
     p = sub.add_parser(
         "run-all",
@@ -305,6 +367,7 @@ COMMANDS = {
     "metric": cmd_metric,
     "convergence": cmd_convergence,
     "sweep-e": cmd_sweep_e,
+    "cluster": cmd_cluster,
     "bench": cmd_bench,
     "run-all": cmd_run_all,
 }

@@ -1,17 +1,40 @@
-"""Multi-server co-location (the paper's limitation mitigation, Sec. 1).
+"""Multi-server co-location at cluster scale.
 
-"It is possible that latency-critical services receive consistent high
-volume of traffic.  In this case, batch jobs may be suspended and stop
-progress for a long time [...]  batch jobs can be migrated to another
-machines with more resources in the cluster."
+The paper stops at one server: Holmes diagnoses SMT interference with
+VPI and deallocates sibling CPUs locally, and its limitation discussion
+(Sec. 1) notes that under sustained LC traffic "batch jobs can be
+migrated to another machines with more resources in the cluster."  This
+package builds that cluster:
 
-This package provides that other machine: several simulated servers share
-one simulation clock; a cluster-level batch scheduler places jobs on the
-least-loaded server and relocates jobs whose progress has stalled
-(Mercury-style kill-and-resubmit relocation -- batch jobs are best-effort
-and restartable).
+* :class:`Cluster` / :class:`ServerNode` -- many simulated servers on one
+  shared clock, each optionally running its own Holmes daemon whose
+  telemetry snapshot (smoothed LC VPI, reserved-pool pressure, batch
+  occupancy) is exported to cluster level;
+* :mod:`repro.cluster.score` -- folds a node's telemetry into one
+  interference score, lifting VPI from a per-server deallocation signal
+  into a cluster-wide placement input;
+* :class:`ClusterBatchScheduler` -- score-driven placement, FIFO
+  admission control and preemptive relocation, with the original
+  least-loaded placement and stall-based relocation kept as the
+  baseline policy;
+* :mod:`repro.cluster.churn` -- Poisson job arrivals with heavy-tailed
+  sizes plus phased LC load per node, driving hundreds of nodes;
+* :mod:`repro.cluster.sweep` -- the ``cluster_sweep`` experiment driver
+  (per-policy LC latency, SLO violations, relocations, batch throughput
+  and queueing delay).
 """
 
-from repro.cluster.cluster import Cluster, ClusterBatchScheduler, ServerNode
+from repro.cluster.cluster import Cluster, ServerNode
+from repro.cluster.scheduler import POLICIES, ClusterBatchScheduler, TrackedJob
+from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights, interference_score
 
-__all__ = ["Cluster", "ClusterBatchScheduler", "ServerNode"]
+__all__ = [
+    "Cluster",
+    "ClusterBatchScheduler",
+    "ServerNode",
+    "TrackedJob",
+    "POLICIES",
+    "ScoreWeights",
+    "DEFAULT_WEIGHTS",
+    "interference_score",
+]

@@ -1,0 +1,199 @@
+"""Cluster churn: Poisson job arrivals and phased per-node LC load.
+
+Two generators drive the cluster-scale experiment:
+
+* :class:`JobArrivalProcess` -- an open-loop Poisson stream of batch
+  jobs whose sizes are heavy-tailed (Pareto-scaled iteration counts, so
+  most jobs are small and a few are huge, like production traces), all
+  submitted through the cluster scheduler under test;
+* :class:`LCPhaseLoad` -- one latency-critical load generator per node,
+  pinned to the node's reserved CPUs, alternating idle and active
+  phases with per-node random timing.  During an active phase it issues
+  fixed-size memory requests open-loop and records their latency; SMT
+  interference from batch tasks camped on sibling CPUs stretches these
+  latencies, which is exactly the signal the per-node VPI telemetry and
+  the cluster P99/SLO metrics measure.
+
+Every random draw comes from generators spawned off one seeded root, so
+a sweep is bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.cluster import ServerNode
+from repro.cluster.scheduler import ClusterBatchScheduler, TrackedJob
+from repro.hw.ops import MemOp
+from repro.workloads.base import LatencyRecorder
+from repro.workloads.batch import BatchJobSpec
+
+#: base shape of a churn job: one short memory-heavy analytics task,
+#: ~20 ms per task alone; Pareto scaling stretches the tail to seconds.
+CHURN_BASE_JOB = BatchJobSpec(
+    name="churn",
+    iterations=12,
+    mem_lines=8_000,
+    mem_dram_frac=0.85,
+    comp_cycles=2_000_000,
+)
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the arrival stream and the per-node LC load."""
+
+    #: total batch jobs to submit.
+    n_jobs: int = 200
+    #: mean arrival rate (jobs per simulated second); None spreads the
+    #: whole stream over the first ``arrival_window_frac`` of the horizon.
+    arrival_rate_per_s: Optional[float] = None
+    arrival_window_frac: float = 0.7
+    #: Pareto tail exponent of the job-size factor (smaller = heavier).
+    size_alpha: float = 1.6
+    #: cap on the size factor so one job cannot outlive every horizon.
+    size_cap: float = 20.0
+    tasks_per_container: int = 3
+    # -- LC load phases --
+    #: requests per simulated second per LC thread while a phase is active.
+    lc_rate_per_s: float = 3_000.0
+    #: uncached lines per LC request (~51 us of DRAM time alone).
+    lc_request_lines: int = 600
+    #: active/idle phase length bounds (microseconds).
+    phase_min_us: float = 100_000.0
+    phase_max_us: float = 400_000.0
+    #: fraction of nodes whose LC service is active at any moment, in
+    #: expectation (duty cycle of the on/off phases).
+    lc_duty: float = 0.5
+    #: LC threads per node (each pinned to one reserved CPU).
+    lc_threads: int = 2
+
+    def __post_init__(self):
+        if self.n_jobs < 0:
+            raise ValueError("n_jobs must be >= 0")
+        if not 0.0 < self.arrival_window_frac <= 1.0:
+            raise ValueError("arrival_window_frac must be in (0, 1]")
+        if self.size_alpha <= 0 or self.size_cap < 1.0:
+            raise ValueError("invalid job-size distribution")
+        if not 0.0 < self.lc_duty < 1.0:
+            raise ValueError("lc_duty must be in (0, 1)")
+        if self.phase_min_us <= 0 or self.phase_max_us < self.phase_min_us:
+            raise ValueError("invalid phase bounds")
+
+
+class JobArrivalProcess:
+    """Submits ``n_jobs`` Poisson-spaced, heavy-tailed jobs to a scheduler."""
+
+    def __init__(
+        self,
+        scheduler: ClusterBatchScheduler,
+        config: ChurnConfig,
+        horizon_us: float,
+        rng: np.random.Generator,
+        base_spec: BatchJobSpec = CHURN_BASE_JOB,
+    ):
+        self.scheduler = scheduler
+        self.config = config
+        self.horizon_us = horizon_us
+        self.rng = rng
+        self.base_spec = base_spec
+        self.submitted: list[TrackedJob] = []
+        rate = config.arrival_rate_per_s
+        if rate is None:
+            window_s = horizon_us * config.arrival_window_frac / 1e6
+            rate = config.n_jobs / window_s if window_s > 0 else 0.0
+        self.mean_gap_us = 1e6 / rate if rate > 0 else float("inf")
+
+    def start(self) -> None:
+        self.scheduler.env.process(self._body(), name="job-arrivals")
+
+    def _size_factor(self) -> float:
+        # Pareto(alpha) has mean alpha/(alpha-1); most draws sit near 1,
+        # the tail reaches size_cap.  np's pareto is the Lomax form
+        # (support from 0), so shift by 1 for classic Pareto.
+        return float(min(1.0 + self.rng.pareto(self.config.size_alpha),
+                         self.config.size_cap))
+
+    def _body(self):
+        env = self.scheduler.env
+        cfg = self.config
+        for i in range(cfg.n_jobs):
+            if i > 0:
+                yield env.timeout(self.rng.exponential(self.mean_gap_us))
+            spec = self.base_spec.scaled(self._size_factor(),
+                                         name=f"{self.base_spec.name}-{i}")
+            self.submitted.append(self.scheduler.submit(spec))
+
+
+class LCPhaseLoad:
+    """Phased latency-critical load on one node's reserved CPUs."""
+
+    def __init__(
+        self,
+        node: ServerNode,
+        config: ChurnConfig,
+        horizon_us: float,
+        rng: np.random.Generator,
+    ):
+        self.node = node
+        self.config = config
+        self.horizon_us = horizon_us
+        self.rng = rng
+        self.recorder = LatencyRecorder(f"{node.name}-lc")
+        self.completed = 0
+        reserved = (
+            node.holmes.reserved_cpus
+            if node.holmes is not None
+            else list(range(config.lc_threads))
+        )
+        self._lcpus = reserved[: config.lc_threads] or [0]
+        self._proc = node.system.spawn_process(f"{node.name}-lc")
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    def start(self) -> None:
+        for i, lcpu in enumerate(self._lcpus):
+            rng = np.random.default_rng(self.rng.integers(2**63))
+            self._proc.spawn_thread(
+                lambda th, r=rng: self._body(th, r),
+                affinity={lcpu},
+                name=f"{self.node.name}-lc{i}",
+            )
+
+    def _phase_lengths(self, rng: np.random.Generator) -> tuple[float, float]:
+        cfg = self.config
+        active = float(rng.uniform(cfg.phase_min_us, cfg.phase_max_us))
+        # idle sized so the expected duty cycle is lc_duty
+        idle = active * (1.0 - cfg.lc_duty) / cfg.lc_duty
+        return active, idle
+
+    def _body(self, thread, rng: np.random.Generator):
+        env = thread.env
+        cfg = self.config
+        interval = 1e6 / cfg.lc_rate_per_s
+        # desynchronise nodes: random initial idle offset
+        yield from thread.sleep(float(rng.uniform(0.0, cfg.phase_max_us)))
+        while env.now < self.horizon_us:
+            active, idle = self._phase_lengths(rng)
+            phase_end = min(env.now + active, self.horizon_us)
+            next_deadline = env.now
+            while env.now < phase_end:
+                t0 = env.now
+                yield from thread.exec(
+                    MemOp(lines=cfg.lc_request_lines, dram_frac=1.0)
+                )
+                self.recorder.record(t0, env.now - t0, op="lc")
+                self.completed += 1
+                next_deadline += interval
+                if env.now < next_deadline:
+                    yield from thread.sleep(next_deadline - env.now)
+                else:
+                    next_deadline = env.now  # saturated: shed the backlog
+            if env.now >= self.horizon_us:
+                return
+            yield from thread.sleep(idle)

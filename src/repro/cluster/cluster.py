@@ -1,18 +1,26 @@
-"""A small cluster of simulated servers with batch-job relocation."""
+"""A cluster of simulated servers sharing one simulation clock.
+
+Each :class:`ServerNode` is a full simulated machine (``System`` +
+``NodeManager``), optionally running its own Holmes daemon.  When the
+daemon is present the node exports a
+:class:`~repro.core.daemon.TelemetrySnapshot` -- smoothed LC VPI,
+reserved-pool pressure and batch occupancy -- which cluster-level
+placement folds into an interference score
+(:mod:`repro.cluster.score`).  Without a daemon the node degrades to the
+task-count heuristic ``batch_load()``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
+from repro.core import Holmes, HolmesConfig, TelemetrySnapshot
+from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights, interference_score
 from repro.hw import HWConfig
 from repro.oskernel import System
-from repro.oskernel.accounting import UsageTracker
 from repro.sim import Environment
-from repro.workloads.batch import BatchJobSpec
-from repro.yarnlike import JobInstance, NodeManager
+from repro.yarnlike import NodeManager
 
 
 @dataclass
@@ -22,6 +30,10 @@ class ServerNode:
     name: str
     system: System
     nodemanager: NodeManager
+    #: stable position in the cluster (deterministic tie-breaking).
+    index: int = 0
+    #: per-node Holmes daemon, when the cluster runs one (telemetry source).
+    holmes: Optional[Holmes] = None
 
     def batch_load(self) -> float:
         """Live batch task threads per logical CPU (placement heuristic)."""
@@ -33,6 +45,22 @@ class ServerNode:
         )
         return tasks / n
 
+    def telemetry(self) -> Optional[TelemetrySnapshot]:
+        """This node's latest health summary, or None without a daemon."""
+        if self.holmes is None:
+            return None
+        return self.holmes.telemetry()
+
+    def interference_score(
+        self, weights: ScoreWeights = DEFAULT_WEIGHTS
+    ) -> float:
+        """Placement score: telemetry-based when available, load-based else."""
+        return interference_score(
+            self.telemetry(),
+            weights,
+            fallback_occupancy=self.batch_load(),
+        )
+
 
 class Cluster:
     """Servers sharing one simulation clock."""
@@ -43,6 +71,8 @@ class Cluster:
         config: Optional[HWConfig] = None,
         env: Optional[Environment] = None,
         seed: int = 42,
+        holmes_config: Optional[HolmesConfig] = None,
+        start_daemons: bool = True,
     ):
         if n_servers < 1:
             raise ValueError("a cluster needs at least one server")
@@ -53,134 +83,18 @@ class Cluster:
             node_cfg = HWConfig(**{**cfg.__dict__, "seed": cfg.seed + i})
             system = System(env=self.env, config=node_cfg)
             nm = NodeManager(system, seed=seed + i)
-            self.nodes.append(ServerNode(f"server{i}", system, nm))
+            node = ServerNode(f"server{i}", system, nm, index=i)
+            if holmes_config is not None:
+                node.holmes = Holmes(system, holmes_config)
+                if start_daemons:
+                    node.holmes.start()
+            self.nodes.append(node)
 
     def run(self, until: Optional[float] = None) -> None:
         self.env.run(until=until)
 
-
-@dataclass
-class TrackedJob:
-    """Cluster-level view of a submitted job."""
-
-    spec: BatchJobSpec
-    node: ServerNode
-    instance: JobInstance
-    #: cumulative CPU time observed at the last progress check.
-    last_cputime: float = 0.0
-    stalled_since: Optional[float] = None
-    relocations: int = 0
-
-
-class ClusterBatchScheduler:
-    """Places batch jobs on the least-loaded server; relocates starved ones.
-
-    A job is *starved* when its tasks run at less than
-    ``min_progress_fraction`` of their fair CPU rate for
-    ``stall_patience_us`` -- e.g. because the server's Holmes daemon has
-    deallocated CPUs to protect a latency-critical service under sustained
-    traffic.  Relocation is kill-and-resubmit on another server (batch
-    jobs are best-effort; progress within the killed attempt is lost,
-    which matches Yarn/Mercury semantics).
-    """
-
-    def __init__(
-        self,
-        cluster: Cluster,
-        check_interval_us: float = 50_000.0,
-        stall_patience_us: float = 200_000.0,
-        #: a job with N live tasks is starved below N * this CPU rate.
-        min_progress_fraction: float = 0.25,
-        tasks_per_container: int = 4,
-    ):
-        if not 0.0 < min_progress_fraction < 1.0:
-            raise ValueError("min_progress_fraction must be in (0, 1)")
-        self.cluster = cluster
-        self.env = cluster.env
-        self.check_interval_us = check_interval_us
-        self.stall_patience_us = stall_patience_us
-        self.min_progress_fraction = min_progress_fraction
-        self.tasks_per_container = tasks_per_container
-        self.jobs: list[TrackedJob] = []
-        self.relocations = 0
-        self._running = False
-
-    # -- submission --------------------------------------------------------
-
-    def pick_node(self, exclude: Optional[ServerNode] = None) -> ServerNode:
-        candidates = [n for n in self.cluster.nodes if n is not exclude]
-        if not candidates:
-            candidates = list(self.cluster.nodes)
-        return min(candidates, key=lambda n: (n.batch_load(), n.name))
-
-    def submit(self, spec: BatchJobSpec,
-               node: Optional[ServerNode] = None) -> TrackedJob:
-        node = node or self.pick_node()
-        instance = node.nodemanager.launch_job(
-            spec, tasks_per_container=self.tasks_per_container
-        )
-        tracked = TrackedJob(spec=spec, node=node, instance=instance)
-        tracked.last_cputime = self._cputime(tracked)
-        self.jobs.append(tracked)
-        return tracked
-
-    # -- supervision ----------------------------------------------------------
-
-    def start(self) -> None:
-        if self._running:
-            raise RuntimeError("scheduler already started")
-        self._running = True
-        self.env.process(self._loop(), name="cluster-batch-scheduler")
-
-    def stop(self) -> None:
-        self._running = False
-
-    @staticmethod
-    def _cputime(job: TrackedJob) -> float:
-        return sum(c.process.cputime_us for c in job.instance.containers)
-
-    def _loop(self):
-        while self._running:
-            yield self.env.timeout(self.check_interval_us)
-            if not self._running:
-                return
-            now = self.env.now
-            for job in list(self.jobs):
-                if job.instance.finished:
-                    continue
-                cputime = self._cputime(job)
-                rate = (cputime - job.last_cputime) / self.check_interval_us
-                job.last_cputime = cputime
-                live_tasks = sum(
-                    1
-                    for c in job.instance.containers
-                    for t in c.process.threads
-                    if t.alive
-                )
-                if rate < self.min_progress_fraction * max(1, live_tasks):
-                    if job.stalled_since is None:
-                        job.stalled_since = now
-                    elif now - job.stalled_since >= self.stall_patience_us:
-                        self._relocate(job)
-                else:
-                    job.stalled_since = None
-
-    def _relocate(self, job: TrackedJob) -> None:
-        target = self.pick_node(exclude=job.node)
-        if target is job.node:
-            job.stalled_since = None  # nowhere better to go; keep waiting
-            return
-        job.node.nodemanager.kill_job(job.instance)
-        job.instance = target.nodemanager.launch_job(
-            job.spec, tasks_per_container=self.tasks_per_container
-        )
-        job.node = target
-        job.last_cputime = self._cputime(job)
-        job.stalled_since = None
-        job.relocations += 1
-        self.relocations += 1
-
-    # -- reporting -------------------------------------------------------------
-
-    def finished_jobs(self) -> list[TrackedJob]:
-        return [j for j in self.jobs if j.instance.finished]
+    def stop_daemons(self) -> None:
+        """Stop every node's Holmes daemon (if running)."""
+        for node in self.nodes:
+            if node.holmes is not None:
+                node.holmes.stop()

@@ -1,0 +1,321 @@
+"""Interference-aware cluster batch scheduling.
+
+:class:`ClusterBatchScheduler` places batch jobs across the cluster's
+nodes, supervises their progress, and (under the ``score`` policy) uses
+each node's interference score for three decisions the paper's
+single-server Holmes cannot make:
+
+* **placement** -- new jobs land on the node with the lowest score, not
+  merely the fewest batch tasks;
+* **admission control** -- when every node's score exceeds
+  ``admit_threshold``, jobs queue (FIFO) instead of piling onto hot
+  machines, and are rejected outright once the queue is full;
+* **preemptive relocation** -- a job is moved *off* a node whose score
+  crosses ``relocate_threshold`` before its progress stalls, provided a
+  sufficiently cooler node exists.
+
+The original stall-based relocation (a job starved by a Holmes daemon
+protecting a busy LC service is killed and resubmitted elsewhere,
+Mercury-style) is kept under every policy, and the pure
+``least-loaded`` placement remains selectable as the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import Cluster, ServerNode
+from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights
+from repro.sim import Interrupt, SimulationError
+from repro.workloads.batch import BatchJobSpec
+from repro.yarnlike import JobInstance
+
+#: placement policies the scheduler understands.
+POLICIES = ("least-loaded", "score")
+
+#: interrupt cause used to cancel the supervision loop immediately.
+_STOP = "cluster-sched-stop"
+
+
+@dataclass
+class TrackedJob:
+    """Cluster-level view of a submitted job."""
+
+    spec: BatchJobSpec
+    node: Optional[ServerNode] = None
+    instance: Optional[JobInstance] = None
+    submitted_at: float = 0.0
+    #: when the job first started running (== submitted_at unless queued).
+    started_at: Optional[float] = None
+    #: cumulative CPU time observed at the last progress check.
+    last_cputime: float = 0.0
+    stalled_since: Optional[float] = None
+    relocations: int = 0
+    rejected: bool = False
+
+    @property
+    def queued(self) -> bool:
+        return self.instance is None and not self.rejected
+
+    @property
+    def finished(self) -> bool:
+        return self.instance is not None and self.instance.finished
+
+    @property
+    def queue_delay_us(self) -> Optional[float]:
+        """Time spent waiting for admission, or None while still queued."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+class ClusterBatchScheduler:
+    """Policy-driven batch placement, admission and relocation.
+
+    A job is *starved* when its tasks run at less than
+    ``min_progress_fraction`` of their fair CPU rate for
+    ``stall_patience_us`` -- e.g. because the server's Holmes daemon has
+    deallocated CPUs to protect a latency-critical service under
+    sustained traffic.  Relocation is kill-and-resubmit on another server
+    (batch jobs are best-effort; progress within the killed attempt is
+    lost, which matches Yarn/Mercury semantics).
+
+    ``admit_threshold`` and ``relocate_threshold`` only take effect under
+    the ``score`` policy; with the defaults (None) the scheduler admits
+    everything immediately and relocates only on stalls, which is the
+    exact pre-existing behaviour.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        check_interval_us: float = 50_000.0,
+        stall_patience_us: float = 200_000.0,
+        #: a job with N live tasks is starved below N * this CPU rate.
+        min_progress_fraction: float = 0.25,
+        tasks_per_container: int = 4,
+        policy: str = "least-loaded",
+        score_weights: ScoreWeights = DEFAULT_WEIGHTS,
+        admit_threshold: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        relocate_threshold: Optional[float] = None,
+        relocate_margin: float = 0.25,
+    ):
+        if not 0.0 < min_progress_fraction < 1.0:
+            raise ValueError("min_progress_fraction must be in (0, 1)")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if relocate_margin <= 0.0:
+            raise ValueError("relocate_margin must be positive")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.check_interval_us = check_interval_us
+        self.stall_patience_us = stall_patience_us
+        self.min_progress_fraction = min_progress_fraction
+        self.tasks_per_container = tasks_per_container
+        self.policy = policy
+        self.score_weights = score_weights
+        self.admit_threshold = admit_threshold
+        self.max_queue = max_queue
+        self.relocate_threshold = relocate_threshold
+        self.relocate_margin = relocate_margin
+        self.jobs: list[TrackedJob] = []
+        self.queue: deque[TrackedJob] = deque()
+        self.relocations = 0
+        self.stall_relocations = 0
+        self.preemptive_relocations = 0
+        self.admitted = 0
+        self.enqueued = 0
+        self.rejected = 0
+        self._running = False
+        self._proc = None
+
+    # -- scoring ----------------------------------------------------------
+
+    def node_score(self, node: ServerNode) -> float:
+        return node.interference_score(self.score_weights)
+
+    def _placement_key(self, node: ServerNode):
+        if self.policy == "score":
+            return (self.node_score(node), node.batch_load(), node.index)
+        return (node.batch_load(), node.index)
+
+    # -- submission --------------------------------------------------------
+
+    def pick_node(self, exclude: Optional[ServerNode] = None) -> ServerNode:
+        candidates = [n for n in self.cluster.nodes if n is not exclude]
+        if not candidates:
+            candidates = list(self.cluster.nodes)
+        return min(candidates, key=self._placement_key)
+
+    def submit(self, spec: BatchJobSpec,
+               node: Optional[ServerNode] = None) -> TrackedJob:
+        tracked = TrackedJob(spec=spec, submitted_at=self.env.now)
+        if node is not None:
+            self._launch(tracked, node)
+            self.jobs.append(tracked)
+            return tracked
+        target = self.pick_node()
+        if self._admission_active() and self.node_score(target) > self.admit_threshold:
+            if self.max_queue is not None and len(self.queue) >= self.max_queue:
+                tracked.rejected = True
+                self.rejected += 1
+            else:
+                self.queue.append(tracked)
+                self.enqueued += 1
+        else:
+            self._launch(tracked, target)
+        self.jobs.append(tracked)
+        return tracked
+
+    def _admission_active(self) -> bool:
+        return self.policy == "score" and self.admit_threshold is not None
+
+    def _launch(self, tracked: TrackedJob, node: ServerNode) -> None:
+        tracked.instance = node.nodemanager.launch_job(
+            tracked.spec, tasks_per_container=self.tasks_per_container
+        )
+        tracked.node = node
+        tracked.started_at = self.env.now
+        tracked.last_cputime = self._cputime(tracked)
+        self.admitted += 1
+
+    # -- supervision ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("scheduler already started")
+        self._running = True
+        self._proc = self.env.process(self._loop(), name="cluster-batch-scheduler")
+
+    def stop(self) -> None:
+        """Cancel the supervision loop *now*, not at the next tick."""
+        if not self._running:
+            return
+        self._running = False
+        proc = self._proc
+        if proc is not None and proc.is_alive:
+            try:
+                proc.interrupt(cause=_STOP)
+            except SimulationError:
+                # not yet started (stop in the same instant as start): the
+                # _running check on the first tick retires the loop.
+                pass
+
+    @staticmethod
+    def _cputime(job: TrackedJob) -> float:
+        if job.instance is None:
+            return 0.0
+        return sum(c.process.cputime_us for c in job.instance.containers)
+
+    def _loop(self):
+        try:
+            while self._running:
+                yield self.env.timeout(self.check_interval_us)
+                if not self._running:
+                    return
+                self._tick()
+        except Interrupt as exc:
+            if exc.cause != _STOP:  # pragma: no cover - unexpected
+                raise
+
+    def _tick(self) -> None:
+        self._drain_queue()
+        now = self.env.now
+        for job in list(self.jobs):
+            if job.instance is None or job.instance.finished:
+                continue
+            cputime = self._cputime(job)
+            rate = (cputime - job.last_cputime) / self.check_interval_us
+            job.last_cputime = cputime
+            live_tasks = sum(
+                1
+                for c in job.instance.containers
+                for t in c.process.threads
+                if t.alive
+            )
+            if rate < self.min_progress_fraction * max(1, live_tasks):
+                if job.stalled_since is None:
+                    job.stalled_since = now
+                elif now - job.stalled_since >= self.stall_patience_us:
+                    self._relocate(job, kind="stall")
+            else:
+                job.stalled_since = None
+        self._preemptive_relocation()
+
+    # -- admission queue ---------------------------------------------------
+
+    def _drain_queue(self) -> None:
+        """Launch queued jobs, FIFO, while some node is cool enough."""
+        while self.queue:
+            target = self.pick_node()
+            if (
+                self._admission_active()
+                and self.node_score(target) > self.admit_threshold
+            ):
+                return
+            self._launch(self.queue.popleft(), target)
+
+    # -- relocation --------------------------------------------------------
+
+    def _relocate(self, job: TrackedJob, kind: str = "stall",
+                  target: Optional[ServerNode] = None) -> None:
+        if job.instance is None or job.instance.finished:
+            # finished (or got queued) between detection and action
+            job.stalled_since = None
+            return
+        target = target or self.pick_node(exclude=job.node)
+        if target is job.node:
+            job.stalled_since = None  # nowhere better to go; keep waiting
+            return
+        job.node.nodemanager.kill_job(job.instance)
+        job.instance = target.nodemanager.launch_job(
+            job.spec, tasks_per_container=self.tasks_per_container
+        )
+        job.node = target
+        job.last_cputime = self._cputime(job)
+        job.stalled_since = None
+        job.relocations += 1
+        self.relocations += 1
+        if kind == "stall":
+            self.stall_relocations += 1
+        else:
+            self.preemptive_relocations += 1
+
+    def _preemptive_relocation(self) -> None:
+        """Move one job off the hottest node before it stalls (score policy)."""
+        if self.policy != "score" or self.relocate_threshold is None:
+            return
+        if len(self.cluster.nodes) < 2:
+            return
+        hot = max(
+            self.cluster.nodes,
+            key=lambda n: (self.node_score(n), -n.index),
+        )
+        hot_score = self.node_score(hot)
+        if hot_score < self.relocate_threshold:
+            return
+        cool = self.pick_node(exclude=hot)
+        if cool is hot:
+            return
+        if self.node_score(cool) > hot_score - self.relocate_margin:
+            return  # every other node is nearly as hot; moving just churns
+        victims = [
+            j for j in self.jobs
+            if j.node is hot and j.instance is not None and not j.instance.finished
+        ]
+        if not victims:
+            return
+        # move the job with the least progress: the cheapest kill-and-restart
+        victim = min(victims, key=lambda j: (self._cputime(j), j.submitted_at))
+        self._relocate(victim, kind="preemptive", target=cool)
+
+    # -- reporting -------------------------------------------------------------
+
+    def finished_jobs(self) -> list[TrackedJob]:
+        return [j for j in self.jobs if j.finished]
+
+    def queued_jobs(self) -> list[TrackedJob]:
+        return [j for j in self.jobs if j.queued]

@@ -1,0 +1,80 @@
+"""Per-node interference scoring for cluster-level placement.
+
+The paper's VPI is a *per-server* deallocation trigger: when an LC CPU's
+stall rate crosses E, Holmes pulls the sibling away from batch.  At
+cluster scale the same signal ranks whole machines: a node whose LC CPUs
+show high smoothed VPI is a node where batch work is actively hurting a
+latency-critical service, and new batch work should land elsewhere
+(score-based interference mitigation in the style of Yang et al. and
+C-Koordinator).
+
+The score folds a node's :class:`~repro.core.daemon.TelemetrySnapshot`
+into one number in roughly [0, 1+]:
+
+    score = w_vpi * min(lc_vpi_ema / vpi_ref, vpi_cap)
+          + w_pressure * reserved_pressure
+          + w_occupancy * batch_occupancy
+
+``vpi_ref`` defaults to the paper's E = 40 so a node sitting exactly at
+the deallocation threshold contributes a full ``w_vpi``.  A node with no
+telemetry (no Holmes daemon running) degrades to the batch-occupancy term
+computed from live task counts, so mixed clusters still order sensibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.daemon import TelemetrySnapshot
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Weights and normalisation of the node interference score."""
+
+    #: weight of the smoothed LC VPI term (the interference signal).
+    w_vpi: float = 0.5
+    #: weight of reserved-pool pressure (is the LC service busy at all?).
+    w_pressure: float = 0.3
+    #: weight of batch CPU occupancy (how full is the node already?).
+    w_occupancy: float = 0.2
+    #: VPI normalisation reference; the paper's deallocation threshold E.
+    vpi_ref: float = 40.0
+    #: cap on the normalised VPI term so one pathological node cannot
+    #: dominate every comparison.
+    vpi_cap: float = 2.0
+
+    def __post_init__(self):
+        if min(self.w_vpi, self.w_pressure, self.w_occupancy) < 0:
+            raise ValueError("score weights must be non-negative")
+        if self.w_vpi + self.w_pressure + self.w_occupancy <= 0:
+            raise ValueError("at least one score weight must be positive")
+        if self.vpi_ref <= 0:
+            raise ValueError("vpi_ref must be positive")
+        if self.vpi_cap <= 0:
+            raise ValueError("vpi_cap must be positive")
+
+
+DEFAULT_WEIGHTS = ScoreWeights()
+
+
+def interference_score(
+    snapshot: Optional["TelemetrySnapshot"],
+    weights: ScoreWeights = DEFAULT_WEIGHTS,
+    fallback_occupancy: float = 0.0,
+) -> float:
+    """Fold one node's telemetry into a single placement score.
+
+    ``fallback_occupancy`` (a batch-load estimate in [0, 1]) is used when
+    the node exports no telemetry; only the occupancy term applies then.
+    """
+    if snapshot is None:
+        return weights.w_occupancy * min(max(fallback_occupancy, 0.0), 1.0)
+    vpi_term = min(snapshot.lc_vpi_ema / weights.vpi_ref, weights.vpi_cap)
+    return (
+        weights.w_vpi * max(vpi_term, 0.0)
+        + weights.w_pressure * snapshot.reserved_pressure
+        + weights.w_occupancy * snapshot.batch_occupancy
+    )

@@ -1,0 +1,167 @@
+"""The cluster-scale experiment: churn across many nodes, per policy.
+
+One sweep = one placement policy driven by the same seeded churn
+(Poisson batch arrivals, heavy-tailed job sizes, phased LC load per
+node) over a shared simulation clock.  The payload is a plain JSON-able
+dict -- it runs as a ``cluster_sweep`` runner cell, so sweeps are
+cached, fanned out across worker processes, and byte-reproducible for a
+given seed.
+
+Per-node Holmes daemons run in *telemetry mode* (no LC service is
+registered, so the per-server deallocation algorithms stay quiet): the
+cluster experiment isolates what the placement policy alone buys, and
+the daemons' monitors still maintain the VPI/usage EMAs the score
+policy reads.  The daemon interval is coarsened from the paper's 50 us
+to ``telemetry_interval_us`` -- cluster placement acts on tens of
+milliseconds, so millisecond-fresh telemetry is ample and keeps a
+hundred daemons affordable on one clock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.churn import ChurnConfig, JobArrivalProcess, LCPhaseLoad
+from repro.cluster.cluster import Cluster
+from repro.cluster.scheduler import ClusterBatchScheduler
+from repro.cluster.score import ScoreWeights
+from repro.core import HolmesConfig
+from repro.runner.cells import latency_summary
+
+#: default per-node daemon (telemetry) interval at cluster scale.
+TELEMETRY_INTERVAL_US = 1_000.0
+
+#: LC request SLO as a multiple of the uncontended request service time.
+SLO_MULTIPLIER = 2.0
+
+
+def _summary(values: list[float]) -> dict:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0, "mean_us": None, "p99_us": None, "max_us": None}
+    return {
+        "count": int(arr.size),
+        "mean_us": float(arr.mean()),
+        "p99_us": float(np.percentile(arr, 99)),
+        "max_us": float(arr.max()),
+    }
+
+
+def run_cluster_sweep(
+    policy: str = "score",
+    n_nodes: int = 8,
+    n_jobs: int = 200,
+    duration_us: float = 600_000.0,
+    seed: int = 42,
+    churn: Optional[ChurnConfig] = None,
+    telemetry_interval_us: float = TELEMETRY_INTERVAL_US,
+    check_interval_us: float = 25_000.0,
+    admit_threshold: float = 0.85,
+    relocate_threshold: float = 0.95,
+    relocate_margin: float = 0.35,
+    slo_multiplier: float = SLO_MULTIPLIER,
+    score_weights: Optional[ScoreWeights] = None,
+) -> dict:
+    """Run one policy over the churned cluster; return the metrics payload."""
+    churn = churn or ChurnConfig(n_jobs=n_jobs)
+    if churn.n_jobs != n_jobs:
+        churn = ChurnConfig(**{**churn.__dict__, "n_jobs": n_jobs})
+
+    holmes_cfg = HolmesConfig(interval_us=telemetry_interval_us)
+    cluster = Cluster(n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg)
+
+    weights = score_weights or ScoreWeights()
+    scheduler = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=check_interval_us,
+        tasks_per_container=churn.tasks_per_container,
+        policy=policy,
+        score_weights=weights,
+        admit_threshold=admit_threshold if policy == "score" else None,
+        relocate_threshold=relocate_threshold if policy == "score" else None,
+        relocate_margin=relocate_margin,
+    )
+
+    root_rng = np.random.default_rng(seed)
+    node_rngs = root_rng.spawn(n_nodes)
+    arrival_rng = np.random.default_rng(seed + 104729)
+
+    loads = [
+        LCPhaseLoad(node, churn, duration_us, rng)
+        for node, rng in zip(cluster.nodes, node_rngs)
+    ]
+    for load in loads:
+        load.start()
+    arrivals = JobArrivalProcess(scheduler, churn, duration_us, arrival_rng)
+    scheduler.start()
+    arrivals.start()
+
+    cluster.run(until=duration_us)
+    scheduler.stop()
+    cluster.stop_daemons()
+
+    # -- LC latency ------------------------------------------------------
+    lat_arrays = [ld.recorder.latencies() for ld in loads]
+    all_lat = (
+        np.concatenate(lat_arrays)
+        if any(a.size for a in lat_arrays)
+        else np.empty(0)
+    )
+    hw_cfg = cluster.nodes[0].system.server.config
+    nominal_us = churn.lc_request_lines * hw_cfg.dram_line_latency_us
+    slo_us = slo_multiplier * nominal_us
+    per_node_p99 = [
+        float(np.percentile(a, 99)) for a in lat_arrays if a.size
+    ]
+
+    # -- batch outcomes --------------------------------------------------
+    finished = scheduler.finished_jobs()
+    durations = [
+        j.instance.finished_at - j.started_at
+        for j in finished
+        if j.started_at is not None
+    ]
+    queue_delays = [
+        j.queue_delay_us
+        for j in scheduler.jobs
+        if j.queue_delay_us is not None and j.queue_delay_us > 0.0
+    ]
+    final_scores = [scheduler.node_score(n) for n in cluster.nodes]
+
+    return {
+        "policy": policy,
+        "n_nodes": int(n_nodes),
+        "n_jobs": int(n_jobs),
+        "duration_us": float(duration_us),
+        "seed": int(seed),
+        "lc": {
+            "latency": latency_summary(all_lat),
+            "slo_us": float(slo_us),
+            "slo_violation_ratio": (
+                float((all_lat > slo_us).mean()) if all_lat.size else None
+            ),
+            "per_node_p99_us": _summary(per_node_p99),
+        },
+        "batch": {
+            "submitted": len(scheduler.jobs),
+            "admitted": int(scheduler.admitted),
+            "enqueued": int(scheduler.enqueued),
+            "rejected": int(scheduler.rejected),
+            "still_queued": len(scheduler.queued_jobs()),
+            "completed": len(finished),
+            "jobs_per_s": len(finished) / (duration_us / 1e6),
+            "job_duration": _summary(durations),
+            "queue_delay": _summary(queue_delays),
+            "relocations": {
+                "total": int(scheduler.relocations),
+                "stall": int(scheduler.stall_relocations),
+                "preemptive": int(scheduler.preemptive_relocations),
+            },
+        },
+        "nodes": {
+            "final_score_mean": float(np.mean(final_scores)),
+            "final_score_max": float(np.max(final_scores)),
+        },
+    }

@@ -18,7 +18,7 @@ from repro.core.config import HolmesConfig
 from repro.core.vpi import VPIReader
 from repro.core.monitor import MetricMonitor, MonitorSample
 from repro.core.scheduler import HolmesScheduler
-from repro.core.daemon import Holmes
+from repro.core.daemon import Holmes, TelemetrySnapshot
 
 __all__ = [
     "HolmesConfig",
@@ -27,4 +27,5 @@ __all__ = [
     "MonitorSample",
     "HolmesScheduler",
     "Holmes",
+    "TelemetrySnapshot",
 ]

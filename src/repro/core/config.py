@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 
@@ -40,6 +40,10 @@ class HolmesConfig:
     min_instructions: float = 50.0
     #: EMA time constant for usage smoothing (serving detection).
     usage_ema_tau_us: float = 2_000.0
+    #: EMA time constant for the per-CPU VPI smoothing exported through
+    #: the telemetry snapshot (cluster-level placement reads this; the
+    #: per-tick scheduling algorithms keep using the raw per-window VPI).
+    vpi_ema_tau_us: float = 5_000.0
     #: LC process considered "serving traffic" above this usage (in CPUs).
     serving_on_usage: float = 0.10
     #: ... and idle again below this (hysteresis).
@@ -80,6 +84,8 @@ class HolmesConfig:
             raise ValueError("E must be positive")
         if self.s_hold_us < 0:
             raise ValueError("S must be non-negative")
+        if self.vpi_ema_tau_us <= 0:
+            raise ValueError("vpi_ema_tau_us must be positive")
         if self.serving_off_usage > self.serving_on_usage:
             raise ValueError("serving hysteresis thresholds inverted")
         if self.metric_mode not in ("vpi", "cps"):

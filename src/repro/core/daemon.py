@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
 import numpy as np
@@ -13,6 +14,36 @@ from repro.sim import Series
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.oskernel import System
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Per-node health summary exported to cluster-level schedulers.
+
+    One cheap read per placement decision: everything here is already
+    maintained by the monitor's per-tick EMAs, so taking a snapshot costs
+    a few numpy reductions and allocates nothing persistent.  Cluster
+    schedulers fold these fields into a single interference score
+    (:mod:`repro.cluster.score`).
+    """
+
+    time: float
+    #: smoothed VPI averaged over the current LC CPU set -- the paper's
+    #: interference signal, lifted from a deallocation trigger to a
+    #: cluster placement input.
+    lc_vpi_ema: float
+    #: smoothed usage averaged over the *reserved* CPUs (LC pressure).
+    reserved_pressure: float
+    #: smoothed usage averaged over the non-reserved CPUs (batch load).
+    batch_occupancy: float
+    #: batch containers currently tracked on this node.
+    n_containers: int
+    #: current LC CPU set size (reserved + expansion).
+    n_lc_cpus: int
+    #: CPUs the LC set has expanded beyond the reserved pool.
+    expanded: int
+    #: any registered LC service currently serving traffic?
+    serving: bool
 
 
 class Holmes:
@@ -74,6 +105,28 @@ class Holmes:
     def register_lc_service(self, pid: int) -> None:
         self.monitor.register_lc_service(pid)
         self.scheduler.allocate_lc_service(pid)
+
+    def telemetry(self) -> TelemetrySnapshot:
+        """Current per-node health summary (see :class:`TelemetrySnapshot`)."""
+        monitor = self.monitor
+        lc = self.scheduler.lc_cpus
+        reserved = self.scheduler.reserved
+        non_reserved = [
+            c for c in range(monitor.n_lcpus) if c not in set(reserved)
+        ]
+        usage_ema = monitor.usage_ema
+        return TelemetrySnapshot(
+            time=self.env.now,
+            lc_vpi_ema=float(np.mean(monitor.vpi_ema[lc])),
+            reserved_pressure=float(np.mean(usage_ema[reserved])),
+            batch_occupancy=(
+                float(np.mean(usage_ema[non_reserved])) if non_reserved else 0.0
+            ),
+            n_containers=len(monitor.containers),
+            n_lc_cpus=len(lc),
+            expanded=len(lc) - len(reserved),
+            serving=any(s.serving for s in monitor.lc_services.values()),
+        )
 
     def start(self) -> None:
         if self._running:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -86,6 +86,9 @@ class MetricMonitor:
         self.n_lcpus = server.topology.n_lcpus
         self.n_cores = server.topology.n_cores
         self._usage_ema = np.zeros(self.n_lcpus)
+        #: smoothed per-lcpu VPI; the telemetry snapshot (cluster-level
+        #: placement) reads this, the per-tick algorithms use the raw VPI.
+        self._vpi_ema = np.zeros(self.n_lcpus)
         #: scratch buffer for the in-place EMA update (collect runs every
         #: 50 us; per-tick temporaries are the monitor's dominant cost).
         self._ema_tmp = np.zeros(self.n_lcpus)
@@ -94,6 +97,18 @@ class MetricMonitor:
         self._container_names: frozenset[str] = frozenset()
         system.cgroups.create(config.batch_cgroup_root)
         self._last_time = self.env.now
+
+    # -- smoothed views (telemetry reads these between collect() calls) ---------
+
+    @property
+    def usage_ema(self) -> np.ndarray:
+        """Per-lcpu smoothed usage as of the last :meth:`collect`."""
+        return self._usage_ema
+
+    @property
+    def vpi_ema(self) -> np.ndarray:
+        """Per-lcpu smoothed VPI as of the last :meth:`collect`."""
+        return self._vpi_ema
 
     # -- registration -----------------------------------------------------------
 
@@ -130,6 +145,11 @@ class MetricMonitor:
         else:
             vpi = raw_vpi
         core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
+
+        vpi_alpha = 1.0 - math.exp(-dt / self.config.vpi_ema_tau_us)
+        np.subtract(vpi, self._vpi_ema, out=tmp)
+        tmp *= vpi_alpha
+        self._vpi_ema += tmp
 
         self._update_lc_statuses(dt, alpha)
         new, gone = self._scan_containers()
@@ -173,12 +193,15 @@ class MetricMonitor:
             # case on the 50 us loop, so skip the per-name set algebra.
             return new, gone
         self._container_names = names
-        for name in names - set(self.containers):
+        # sorted: set iteration is hash-ordered, which varies between
+        # interpreter runs and would make discovery (and every scheduling
+        # decision downstream of it) non-reproducible across processes.
+        for name in sorted(names - set(self.containers)):
             cgroup = self.system.cgroups.get(f"{root}/{name}")
             info = ContainerInfo(name=name, cgroup=cgroup,
                                  discovered_at=self.env.now)
             self.containers[name] = info
             new.append(info)
-        for name in set(self.containers) - names:
+        for name in sorted(set(self.containers) - names):
             gone.append(self.containers.pop(name))
         return new, gone

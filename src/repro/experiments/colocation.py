@@ -17,12 +17,12 @@ VPI timeline over the LC CPUs (the Fig. 13 view).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.baselines import HeraclesLike, PerfIso, PerfIsoConfig
+from repro.baselines import HeraclesLike, PerfIso
 from repro.core import Holmes, HolmesConfig
 from repro.core.vpi import VPIReader
 from repro.experiments.common import (

@@ -18,7 +18,7 @@ declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hw import HWConfig

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import ExperimentScale
 from repro.hw import HWConfig
 from repro.oskernel import System
 from repro.workloads import run_m_threads

@@ -13,7 +13,8 @@ facts (see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 
 
 @dataclass

@@ -9,7 +9,7 @@ CPU, reserved CPU, non-sibling CPU -- is all defined over this mapping.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.hw.config import HWConfig
 

@@ -10,7 +10,7 @@ all share.  It exposes the same narrow interface the real Holmes uses:
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.hw.config import HWConfig
 from repro.hw.server import Server

@@ -10,7 +10,7 @@ byte-comparable regardless of how (or whether) the cells were fanned out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.runner.cells import (
@@ -181,6 +181,38 @@ def _agg_passthrough(params: dict, by_role: dict[str, Any]) -> Any:
     return payload
 
 
+def _expand_cluster(params: dict, seed: int) -> list[tuple[str, Cell]]:
+    """One cluster sweep per policy, identically-seeded churn."""
+    from repro.cluster.scheduler import POLICIES
+
+    policies = params.get("policies", POLICIES)
+    base = {
+        k: params[k]
+        for k in (
+            "n_nodes",
+            "n_jobs",
+            "duration_us",
+            "telemetry_interval_us",
+            "check_interval_us",
+            "admit_threshold",
+            "relocate_threshold",
+            "relocate_margin",
+            "slo_multiplier",
+        )
+        if k in params
+    }
+    return [
+        (policy, Cell.make("cluster_sweep", {**base, "policy": policy}, seed))
+        for policy in policies
+    ]
+
+
+def _agg_cluster(params: dict, by_role: dict[str, Any]) -> dict:
+    from repro.analysis.cluster import compare_policies
+
+    return compare_policies(by_role)
+
+
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     "compare": ExperimentSpec("compare", _colo_triple, _agg_compare),
     "latency": ExperimentSpec("latency", _colo_triple, _agg_latency),
@@ -200,6 +232,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         _single_cell("convergence", ("heracles_epoch_us", "parties_step_us")),
         _agg_passthrough,
     ),
+    "cluster": ExperimentSpec("cluster", _expand_cluster, _agg_cluster),
 }
 
 

@@ -15,7 +15,7 @@ import hashlib
 import json
 import os
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.export import canonical_dumps

@@ -16,7 +16,7 @@ verification, and be byte-comparable across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Callable
 
 import numpy as np
 
@@ -181,11 +181,34 @@ def _convergence_cell(params: dict, seed: int) -> dict:
     }
 
 
+def _cluster_sweep_cell(params: dict, seed: int) -> dict:
+    from repro.cluster.sweep import run_cluster_sweep
+
+    kwargs = {
+        k: params[k]
+        for k in (
+            "policy",
+            "n_nodes",
+            "n_jobs",
+            "duration_us",
+            "telemetry_interval_us",
+            "check_interval_us",
+            "admit_threshold",
+            "relocate_threshold",
+            "relocate_margin",
+            "slo_multiplier",
+        )
+        if k in params
+    }
+    return run_cluster_sweep(seed=seed, **kwargs)
+
+
 CELL_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "colocation": _colocation_cell,
     "fig2": _fig2_cell,
     "hpe": _hpe_cell,
     "convergence": _convergence_cell,
+    "cluster_sweep": _cluster_sweep_cell,
 }
 
 

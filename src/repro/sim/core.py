@@ -15,7 +15,8 @@ the generator (or, for a failed event, the exception is thrown into it).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable, Optional
+
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop

@@ -9,7 +9,7 @@ FIFO order, which is what makes quantum-by-quantum CPU sharing in
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Optional
+from typing import Any
 
 from repro.sim.core import Environment, Event, SimulationError
 

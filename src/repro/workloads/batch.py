@@ -12,6 +12,7 @@ paper's intended behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -45,6 +46,23 @@ class BatchJobSpec:
                 )
             )
             yield from thread.exec(CompOp(cycles=self.comp_cycles * comp_scale))
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "BatchJobSpec":
+        """A copy with ``factor`` times the work (heavy-tailed churn sizing).
+
+        Scaling acts on the iteration count so per-iteration phase shape
+        (memory/compute mix) is preserved; the factor is floored to one
+        iteration so even the smallest sampled job does real work.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return BatchJobSpec(
+            name=name or f"{self.name}x{factor:g}",
+            iterations=max(1, round(self.iterations * factor)),
+            mem_lines=self.mem_lines,
+            mem_dram_frac=self.mem_dram_frac,
+            comp_cycles=self.comp_cycles,
+        )
 
     def duration_alone_us(self) -> float:
         """Rough single-task duration with no contention (for sizing)."""

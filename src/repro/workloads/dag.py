@@ -13,8 +13,7 @@ at once) that drives VPI spikes on LC siblings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 

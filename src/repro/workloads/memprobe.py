@@ -13,7 +13,6 @@ request, i.e. ~158 uncached lines (~10 KB); with a fully contended sibling
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.hw.ops import MemOp

@@ -10,7 +10,7 @@ latency comes from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.hw.ops import CompOp, MemOp
 from repro.oskernel import System

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.workloads.batch import BatchJobSpec, DEFAULT_JOB_MIX
 from repro.yarnlike.container import JobInstance

@@ -17,7 +17,7 @@ from typing import Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.sim import Environment
-from repro.ycsb.traffic import BurstyTraffic, ConstantTraffic
+from repro.ycsb.traffic import ConstantTraffic
 from repro.ycsb.workloads import QueryGenerator, WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -17,7 +17,7 @@ f         50% read / 50% read-mod-write  scrambled Zipfian
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

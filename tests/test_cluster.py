@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Cluster, ClusterBatchScheduler
 from repro.core import Holmes, HolmesConfig
-from repro.hw import CompOp, HWConfig, MemOp
+from repro.hw import CompOp, MemOp
 from repro.workloads.batch import BatchJobSpec
 
 TINY = BatchJobSpec(name="tiny", iterations=20, mem_lines=1000,
@@ -111,3 +111,133 @@ def test_holmes_per_server():
     cluster.run(until=10_000)
     for h in daemons:
         assert h.ticks == pytest.approx(200, abs=2)
+
+
+def test_stop_cancels_supervision_immediately():
+    """stop() must cancel the loop now, not at the next periodic wake."""
+    cluster = Cluster(n_servers=1)
+    sched = ClusterBatchScheduler(cluster, check_interval_us=1_000_000.0)
+    sched.start()
+    cluster.run(until=10_000)
+    assert sched._proc.is_alive
+    sched.stop()
+    # well before the next 1 s wake: the interrupt retires the process at
+    # the current instant, so one tiny step is enough to observe it dead.
+    cluster.run(until=10_001)
+    assert not sched._proc.is_alive
+
+
+def test_stop_in_same_instant_as_start():
+    """stop() before the loop's first resume must not raise."""
+    cluster = Cluster(n_servers=1)
+    sched = ClusterBatchScheduler(cluster)
+    sched.start()
+    sched.stop()  # process not yet started by the event loop
+    cluster.run(until=200_000)
+    assert not sched._proc.is_alive
+
+
+def test_stop_idempotent_and_after_finish():
+    cluster = Cluster(n_servers=1)
+    sched = ClusterBatchScheduler(cluster, check_interval_us=10_000.0)
+    sched.start()
+    cluster.run(until=50_000)
+    sched.stop()
+    sched.stop()  # second stop is a no-op
+    cluster.run(until=60_000)
+    sched.stop()  # and stopping a dead loop stays safe
+    assert not sched._proc.is_alive
+
+
+def test_single_node_cluster_never_relocates():
+    """With nowhere to go, a starved job stays put (no kill/restart churn)."""
+    cluster = Cluster(n_servers=1)
+    node = cluster.nodes[0]
+
+    def hog_body(thread):
+        while thread.env.now < 1_500_000:
+            yield from thread.exec(MemOp(lines=5000, dram_frac=0.5))
+            yield from thread.exec(CompOp(cycles=1_000_000))
+
+    lc = node.system.spawn_process("lc-flood")
+    for i in range(node.system.server.topology.n_lcpus):
+        lc.spawn_thread(hog_body, affinity={i}, name=f"hog{i}")
+
+    sched = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=20_000.0,
+        stall_patience_us=60_000.0,
+        min_progress_fraction=0.75,
+        tasks_per_container=2,
+    )
+    slow = BatchJobSpec(name="slow", iterations=2000, mem_lines=1000,
+                        mem_dram_frac=0.8, comp_cycles=500_000)
+    job = sched.submit(slow)
+    sched.start()
+    cluster.run(until=1_000_000)
+    assert job.relocations == 0
+    assert sched.relocations == 0
+    assert job.node is node
+    assert job.instance is not None  # still the original attempt
+
+
+def test_relocate_skips_job_finished_mid_flight():
+    """A job that completes between detection and action is left alone."""
+    cluster = Cluster(n_servers=2)
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=2)
+    job = sched.submit(TINY)
+    cluster.run(until=2_000_000)
+    assert job.instance.finished
+    instance = job.instance
+    job.stalled_since = 0.0  # simulate a stale stall verdict
+    sched._relocate(job, kind="stall")
+    assert job.instance is instance  # not killed, not restarted
+    assert job.relocations == 0
+    assert sched.relocations == 0
+    assert job.stalled_since is None  # verdict cleared
+
+
+def test_relocation_counters_stay_consistent_under_churn():
+    """Per-job and scheduler-wide relocation counts must agree."""
+    import numpy as np
+
+    from repro.cluster.churn import ChurnConfig, JobArrivalProcess
+
+    cluster = Cluster(n_servers=2)
+    hot = cluster.nodes[0]
+
+    def hog_body(thread):
+        while thread.env.now < 1_500_000:
+            yield from thread.exec(MemOp(lines=5000, dram_frac=0.5))
+            yield from thread.exec(CompOp(cycles=1_000_000))
+
+    lc = hot.system.spawn_process("lc-flood")
+    for i in range(hot.system.server.topology.n_lcpus):
+        lc.spawn_thread(hog_body, affinity={i}, name=f"hog{i}")
+
+    sched = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=20_000.0,
+        stall_patience_us=40_000.0,
+        # fair-share against one hog per CPU leaves each task ~50-65% of a
+        # CPU; demand 75% so the flooded node's jobs register as starved
+        min_progress_fraction=0.75,
+        tasks_per_container=2,
+    )
+    churn = ChurnConfig(n_jobs=12)
+    # jobs big enough (~80 ms/task alone) to outlive the stall patience
+    big = BatchJobSpec(name="churnbig", iterations=300, mem_lines=1000,
+                       mem_dram_frac=0.8, comp_cycles=500_000)
+    arrivals = JobArrivalProcess(sched, churn, 600_000.0,
+                                 np.random.default_rng(3), base_spec=big)
+    sched.start()
+    arrivals.start()
+    cluster.run(until=1_500_000)
+    sched.stop()
+
+    assert len(sched.jobs) == 12
+    per_job = sum(j.relocations for j in sched.jobs)
+    assert per_job == sched.relocations
+    assert sched.relocations == sched.stall_relocations + sched.preemptive_relocations
+    # half the cluster was flooded, so some batch job must have moved
+    assert sched.relocations >= 1

@@ -1,0 +1,264 @@
+"""Tests for interference scoring, telemetry export and score-policy
+placement/admission (the cluster-level use of the paper's VPI signal)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterBatchScheduler,
+    ScoreWeights,
+    interference_score,
+)
+from repro.core import HolmesConfig, TelemetrySnapshot
+from repro.workloads.batch import BatchJobSpec
+
+TINY = BatchJobSpec(name="tiny", iterations=20, mem_lines=1000,
+                    mem_dram_frac=0.8, comp_cycles=500_000)
+
+
+def snap(vpi=0.0, pressure=0.0, occupancy=0.0):
+    return TelemetrySnapshot(
+        time=0.0, lc_vpi_ema=vpi, reserved_pressure=pressure,
+        batch_occupancy=occupancy, n_containers=0, n_lc_cpus=4,
+        expanded=0, serving=False,
+    )
+
+
+def test_score_weights_validation():
+    with pytest.raises(ValueError):
+        ScoreWeights(w_vpi=-0.1)
+    with pytest.raises(ValueError):
+        ScoreWeights(vpi_ref=0.0)
+    with pytest.raises(ValueError):
+        ScoreWeights(vpi_cap=0.0)
+
+
+def test_score_of_idle_node_is_zero():
+    assert interference_score(snap()) == 0.0
+
+
+def test_score_monotone_in_each_signal():
+    w = ScoreWeights()
+    base = interference_score(snap(vpi=10.0, pressure=0.2, occupancy=0.2), w)
+    assert interference_score(snap(vpi=30.0, pressure=0.2, occupancy=0.2), w) > base
+    assert interference_score(snap(vpi=10.0, pressure=0.6, occupancy=0.2), w) > base
+    assert interference_score(snap(vpi=10.0, pressure=0.2, occupancy=0.6), w) > base
+
+
+def test_score_vpi_term_normalised_and_capped():
+    w = ScoreWeights(w_vpi=1.0, w_pressure=0.0, w_occupancy=0.0,
+                     vpi_ref=40.0, vpi_cap=2.0)
+    # at the paper's E threshold the VPI term is exactly 1
+    assert interference_score(snap(vpi=40.0), w) == pytest.approx(1.0)
+    # runaway VPI saturates at the cap instead of dominating unboundedly
+    assert interference_score(snap(vpi=4_000.0), w) == pytest.approx(2.0)
+
+
+def test_score_fallback_without_telemetry():
+    w = ScoreWeights()
+    assert interference_score(None, w, fallback_occupancy=0.5) == pytest.approx(
+        w.w_occupancy * 0.5
+    )
+    # fallback load is clamped into [0, 1]
+    assert interference_score(None, w, fallback_occupancy=7.0) == pytest.approx(
+        w.w_occupancy
+    )
+
+
+def test_node_telemetry_snapshot_fields():
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=2)
+    # long enough (~280 ms/task) to still be running when we snapshot
+    long_job = BatchJobSpec(name="long", iterations=1000, mem_lines=1000,
+                            mem_dram_frac=0.8, comp_cycles=500_000)
+    for _ in range(4):
+        sched.submit(long_job)
+    cluster.run(until=50_000)
+    for node in cluster.nodes:
+        t = node.telemetry()
+        assert t is not None
+        assert t.time == pytest.approx(cluster.env.now, abs=500.0)
+        assert t.n_lc_cpus > 0
+        assert t.n_containers >= 1  # the batch jobs landed in cgroups
+        assert 0.0 <= t.reserved_pressure <= 1.0
+        assert 0.0 <= t.batch_occupancy <= 1.0
+        assert t.lc_vpi_ema >= 0.0
+        assert not t.serving  # no LC service registered in telemetry mode
+        assert node.interference_score() >= 0.0
+    cluster.stop_daemons()
+
+
+def test_node_without_daemon_has_no_telemetry():
+    cluster = Cluster(n_servers=1)
+    assert cluster.nodes[0].telemetry() is None
+    assert cluster.nodes[0].interference_score() == pytest.approx(0.0)
+
+
+def test_busy_node_scores_higher_than_idle():
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    busy, idle = cluster.nodes
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=4)
+    heavy = BatchJobSpec(name="heavy", iterations=4000, mem_lines=4000,
+                         mem_dram_frac=0.9, comp_cycles=2_000_000)
+    for _ in range(3):
+        sched.submit(heavy, node=busy)
+    cluster.run(until=100_000)
+    assert busy.interference_score() > idle.interference_score()
+    cluster.stop_daemons()
+
+
+def test_score_policy_places_on_coolest_node():
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    busy = cluster.nodes[0]
+    sched = ClusterBatchScheduler(cluster, policy="score",
+                                  tasks_per_container=4)
+    heavy = BatchJobSpec(name="heavy", iterations=4000, mem_lines=4000,
+                         mem_dram_frac=0.9, comp_cycles=2_000_000)
+    sched.submit(heavy, node=busy)
+    cluster.run(until=100_000)
+    job = sched.submit(TINY)
+    assert job.node is cluster.nodes[1]
+    cluster.stop_daemons()
+
+
+def test_admission_control_queues_then_drains():
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    sched = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=10_000.0,
+        policy="score",
+        admit_threshold=-1.0,  # every node is "too hot": everything queues
+        tasks_per_container=2,
+    )
+    jobs = [sched.submit(TINY) for _ in range(3)]
+    assert all(j.queued for j in jobs)
+    assert sched.enqueued == 3
+    assert sched.admitted == 0
+
+    # relax the threshold: the supervision loop drains the queue FIFO
+    sched.admit_threshold = 10.0
+    sched.start()
+    cluster.run(until=2_000_000)
+    assert all(j.finished for j in jobs)
+    assert sched.admitted == 3
+    starts = [j.started_at for j in jobs]
+    assert starts == sorted(starts)
+    assert all(j.queue_delay_us > 0 for j in jobs)
+    cluster.stop_daemons()
+
+
+def test_admission_rejects_when_queue_full():
+    cluster = Cluster(n_servers=1, holmes_config=HolmesConfig(interval_us=500.0))
+    sched = ClusterBatchScheduler(
+        cluster,
+        policy="score",
+        admit_threshold=-1.0,
+        max_queue=1,
+        tasks_per_container=2,
+    )
+    j1 = sched.submit(TINY)
+    j2 = sched.submit(TINY)
+    assert j1.queued and not j1.rejected
+    assert j2.rejected and not j2.queued
+    assert sched.rejected == 1
+    assert j2.queue_delay_us is None
+    cluster.stop_daemons()
+
+
+def test_admission_inactive_under_least_loaded():
+    """Thresholds are score-policy knobs; the baseline admits everything."""
+    cluster = Cluster(n_servers=1, holmes_config=HolmesConfig(interval_us=500.0))
+    sched = ClusterBatchScheduler(
+        cluster, policy="least-loaded", admit_threshold=-1.0,
+        tasks_per_container=2,
+    )
+    job = sched.submit(TINY)
+    assert not job.queued and job.instance is not None
+    assert sched.admitted == 1
+    cluster.stop_daemons()
+
+
+def test_preemptive_relocation_moves_cheapest_job():
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    hot = cluster.nodes[0]
+    sched = ClusterBatchScheduler(
+        cluster,
+        check_interval_us=10_000.0,
+        policy="score",
+        relocate_threshold=0.05,  # trip on any real load
+        relocate_margin=0.01,
+        tasks_per_container=4,
+    )
+    heavy = BatchJobSpec(name="heavy", iterations=3000, mem_lines=4000,
+                         mem_dram_frac=0.9, comp_cycles=2_000_000)
+    old = sched.submit(heavy, node=hot)
+    cluster.run(until=60_000)
+    fresh = sched.submit(heavy, node=hot)  # least progress: the victim
+    sched.start()
+    cluster.run(until=200_000)
+    sched.stop()
+    assert sched.preemptive_relocations >= 1
+    assert fresh.node is cluster.nodes[1]
+    assert old.node is hot  # the established job was not the one moved
+    cluster.stop_daemons()
+
+
+def test_scheduler_rejects_unknown_policy():
+    cluster = Cluster(n_servers=1)
+    with pytest.raises(ValueError):
+        ClusterBatchScheduler(cluster, policy="random")
+
+
+def test_telemetry_vpi_ema_tracks_interference():
+    """SMT pressure on the LC siblings must lift the exported VPI EMA."""
+    cluster = Cluster(n_servers=2, holmes_config=HolmesConfig(interval_us=500.0))
+    loaded, quiet = cluster.nodes
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=8)
+    mem_hog = BatchJobSpec(name="memhog", iterations=4000, mem_lines=8000,
+                           mem_dram_frac=0.95, comp_cycles=100_000)
+    sched.submit(mem_hog, node=loaded)
+    cluster.run(until=150_000)
+    t_loaded, t_quiet = loaded.telemetry(), quiet.telemetry()
+    assert t_loaded.lc_vpi_ema > t_quiet.lc_vpi_ema
+    cluster.stop_daemons()
+
+
+def test_vpi_ema_config_validation():
+    with pytest.raises(ValueError):
+        HolmesConfig(vpi_ema_tau_us=0.0)
+
+
+def test_churn_config_validation():
+    from repro.cluster.churn import ChurnConfig
+
+    with pytest.raises(ValueError):
+        ChurnConfig(n_jobs=-1)
+    with pytest.raises(ValueError):
+        ChurnConfig(lc_duty=1.0)
+    with pytest.raises(ValueError):
+        ChurnConfig(arrival_window_frac=0.0)
+    with pytest.raises(ValueError):
+        ChurnConfig(phase_min_us=0.0)
+
+
+def test_job_spec_scaling():
+    spec = TINY.scaled(2.5)
+    assert spec.iterations == 50
+    assert spec.mem_lines == TINY.mem_lines
+    assert TINY.scaled(1e-9).iterations == 1  # floored to real work
+    with pytest.raises(ValueError):
+        TINY.scaled(0.0)
+
+
+def test_heavy_tailed_sizes_bounded():
+    from repro.cluster.churn import ChurnConfig, JobArrivalProcess
+
+    cluster = Cluster(n_servers=1)
+    sched = ClusterBatchScheduler(cluster, tasks_per_container=1)
+    cfg = ChurnConfig(n_jobs=200, size_cap=5.0)
+    arrivals = JobArrivalProcess(sched, cfg, 1e6, np.random.default_rng(0))
+    factors = [arrivals._size_factor() for _ in range(2000)]
+    assert min(factors) >= 1.0
+    assert max(factors) <= 5.0
+    assert np.mean(factors) > 1.2  # the tail actually contributes

@@ -1,0 +1,164 @@
+"""Tests for the cluster sweep driver, its runner cell, and the
+policy-comparison aggregation."""
+
+import pytest
+
+from repro.analysis.cluster import (
+    compare_policies,
+    format_cluster_table,
+    policy_row,
+)
+from repro.analysis.export import canonical_dumps
+from repro.cluster.sweep import run_cluster_sweep
+from repro.runner import ExperimentRequest, ExperimentRunner
+from repro.runner.aggregate import expand_request
+from repro.runner.cells import CELL_KINDS, Cell, execute_cell
+
+SMALL = dict(n_nodes=2, n_jobs=10, duration_us=150_000.0)
+
+
+def test_sweep_payload_shape():
+    r = run_cluster_sweep(policy="least-loaded", seed=5, **SMALL)
+    assert r["policy"] == "least-loaded"
+    assert r["n_nodes"] == 2
+    assert r["batch"]["submitted"] == 10
+    assert r["batch"]["admitted"] + r["batch"]["rejected"] + \
+        r["batch"]["still_queued"] == 10
+    assert r["lc"]["slo_us"] > 0
+    assert r["lc"]["latency"]["count"] > 0
+    assert 0.0 <= r["lc"]["slo_violation_ratio"] <= 1.0
+    # JSON-able all the way down
+    canonical_dumps(r)
+
+
+def test_sweep_deterministic_same_seed():
+    a = run_cluster_sweep(policy="score", seed=11, **SMALL)
+    b = run_cluster_sweep(policy="score", seed=11, **SMALL)
+    assert canonical_dumps(a) == canonical_dumps(b)
+
+
+def test_sweep_seed_changes_results():
+    a = run_cluster_sweep(policy="score", seed=11, **SMALL)
+    b = run_cluster_sweep(policy="score", seed=12, **SMALL)
+    assert canonical_dumps(a) != canonical_dumps(b)
+
+
+def test_sweep_rejects_bad_policy():
+    with pytest.raises(ValueError):
+        run_cluster_sweep(policy="chaos", **SMALL)
+
+
+def test_cluster_cell_kind_registered():
+    assert "cluster_sweep" in CELL_KINDS
+    cell = Cell.make("cluster_sweep", {"policy": "least-loaded", **SMALL}, 5)
+    payload = execute_cell(cell)
+    assert payload["policy"] == "least-loaded"
+
+
+def test_cluster_experiment_expands_per_policy():
+    req = ExperimentRequest.make("cluster", SMALL, seed=5)
+    cells = expand_request(req)
+    assert [role for role, _ in cells] == ["least-loaded", "score"]
+    for _role, cell in cells:
+        assert cell.kind == "cluster_sweep"
+        assert cell.param_dict["n_nodes"] == 2
+
+
+def test_cluster_experiment_end_to_end_runner():
+    req = ExperimentRequest.make("cluster", SMALL, seed=5)
+    report = ExperimentRunner(parallel=1).run([req])
+    agg = report.experiments[req.experiment_id]
+    assert set(agg["policies"]) == {"least-loaded", "score"}
+    delta = agg["score_vs_least_loaded"]
+    assert "p99_reduction_pct" in delta
+    assert "violation_reduction_pct" in delta
+    # the merged view must be canonically serialisable (cache/CI contract)
+    report.merged_bytes()
+
+
+def _fake_payload(policy, p99, viol, jobs_per_s=10.0, reloc=(0, 0, 0)):
+    total, stall, pre = reloc
+    return {
+        "policy": policy,
+        "lc": {
+            "latency": {"count": 100, "mean": p99 / 2,
+                        "quantiles": [float(p99)] * 101},
+            "slo_us": 100.0,
+            "slo_violation_ratio": viol,
+        },
+        "batch": {
+            "completed": 9,
+            "jobs_per_s": jobs_per_s,
+            "rejected": 0,
+            "queue_delay": {"count": 0, "mean_us": None, "p99_us": None,
+                            "max_us": None},
+            "relocations": {"total": total, "stall": stall,
+                            "preemptive": pre},
+        },
+    }
+
+
+def test_compare_policies_deltas():
+    agg = compare_policies({
+        "least-loaded": _fake_payload("least-loaded", p99=200.0, viol=0.10),
+        "score": _fake_payload("score", p99=100.0, viol=0.02,
+                               reloc=(5, 2, 3)),
+    })
+    delta = agg["score_vs_least_loaded"]
+    assert delta["p99_reduction_pct"] == pytest.approx(50.0)
+    assert delta["violation_reduction_pct"] == pytest.approx(80.0)
+    assert delta["throughput_ratio"] == pytest.approx(1.0)
+    assert agg["policies"]["score"]["relocations"] == 5
+
+
+def test_compare_policies_single_policy_no_delta():
+    agg = compare_policies({
+        "score": _fake_payload("score", p99=100.0, viol=0.02),
+    })
+    assert "score_vs_least_loaded" not in agg
+    assert list(agg["policies"]) == ["score"]
+
+
+def test_policy_row_flattens():
+    row = policy_row(_fake_payload("score", p99=123.0, viol=0.05,
+                                   reloc=(7, 4, 3)))
+    assert row["lc_p99_us"] == pytest.approx(123.0)
+    assert row["slo_violation_ratio"] == pytest.approx(0.05)
+    assert row["stall_relocations"] == 4
+    assert row["preemptive_relocations"] == 3
+
+
+def test_format_cluster_table_renders():
+    agg = compare_policies({
+        "least-loaded": _fake_payload("least-loaded", p99=200.0, viol=0.10),
+        "score": _fake_payload("score", p99=100.0, viol=0.02),
+    })
+    text = format_cluster_table(agg)
+    assert "least-loaded" in text
+    assert "score vs least-loaded" in text
+    assert "P99 +50.0%" in text
+
+
+@pytest.mark.slow
+def test_score_policy_beats_least_loaded_under_churn():
+    """The tentpole claim: interference-aware placement protects LC tails."""
+    scale = dict(n_nodes=4, n_jobs=80, duration_us=600_000.0, seed=42)
+    base = run_cluster_sweep(policy="least-loaded", **scale)
+    score = run_cluster_sweep(policy="score", **scale)
+    assert score["lc"]["slo_violation_ratio"] <= base["lc"]["slo_violation_ratio"]
+    assert (score["lc"]["latency"]["quantiles"][99]
+            <= base["lc"]["latency"]["quantiles"][99])
+    # and the SLO win is not bought with collapsed batch throughput
+    assert score["batch"]["completed"] >= 0.8 * base["batch"]["completed"]
+
+
+@pytest.mark.slow
+def test_cluster_cli_report_byte_identical(tmp_path):
+    from repro.cli import main
+
+    out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    args = ["cluster", "--nodes", "2", "--jobs", "10",
+            "--duration", "0.15", "--parallel", "1"]
+    assert main(args + ["--output", str(out1)]) == 0
+    assert main(args + ["--output", str(out2)]) == 0
+    assert out1.read_bytes() == out2.read_bytes()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import CompOp, CpuKind, HWConfig, MemOp, Server
+from repro.hw import CompOp, CpuKind, HWConfig, Server
 from repro.oskernel import System
 from repro.sim import Environment
 

@@ -4,7 +4,6 @@ These validate the *shape* of each paper result at test-friendly scale;
 the full-scale numbers live in benchmarks/ and EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.common import ExperimentScale, service_rate

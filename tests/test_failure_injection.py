@@ -8,8 +8,8 @@ crashing or leaking state.
 import numpy as np
 import pytest
 
-from repro.core import Holmes, HolmesConfig
-from repro.hw import CompOp, HWConfig, MemOp
+from repro.core import Holmes
+from repro.hw import CompOp, HWConfig
 from repro.oskernel import System, ThreadState
 from repro.workloads.batch import BatchJobSpec
 from repro.workloads.kv import RedisService

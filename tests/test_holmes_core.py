@@ -1,6 +1,5 @@
 """Unit and integration tests for the Holmes daemon (repro.core)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Holmes, HolmesConfig

@@ -1,6 +1,5 @@
 """Tests for Holmes' extension knobs (metric mode/event, guaranteed pool)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Holmes, HolmesConfig

@@ -7,7 +7,6 @@ from repro.hw import HWConfig
 from repro.hw.counters import CounterEngine, CounterSnapshot
 from repro.hw.events import (
     CYCLES_L3_MISS,
-    STALLS_L3_MISS,
     CYCLES_MEM_ANY,
     STALLS_MEM_ANY,
     INSTR_LOAD,

@@ -13,7 +13,7 @@ from repro.workloads.kv import (
     WiredTigerService,
     make_service,
 )
-from repro.ycsb import WORKLOAD_A, WORKLOAD_B, WORKLOAD_E, YCSBClient
+from repro.ycsb import WORKLOAD_A, WORKLOAD_B, YCSBClient
 from repro.ycsb.workloads import Query
 
 

@@ -1,8 +1,7 @@
 """Tests for process memory accounting (the paper's Sec. 6.3 metric)."""
 
-import pytest
 
-from repro.hw import CompOp, HWConfig
+from repro.hw import HWConfig
 from repro.oskernel import System
 from repro.workloads.batch import BatchJobSpec
 from repro.workloads.kv import RedisService, RocksDBService

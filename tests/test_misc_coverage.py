@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import CompOp, DiskOp, HWConfig, MemOp
+from repro.hw import DiskOp, HWConfig, MemOp
 from repro.oskernel import System
 from repro.workloads.kv.common import ServiceCosts
 from repro.ycsb.workloads import Query

@@ -9,8 +9,6 @@ these must always hold at every point in time:
 * the LC CPU set always contains the reserved set.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Holmes, HolmesConfig
