@@ -2,16 +2,22 @@
 """CI gate: compare a fresh ``repro bench`` record against the committed
 baseline (``BENCH_runner.json``).
 
-Two checks, mirroring what the bench itself promises:
+Checks, mirroring what the bench itself promises:
 
 * the serial and parallel merged results of the fresh run must be
   byte-identical (fan-out that changes results is a correctness bug);
 * the fresh serial wall-clock, normalised per simulated microsecond so a
   ``--quick`` run is comparable to the committed full-length baseline,
   must not exceed ``max_ratio`` times the baseline (default 2x -- CI
-  runners are noisy, so only flag real regressions).
+  runners are noisy, so only flag real regressions);
+* the wheel calendar's event-loop throughput must be at least
+  ``min_wheel_ratio`` times the heap's (default 1.0x) in the fresh run:
+  a wheel slower than the reference heap means the default kernel
+  regressed;
+* the cluster sweep reports must be byte-identical under heap vs wheel
+  and coalescing on vs off.
 
-Exit status is nonzero on either failure, so the workflow step fails.
+Exit status is nonzero on any failure, so the workflow step fails.
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ def normalised_serial_wall(record: dict) -> float:
     return float(sweep["serial_wall_s"]) / duration_us
 
 
-def check(current: dict, baseline: dict, max_ratio: float) -> list[str]:
+def check(current: dict, baseline: dict, max_ratio: float,
+          min_wheel_ratio: float) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -50,6 +57,41 @@ def check(current: dict, baseline: dict, max_ratio: float) -> list[str]:
             f"serial sweep wall regressed {ratio:.2f}x vs baseline "
             f"(limit {max_ratio:.2f}x)"
         )
+
+    loop = current.get("event_loop")
+    if loop is None:
+        failures.append("bench record has no event_loop section "
+                        "(run without --no-kernel)")
+    else:
+        heap_eps = loop["heap"]["events_per_sec"]
+        wheel_eps = loop["wheel"]["events_per_sec"]
+        wheel_ratio = loop["wheel_vs_heap"]
+        print(
+            f"event loop (n={loop['n_timers']}): heap {heap_eps:,.0f} ev/s, "
+            f"wheel {wheel_eps:,.0f} ev/s, wheel/heap {wheel_ratio:.2f}x "
+            f"(floor {min_wheel_ratio:.2f}x)"
+        )
+        if wheel_ratio < min_wheel_ratio:
+            failures.append(
+                f"wheel event-loop throughput is {wheel_ratio:.2f}x the "
+                f"heap's (floor {min_wheel_ratio:.2f}x): the default "
+                f"calendar kernel regressed"
+            )
+
+    cluster = current.get("cluster")
+    if cluster is not None:
+        print(
+            f"cluster sweep ({cluster['n_nodes']} nodes): heap "
+            f"{cluster['heap_wall_s']:.2f}s, wheel "
+            f"{cluster['wheel_wall_s']:.2f}s, wheel+coalesce "
+            f"{cluster['wheel_coalesced_wall_s']:.2f}s, identical="
+            f"{cluster['identical_reports']}"
+        )
+        if not cluster["identical_reports"]:
+            failures.append(
+                "cluster sweep reports differ across kernels/coalescing: "
+                "the calendar or coalescing changed experiment output"
+            )
     return failures
 
 
@@ -60,11 +102,13 @@ def main(argv=None) -> int:
                         help="committed baseline (default BENCH_runner.json)")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="allowed normalised serial-wall slowdown")
+    parser.add_argument("--min-wheel-ratio", type=float, default=1.0,
+                        help="required wheel-vs-heap event-loop ratio")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    failures = check(current, baseline, args.max_ratio)
+    failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

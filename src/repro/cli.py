@@ -211,27 +211,49 @@ def cmd_bench(args) -> int:
         seed=args.seed,
         cache_dir=args.cache_dir,
         output=args.output,
+        quick=args.quick,
+        kernel=not args.no_kernel,
+        cluster=not args.no_cluster,
+        profile=args.profile,
     )
     sweep = record["sweep"]
-    loop = record["event_loop"]
-    print(format_table(
-        ["metric", "value"],
-        [
-            ["serial wall (s)", round(sweep["serial_wall_s"], 2)],
-            ["parallel wall (s)", round(sweep["parallel_wall_s"], 2)],
-            ["speedup", round(sweep["speedup"], 2)],
-            ["serial cell runs", sweep["serial_cell_runs"]],
-            ["parallel cell runs", sweep["parallel_cell_runs"]],
-            ["merged results identical", str(sweep["identical_merged_results"])],
-            ["event loop events/sec", int(loop["events_per_sec"])],
-        ],
-    ))
+    rows = [
+        ["serial wall (s)", round(sweep["serial_wall_s"], 2)],
+        ["parallel wall (s)", round(sweep["parallel_wall_s"], 2)],
+        ["speedup", round(sweep["speedup"], 2)],
+        ["serial cell runs", sweep["serial_cell_runs"]],
+        ["parallel cell runs", sweep["parallel_cell_runs"]],
+        ["merged results identical", str(sweep["identical_merged_results"])],
+    ]
+    if "event_loop" in record:
+        loop = record["event_loop"]
+        rows += [
+            ["event loop heap ev/s", int(loop["heap"]["events_per_sec"])],
+            ["event loop wheel ev/s", int(loop["wheel"]["events_per_sec"])],
+            ["wheel vs heap", round(loop["wheel_vs_heap"], 2)],
+        ]
+    if "cluster" in record:
+        cl = record["cluster"]
+        rows += [
+            ["cluster heap wall (s)", round(cl["heap_wall_s"], 2)],
+            ["cluster wheel wall (s)", round(cl["wheel_wall_s"], 2)],
+            ["cluster wheel+coalesce (s)",
+             round(cl["wheel_coalesced_wall_s"], 2)],
+            ["cluster reports identical", str(cl["identical_reports"])],
+        ]
+    print(format_table(["metric", "value"], rows))
+    if "profile_report" in record:
+        print(f"profile report: {record['profile_report']}")
     print(f"wrote {args.output}")
-    if not sweep["identical_merged_results"]:
+    failed = not sweep["identical_merged_results"]
+    if failed:
         print("ERROR: serial and parallel merged results differ",
               file=sys.stderr)
-        return 1
-    return 0
+    if "cluster" in record and not record["cluster"]["identical_reports"]:
+        print("ERROR: cluster sweep reports differ across kernels or "
+              "coalescing", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def cmd_run_all(args) -> int:
@@ -317,10 +339,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=None,
                    help="simulated seconds per sweep cell (default 0.08)")
     p.add_argument("--quick", action="store_true",
-                   help="CI mode: baseline-comparable cells, small pool")
+                   help="CI mode: baseline-comparable cells, small pool, "
+                        "reduced kernel/cluster bench sizes")
     p.add_argument("--output", default="BENCH_runner.json")
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: fresh temp dir, cold)")
+    p.add_argument("--no-kernel", action="store_true",
+                   help="skip the kernel (heap vs wheel) microbenches")
+    p.add_argument("--no-cluster", action="store_true",
+                   help="skip the 100-node cluster sweep bench")
+    p.add_argument("--profile", action="store_true",
+                   help="also write a cProfile report of the event-loop "
+                        "hot path (both kernels) next to --output")
 
     p = sub.add_parser(
         "cluster",

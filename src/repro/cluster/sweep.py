@@ -63,13 +63,23 @@ def run_cluster_sweep(
     relocate_margin: float = 0.35,
     slo_multiplier: float = SLO_MULTIPLIER,
     score_weights: Optional[ScoreWeights] = None,
+    coalesce_idle_ticks: int = 1,
 ) -> dict:
-    """Run one policy over the churned cluster; return the metrics payload."""
+    """Run one policy over the churned cluster; return the metrics payload.
+
+    ``coalesce_idle_ticks`` > 1 lets each node's telemetry daemon stretch
+    its tick while the node is still virgin (nothing has ever run there);
+    the payload is byte-identical either way -- the skipped ticks are
+    no-ops -- so it is purely a wall-clock knob for large sweeps.
+    """
     churn = churn or ChurnConfig(n_jobs=n_jobs)
     if churn.n_jobs != n_jobs:
         churn = ChurnConfig(**{**churn.__dict__, "n_jobs": n_jobs})
 
-    holmes_cfg = HolmesConfig(interval_us=telemetry_interval_us)
+    holmes_cfg = HolmesConfig(
+        interval_us=telemetry_interval_us,
+        coalesce_idle_ticks=coalesce_idle_ticks,
+    )
     cluster = Cluster(n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg)
 
     weights = score_weights or ScoreWeights()

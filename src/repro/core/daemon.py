@@ -80,7 +80,26 @@ class Holmes:
         self.scheduler = HolmesScheduler(system, self.config, self.monitor)
         self.ticks = 0
         self.active_ticks = 0
+        #: ticks skipped by quiescent coalescing (each a provable no-op).
+        self.skipped_idle_ticks = 0
         self._running = False
+        self._process = None
+        self._timer = None
+        #: True until the node first shows any activity; quiescent
+        #: coalescing only applies to virgin nodes, because EMAs never
+        #: return to exactly zero once anything has run.
+        self._virgin = True
+        self._stretched = False
+        #: boundary of the last actual tick (stretch origin).
+        self._b0 = 0.0
+        #: monitor clock to fast-forward to before the next collect.
+        self._resync_to: Optional[float] = None
+        self._skip_count = 0
+        #: cached non-reserved index array for telemetry() (the reserved
+        #: set changes rarely; rebuilding it per snapshot dominated the
+        #: snapshot cost).
+        self._non_reserved_idx: Optional[np.ndarray] = None
+        self._non_reserved_key: Optional[tuple] = None
         #: decimated history of mean VPI over the LC CPUs (Fig. 13).
         self.vpi_history = Series("lc_vpi")
         self.usage_history = Series("lc_usage")
@@ -105,22 +124,33 @@ class Holmes:
     def register_lc_service(self, pid: int) -> None:
         self.monitor.register_lc_service(pid)
         self.scheduler.allocate_lc_service(pid)
+        # an activation edge: a coalesced daemon must tick at the next
+        # boundary, not at the end of its stretched sleep.
+        self._on_activity()
 
     def telemetry(self) -> TelemetrySnapshot:
         """Current per-node health summary (see :class:`TelemetrySnapshot`)."""
         monitor = self.monitor
         lc = self.scheduler.lc_cpus
         reserved = self.scheduler.reserved
-        non_reserved = [
-            c for c in range(monitor.n_lcpus) if c not in set(reserved)
-        ]
+        key = tuple(reserved)
+        if key != self._non_reserved_key:
+            rs = set(key)
+            self._non_reserved_idx = np.array(
+                [c for c in range(monitor.n_lcpus) if c not in rs],
+                dtype=np.intp,
+            )
+            self._non_reserved_key = key
+        non_reserved = self._non_reserved_idx
         usage_ema = monitor.usage_ema
         return TelemetrySnapshot(
             time=self.env.now,
             lc_vpi_ema=float(np.mean(monitor.vpi_ema[lc])),
             reserved_pressure=float(np.mean(usage_ema[reserved])),
             batch_occupancy=(
-                float(np.mean(usage_ema[non_reserved])) if non_reserved else 0.0
+                float(np.mean(usage_ema[non_reserved]))
+                if non_reserved.size
+                else 0.0
             ),
             n_containers=len(monitor.containers),
             n_lc_cpus=len(lc),
@@ -132,23 +162,52 @@ class Holmes:
         if self._running:
             raise RuntimeError("Holmes already started")
         self._running = True
-        self.env.process(self._loop(), name="holmes")
+        self._process = self.env.process(self._loop(), name="holmes")
 
     def stop(self) -> None:
         self._running = False
+        # Drop the armed tick from the calendar so a stopped daemon leaves
+        # no stale entry firing into a dead loop.
+        if self._timer is not None:
+            self._timer.cancel()
+        self._stretched = False
+        self._disarm_hooks()
 
     # -- the closed loop ------------------------------------------------------------
 
     def _loop(self):
-        from repro.sim import RecurringTimeout
+        from repro.sim import Interrupt, RecurringTimeout
 
-        # reusable tick event: the 50 us loop otherwise allocates one
-        # Timeout per tick, tens of thousands per simulated second.
-        timer = RecurringTimeout(self.env, self.config.interval_us)
+        # reusable auto-rearming tick event: the 50 us loop otherwise
+        # allocates one Timeout per tick, tens of thousands per simulated
+        # second, and the kernel re-arms it at pop time with no extra
+        # user-level frame.
+        timer = RecurringTimeout(self.env, self.config.interval_us, auto=True)
+        self._timer = timer
+        stretch = self.config.coalesce_idle_ticks
         while self._running:
-            yield timer
+            try:
+                yield timer
+            except Interrupt:
+                if not self._running:
+                    break
+                # activation edge during a stretched sleep: snap back to
+                # the first tick boundary at or after the edge.
+                self._realign(timer)
+                continue
             if not self._running:
-                return
+                break
+            if self._resync_to is not None:
+                # waking from a stretched sleep: the skipped boundaries
+                # were provable no-op ticks; fast-forward the monitor's
+                # window clocks so this tick sees exactly one interval.
+                self.monitor.resync_idle(self._resync_to)
+                self._resync_to = None
+                self.skipped_idle_ticks += self._skip_count
+                self._skip_count = 0
+                if self._stretched:
+                    self._stretched = False
+                    self._disarm_hooks()
             sample = self.monitor.collect()
             events_before = len(self.scheduler.events)
             self.scheduler.tick(sample)
@@ -161,7 +220,79 @@ class Holmes:
                 self.usage_history.record(
                     sample.time, float(np.mean(sample.usage_ema[lc]))
                 )
-            timer.rearm()
+            if stretch > 1 and self._virgin:
+                if (
+                    not self.monitor.lc_services
+                    and not self.monitor.containers
+                    and not sample.usage.any()
+                    and not sample.vpi.any()
+                ):
+                    self._stretch(timer, self.env.now)
+                else:
+                    # something has run: EMAs are nonzero from here on,
+                    # so the node can never be quiescent again.
+                    self._virgin = False
+        timer.cancel()
+        self._stretched = False
+        self._disarm_hooks()
+
+    # -- quiescent tick coalescing -----------------------------------------
+
+    def _stretch(self, timer, boundary: float) -> None:
+        """Replace the next ``stretch`` idle ticks with one wake.
+
+        Boundaries are accumulated by repeated addition so they are
+        bitwise identical to the chain the auto-rearming timer itself
+        would have produced; the wake tick then resyncs the monitor to
+        the second-to-last boundary and observes exactly one interval.
+        """
+        p = self.config.interval_us
+        prev = boundary
+        nxt = boundary + p
+        for _ in range(self.config.coalesce_idle_ticks - 1):
+            prev = nxt
+            nxt = nxt + p
+        timer.skip_to(nxt)
+        self._b0 = boundary
+        self._resync_to = prev
+        self._skip_count = self.config.coalesce_idle_ticks - 1
+        self._stretched = True
+        self._arm_hooks()
+
+    def _realign(self, timer) -> None:
+        """After an activation edge, re-aim the timer at the tick grid."""
+        p = self.config.interval_us
+        now = self.env.now
+        prev = self._b0
+        nxt = prev + p
+        skipped = 0
+        while nxt < now:
+            prev = nxt
+            nxt = nxt + p
+            skipped += 1
+        timer.skip_to(nxt)
+        self._resync_to = prev
+        self._skip_count = skipped
+
+    def _on_activity(self, _path=None) -> None:
+        """Activation edge: wake a coalesced daemon at the next boundary."""
+        if not self._stretched:
+            return
+        self._stretched = False
+        self._disarm_hooks()
+        self._process.interrupt("activity")
+
+    def _arm_hooks(self) -> None:
+        self.system.server.activity_hook = self._on_activity
+        self.system.cgroups.on_create = self._on_activity
+
+    def _disarm_hooks(self) -> None:
+        server = self.system.server
+        if server.activity_hook == self._on_activity:
+            server.activity_hook = None
+        cgroups = self.system.cgroups
+        if cgroups.on_create == self._on_activity:
+            cgroups.on_create = None
 
     # -- Section 6.6: overhead ----------------------------------------------------------
 
@@ -193,4 +324,5 @@ class Holmes:
             "resident_bytes": state_bytes + 2 * 1024 * 1024,  # code + arenas
             "ticks": self.ticks,
             "active_tick_fraction": active_frac,
+            "skipped_idle_ticks": self.skipped_idle_ticks,
         }

@@ -45,6 +45,11 @@ class Server:
         self.counters = CounterEngine(self.config, self.topology.n_lcpus, self.rng)
         self.disk = Disk(env, self.config, self.rng)
 
+        #: optional zero-arg callback fired at every quantum start; the
+        #: Holmes daemon uses it as the activation edge that ends a
+        #: coalesced (stretched) idle tick.  None = disabled, no cost.
+        self.activity_hook = None
+
         n = self.topology.n_lcpus
         self._kinds: list[CpuKind] = [IDLE] * n
         #: end of the validity window of _kinds[lcpu] (quantum end time).
@@ -91,6 +96,9 @@ class Server:
         Only drives the bandwidth stream accounting; the sibling-visible
         kind window is recorded by the quantum itself.
         """
+        hook = self.activity_hook
+        if hook is not None:
+            hook()
         streaming = kind.mem > _STREAM_THRESHOLD
         if streaming != self._streaming[lcpu]:
             if streaming:

@@ -42,6 +42,14 @@ class UsageTracker:
         self._last_time = now
         return usage
 
+    def resync(self, t: float) -> None:
+        """Fast-forward the window start to ``t`` without sampling.
+
+        Only valid when no busy time accrued since the last sample (the
+        quiescent-coalescing case): the busy baseline is left untouched.
+        """
+        self._last_time = t
+
     def peek(self) -> np.ndarray:
         """Like :meth:`sample` but without advancing the window."""
         now = self.env.now

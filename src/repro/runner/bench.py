@@ -1,22 +1,30 @@
-"""``repro bench``: perf tracking for the runner and the sim hot path.
+"""``repro bench``: perf tracking for the sim kernel, runner, and cluster.
 
-Two measurements, both written to ``BENCH_runner.json`` so the perf
+Four measurement groups, all written to ``BENCH_runner.json`` so the perf
 trajectory is tracked from PR to PR:
 
-* **events/sec** of the bare event loop (a timer-flood microbench over
-  ``Environment.run``), the number the sim hot-path work moves;
-* **serial vs parallel wall-clock** of a 4-experiment co-location sweep.
-  The serial baseline is the legacy behaviour — every experiment
-  recomputes its own cells back to back, no cache, one process.  The
-  runner column fans the deduped cells out over a worker pool with a
-  cold shared cache.  On a single-core host the speedup comes from
-  cross-experiment cell dedup alone (the sweep's four experiments share
-  one alone/holmes/perfiso triple); on multicore hosts process fan-out
-  compounds it.
+* **event_loop** -- events/sec of the bare engine under a timer flood at
+  large population (128 k auto-rearming timers, 50-1050 us periods),
+  measured under both calendar kernels.  This is the headline number the
+  timer-wheel work moves: pure calendar churn with no generator dispatch
+  in the way, the regime the wheel exists for (100-node sweeps, long
+  horizons).
+* **kernel** -- the same flood at smaller timer populations, plus a
+  generator-dispatch bench (64 ticker processes), each with heap and
+  wheel side by side.  Together these show where the crossover lives:
+  at small populations the kernels are within noise of each other and
+  dispatch cost dominates; the wheel pulls away as the pending-set
+  grows and heap sifts go O(log n) over a cache-hostile array.
+* **cluster** -- wall-clock of the 100-node churn sweep under heap,
+  wheel, and wheel + quiescent tick coalescing, with a byte-identity
+  check across all three reports (speed that changes results is a bug).
+* **sweep** -- serial vs parallel wall-clock of a 4-experiment
+  co-location sweep through the runner (cache + process fan-out), with
+  the serial/parallel byte-identity check.
 
-The bench *fails* (nonzero exit through the CLI) if the serial and
-parallel merged results are not byte-identical: speed that changes
-results is a bug, not a feature.
+The bench *fails* (nonzero exit through the CLI) if any identity check
+fails.  ``--profile`` additionally dumps a cProfile report of the
+event-loop hot path for both kernels.
 """
 
 from __future__ import annotations
@@ -36,31 +44,239 @@ from repro.runner.runner import ExperimentRunner
 #: cell does real scheduling work.
 BENCH_DURATION_US = 80_000.0
 
+#: timer-flood period mix: 50 us (the Holmes tick) up to 1050 us (cluster
+#: telemetry scale), pseudo-randomly spread so firings interleave.
+_PERIOD_BASE_US = 50.0
+#: E[1/period] of the mix; used to size horizons for a target event count.
+_MEAN_INV_PERIOD = 3.0445e-3
 
-def bench_event_loop(n_timers: int = 64, horizon_us: float = 40_000.0) -> dict:
-    """Events/sec of the bare engine under a periodic-timer flood."""
-    from repro.sim import Environment, RecurringTimeout
+#: wheel geometry for the kernel floods: bucket at a tenth of the
+#: dominant 50 us period keeps the per-bucket sorted batches small while
+#: the 1024-slot ring still spans every period in the mix.
+FLOOD_BUCKET_US = 5.0
+FLOOD_WHEEL_SLOTS = 1024
 
-    env = Environment()
+#: headline event-loop flood population (full / --quick).
+EVENT_LOOP_TIMERS = 131_072
+EVENT_LOOP_TIMERS_QUICK = 16_384
 
-    def ticker(env: Environment, period: float):
+#: smaller flood populations for the kernel crossover table.
+KERNEL_POPULATIONS = (1_024, 16_384)
+KERNEL_POPULATIONS_QUICK = (1_024,)
+
+#: cluster bench shape (full / --quick).
+CLUSTER_NODES = 100
+CLUSTER_COALESCE = 32
+
+
+def _flood_period(i: int) -> float:
+    return _PERIOD_BASE_US + ((i * 2654435761) % 1_000_000) / 1000.0
+
+
+def _make_kernel(calendar: str):
+    from repro.sim import HeapEnvironment, WheelEnvironment
+
+    if calendar == "heap":
+        return HeapEnvironment()
+    return WheelEnvironment(bucket_us=FLOOD_BUCKET_US,
+                            wheel_slots=FLOOD_WHEEL_SLOTS)
+
+
+def _flood_env(calendar: str, n_timers: int):
+    from repro.sim import RecurringTimeout
+
+    env = _make_kernel(calendar)
+    for i in range(n_timers):
+        RecurringTimeout(env, _flood_period(i), auto=True)
+    return env
+
+
+def bench_timer_flood(calendar: str, n_timers: int,
+                      target_events: int, repeats: int = 2) -> dict:
+    """Events/sec of the bare engine under an auto-rearming timer flood.
+
+    Pure calendar churn: every event is popped, re-armed one period into
+    the future, and dispatched to an empty callback list -- no generator
+    in the loop, so the number isolates the calendar kernel itself.
+    """
+    horizon = target_events / (n_timers * _MEAN_INV_PERIOD)
+    best = None
+    events = 0
+    for _ in range(repeats):
+        env = _flood_env(calendar, n_timers)
+        t0 = time.perf_counter()
+        env.run(until=horizon)
+        wall = time.perf_counter() - t0
+        events = env._seq
+        if best is None or wall < best:
+            best = wall
+    return {
+        "events": events,
+        "wall_s": best,
+        "events_per_sec": events / best if best else None,
+    }
+
+
+def bench_dispatch(calendar: str, n_tickers: int = 64,
+                   horizon_us: float = 40_000.0, repeats: int = 2) -> dict:
+    """Events/sec with generator processes in the loop (the old bench
+    shape): 64 tickers on distinct co-prime-ish periods, manual rearm.
+    Dispatch cost dominates here, so the kernels should be close."""
+    from repro.sim import RecurringTimeout
+
+    def ticker(env, period: float):
         timer = RecurringTimeout(env, period)
         while True:
             yield timer
             timer.rearm()
 
-    for i in range(n_timers):
-        # distinct co-prime-ish periods so firings interleave rather than
-        # batching at shared timestamps
-        env.process(ticker(env, 1.0 + 0.37 * i))
-    t0 = time.perf_counter()
-    env.run(until=horizon_us)
-    wall = time.perf_counter() - t0
+    best = None
+    events = 0
+    for _ in range(repeats):
+        env = _make_kernel(calendar)
+        for i in range(n_tickers):
+            env.process(ticker(env, 1.0 + 0.37 * i))
+        t0 = time.perf_counter()
+        env.run(until=horizon_us)
+        wall = time.perf_counter() - t0
+        events = env._seq
+        if best is None or wall < best:
+            best = wall
     return {
-        "events": env._seq,
-        "wall_s": wall,
-        "events_per_sec": env._seq / wall if wall > 0 else None,
+        "events": events,
+        "wall_s": best,
+        "events_per_sec": events / best if best else None,
     }
+
+
+def _side_by_side(run) -> dict:
+    """Run a single-kernel bench for heap and wheel; attach the ratio."""
+    heap = run("heap")
+    wheel = run("wheel")
+    ratio = None
+    if heap["events_per_sec"] and wheel["events_per_sec"]:
+        ratio = wheel["events_per_sec"] / heap["events_per_sec"]
+    return {"heap": heap, "wheel": wheel, "wheel_vs_heap": ratio}
+
+
+def bench_kernel(quick: bool = False) -> tuple[dict, dict]:
+    """The event_loop headline + the kernel crossover table."""
+    n_head = EVENT_LOOP_TIMERS_QUICK if quick else EVENT_LOOP_TIMERS
+    target = 250_000 if quick else 600_000
+    event_loop = _side_by_side(
+        lambda cal: bench_timer_flood(cal, n_head, target)
+    )
+    event_loop["n_timers"] = n_head
+    event_loop["bucket_us"] = FLOOD_BUCKET_US
+    event_loop["wheel_slots"] = FLOOD_WHEEL_SLOTS
+
+    populations = []
+    pops = KERNEL_POPULATIONS_QUICK if quick else KERNEL_POPULATIONS
+    pop_target = 150_000 if quick else 300_000
+    for n in pops:
+        row = _side_by_side(lambda cal: bench_timer_flood(cal, n, pop_target))
+        row["n_timers"] = n
+        populations.append(row)
+    dispatch = _side_by_side(
+        lambda cal: bench_dispatch(cal, horizon_us=15_000.0 if quick
+                                   else 40_000.0)
+    )
+    kernel = {
+        "bucket_us": FLOOD_BUCKET_US,
+        "wheel_slots": FLOOD_WHEEL_SLOTS,
+        "populations": populations,
+        "dispatch": dispatch,
+    }
+    return event_loop, kernel
+
+
+def bench_cluster(quick: bool = False, seed: int = 42) -> dict:
+    """Wall-clock of the 100-node churn sweep: heap vs wheel vs
+    wheel + quiescent tick coalescing, with byte-identity across all
+    three reports."""
+    import os
+
+    from repro.analysis.export import canonical_dumps
+    from repro.cluster.sweep import run_cluster_sweep
+
+    duration_us = 30_000.0 if quick else 100_000.0
+    n_jobs = 30 if quick else 80
+    kw = dict(policy="score", n_nodes=CLUSTER_NODES, n_jobs=n_jobs,
+              duration_us=duration_us, seed=seed)
+
+    def one(calendar: str, coalesce: int) -> tuple[float, str]:
+        prev = os.environ.get("REPRO_SIM_CALENDAR")
+        os.environ["REPRO_SIM_CALENDAR"] = calendar
+        try:
+            t0 = time.perf_counter()
+            report = run_cluster_sweep(**kw, coalesce_idle_ticks=coalesce)
+            wall = time.perf_counter() - t0
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_SIM_CALENDAR", None)
+            else:
+                os.environ["REPRO_SIM_CALENDAR"] = prev
+        return wall, canonical_dumps(report)
+
+    heap_wall, heap_bytes = one("heap", 1)
+    wheel_wall, wheel_bytes = one("wheel", 1)
+    co_wall, co_bytes = one("wheel", CLUSTER_COALESCE)
+    return {
+        "n_nodes": CLUSTER_NODES,
+        "n_jobs": n_jobs,
+        "duration_us": duration_us,
+        "seed": seed,
+        "coalesce_idle_ticks": CLUSTER_COALESCE,
+        "heap_wall_s": heap_wall,
+        "wheel_wall_s": wheel_wall,
+        "wheel_coalesced_wall_s": co_wall,
+        "coalesced_speedup_vs_heap": (
+            heap_wall / co_wall if co_wall > 0 else None
+        ),
+        "identical_reports": (
+            heap_bytes == wheel_bytes == co_bytes
+        ),
+    }
+
+
+def profile_event_loop(output: str | pathlib.Path,
+                       quick: bool = False) -> str:
+    """cProfile the timer-flood hot path for both kernels; write a text
+    report next to the bench output and return its path."""
+    import cProfile
+    import io
+    import pstats
+
+    n = EVENT_LOOP_TIMERS_QUICK if quick else EVENT_LOOP_TIMERS
+    target = 150_000 if quick else 400_000
+    horizon = target / (n * _MEAN_INV_PERIOD)
+    buf = io.StringIO()
+    for calendar in ("heap", "wheel"):
+        env = _flood_env(calendar, n)
+        prof = cProfile.Profile()
+        prof.enable()
+        env.run(until=horizon)
+        prof.disable()
+        buf.write(f"== {calendar} kernel: timer flood, n={n}, "
+                  f"{env._seq} events ==\n")
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats("tottime").print_stats(25)
+        buf.write("\n")
+    path = pathlib.Path(output)
+    report = path.with_name(path.stem + "_profile.txt")
+    report.write_text(buf.getvalue())
+    return str(report)
+
+
+def bench_event_loop(n_timers: int = EVENT_LOOP_TIMERS_QUICK,
+                     horizon_us: Optional[float] = None) -> dict:
+    """Back-compat shim: the wheel-kernel timer flood at one population."""
+    target = (
+        int(n_timers * _MEAN_INV_PERIOD * horizon_us)
+        if horizon_us is not None
+        else 250_000
+    )
+    return bench_timer_flood("wheel", n_timers, max(target, 1))
 
 
 def bench_sweep(duration_us: float = BENCH_DURATION_US,
@@ -79,8 +295,18 @@ def run_bench(
     seed: int = 42,
     cache_dir: Optional[str] = None,
     output: str | pathlib.Path = "BENCH_runner.json",
+    quick: bool = False,
+    kernel: bool = True,
+    cluster: bool = True,
+    profile: bool = False,
 ) -> dict:
-    """Run the bench and write ``BENCH_runner.json``; returns the record."""
+    """Run the bench and write ``BENCH_runner.json``; returns the record.
+
+    ``kernel``/``cluster`` gate the corresponding measurement groups (the
+    CI smoke job runs with both off: it only needs the serial-vs-parallel
+    equivalence check).  ``profile`` additionally writes a cProfile
+    report of the event-loop hot path next to ``output``.
+    """
     requests = bench_sweep(duration_us, seed)
 
     serial = ExperimentRunner(cache=None, parallel=1, dedupe=False).run(requests)
@@ -100,7 +326,6 @@ def run_bench(
             tmp.cleanup()
 
     identical = serial.merged_bytes() == par.merged_bytes()
-    loop = bench_event_loop()
     record = {
         "sweep": {
             "experiments": [r.experiment_id for r in requests],
@@ -117,8 +342,13 @@ def run_bench(
             "identical_merged_results": identical,
             "cache": par.cache_stats,
         },
-        "event_loop": loop,
     }
+    if kernel:
+        record["event_loop"], record["kernel"] = bench_kernel(quick)
+    if cluster:
+        record["cluster"] = bench_cluster(quick, seed=seed)
+    if profile:
+        record["profile_report"] = profile_event_loop(output, quick)
     path = pathlib.Path(output)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record

@@ -2,10 +2,28 @@
 
 Design notes
 ------------
-The engine is a classic calendar queue over ``heapq``.  Heap entries are
-``(time, priority, seq, event)`` tuples; ``seq`` is a monotonically increasing
-tie-breaker so that events scheduled at the same instant fire in FIFO order
-and runs are bit-for-bit deterministic.
+The engine separates the *event machinery* (this module) from the
+*calendar* -- the priority structure that orders pending events.  Two
+calendar kernels live in :mod:`repro.sim.calendar`:
+
+* :class:`~repro.sim.calendar.HeapEnvironment` -- the classic binary
+  heap over ``heapq``; the reference kernel;
+* :class:`~repro.sim.calendar.WheelEnvironment` -- a bucketed timer
+  wheel with an overflow heap; the default production kernel.
+
+Calendar entries are ``[time, priority, seq, event]`` lists; ``seq`` is
+a monotonically increasing tie-breaker so that events scheduled at the
+same instant fire in FIFO order and runs are bit-for-bit deterministic.
+Both kernels fire events in exactly the same ``(time, priority, seq)``
+order, which the calendar-equivalence tests verify trace-for-trace.
+Entries are lists (not tuples) so a pending entry can be *lazily
+cancelled*: ``env.cancel(event)`` blanks the entry in place and the
+dispatch loop skips it when popped, with no O(n) removal.
+
+Instantiating :class:`Environment` directly picks the default kernel
+(``wheel``, overridable with the ``REPRO_SIM_CALENDAR`` environment
+variable or the ``calendar=`` keyword) and returns the matching
+subclass.
 
 Processes are plain Python generators.  A process yields :class:`Event`
 objects; when the yielded event fires, the event's value is sent back into
@@ -14,12 +32,8 @@ the generator (or, for a failed event, the exception is thrown into it).
 
 from __future__ import annotations
 
-import heapq
+import os
 from typing import Any, Generator, Iterable, Optional
-
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
 
 # Event priorities: URGENT fires before NORMAL at the same timestamp.  The
 # engine uses URGENT for process-resumption bookkeeping (e.g. interrupts) so
@@ -29,6 +43,12 @@ NORMAL = 1
 
 # Sentinel for "event not yet triggered".
 _PENDING = object()
+
+#: calendar kernel used when ``Environment()`` is called with no explicit
+#: choice and ``REPRO_SIM_CALENDAR`` is unset.
+DEFAULT_CALENDAR = "wheel"
+
+_CALENDAR_ENV_VAR = "REPRO_SIM_CALENDAR"
 
 
 class SimulationError(RuntimeError):
@@ -54,7 +74,8 @@ class Event:
     schedules it, and *processed* after its callbacks have run.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused",
+                 "_entry")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -63,6 +84,8 @@ class Event:
         self._ok = True
         self._processed = False
         self._defused = False
+        #: live calendar entry ([time, prio, seq, self]) while scheduled.
+        self._entry: Optional[list] = None
 
     @property
     def triggered(self) -> bool:
@@ -137,35 +160,40 @@ class RecurringTimeout(Event):
 
     A periodic 50 us control loop over a multi-second horizon allocates
     tens of thousands of single-use :class:`Timeout` objects (plus their
-    callback lists).  A recurring timeout is one event object that its
-    owner re-arms after every firing::
+    callback lists).  A recurring timeout is one event object that is
+    re-armed after every firing.  Two modes:
 
-        timer = RecurringTimeout(env, period)
-        while True:
-            yield timer
-            ...                 # one tick of work
-            timer.rearm()       # reschedule before yielding again
+    * **auto** (``auto=True``) -- the dispatch loop reschedules the timer
+      ``period`` into the future *at pop time, before callbacks run*, so
+      the owning loop is just ``while ...: yield timer``.  This is the
+      fast path used by the daemon and samplers; the owner must
+      :meth:`cancel` the timer when the loop stops, or it keeps firing
+      into an empty callback list forever.
+    * **manual** (default) -- the owner calls :meth:`rearm` after every
+      firing, which reschedules exactly like allocating a fresh
+      :class:`Timeout` at the call point would.
 
-    ``rearm`` resets the event to a freshly-fired-timeout state and
-    reschedules it ``period`` into the future, so the firing order is
-    bit-identical to allocating a new :class:`Timeout` at the same point.
     Only the owning process may wait on it: sharing one event object
     across waiters and firings would cross-deliver values.
     """
 
-    __slots__ = ("period",)
+    __slots__ = ("period", "auto")
 
-    def __init__(self, env: "Environment", period: float, value: Any = None):
+    def __init__(self, env: "Environment", period: float, value: Any = None,
+                 auto: bool = False):
         if period < 0:
             raise SimulationError(f"negative timeout delay: {period!r}")
         super().__init__(env)
         self.period = period
+        self.auto = auto
         self._ok = True
         self._value = value
         env._schedule(self, NORMAL, period)
 
     def rearm(self, period: Optional[float] = None) -> "RecurringTimeout":
         """Reset to pending-fire state and reschedule ``period`` from now."""
+        if self.auto:
+            raise SimulationError("auto recurring timeouts rearm themselves")
         if self.callbacks is not None:
             raise SimulationError(
                 "rearm() called before the previous firing was processed"
@@ -179,6 +207,22 @@ class RecurringTimeout(Event):
         self.env._schedule(self, NORMAL, self.period)
         return self
 
+    def cancel(self) -> bool:
+        """Lazily drop the pending firing from the calendar."""
+        return self.env.cancel(self)
+
+    def skip_to(self, t: float) -> None:
+        """Move the pending firing to absolute time ``t``.
+
+        Used by quiescent tick coalescing: the pending entry is cancelled
+        and the timer re-armed at ``t`` exactly (no ``now + delta``
+        rounding), after which auto re-arming continues from ``t``.
+        """
+        self.env.cancel(self)
+        if self.callbacks is None:
+            self.callbacks = []
+        self.env._schedule_at(self, t)
+
 
 class Initialize(Event):
     """Internal: first resumption of a freshly created process."""
@@ -187,7 +231,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._on_fire)
         self._ok = True
         self._value = None
         env._schedule(self, URGENT)
@@ -214,7 +258,7 @@ class Process(Event):
     exception it raised, for a failed process).
     """
 
-    __slots__ = ("gen", "_target", "name")
+    __slots__ = ("gen", "_target", "name", "_send", "_throw", "_on_fire")
 
     def __init__(self, env: "Environment", gen: Generator, name: str = ""):
         if not hasattr(gen, "throw"):
@@ -223,6 +267,12 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
+        # bound-method caches: _resume runs once per event on the hot path,
+        # and callbacks.append(self._resume) would allocate a fresh bound
+        # method object every firing.
+        self._send = gen.send
+        self._throw = gen.throw
+        self._on_fire = self._resume
         Initialize(env, self)
 
     @property
@@ -252,25 +302,22 @@ class Process(Event):
             # Stop listening to the old target: the interrupt supersedes it.
             # (Timeouts are born "triggered", so test callbacks, not triggered.)
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._on_fire)
             except ValueError:
                 pass
         self._target = None
-        self._step(event)
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         self._target = None
-        self._step(event)
-
-    def _step(self, event: Event) -> None:
         env = self.env
         env._active_process = self
         try:
             if event._ok:
-                result = self.gen.send(event._value)
+                result = self._send(event._value)
             else:
                 event._defused = True
-                result = self.gen.throw(event._value)
+                result = self._throw(event._value)
         except StopIteration as exc:
             env._active_process = None
             self._ok = True
@@ -298,12 +345,16 @@ class Process(Event):
             resume._value = result._value
             if not result._ok:
                 result._defused = True
-            resume.callbacks.append(self._resume)
+            resume.callbacks.append(self._on_fire)
             env._schedule(resume, URGENT)
             self._target = resume
         else:
-            result.callbacks.append(self._resume)
+            result.callbacks.append(self._on_fire)
             self._target = result
+
+    # kept as an alias: older code and tests refer to the resumption step
+    # by this name.
+    _step = _resume
 
 
 class Condition(Event):
@@ -371,12 +422,44 @@ class AllOf(Condition):
         return self._count >= len(self.events)
 
 
-class Environment:
-    """The simulation clock and event calendar."""
+def _resolve_calendar(name: Optional[str]) -> str:
+    name = name or os.environ.get(_CALENDAR_ENV_VAR) or DEFAULT_CALENDAR
+    if name not in ("heap", "wheel"):
+        raise ValueError(
+            f"unknown calendar kernel {name!r} (expected 'heap' or 'wheel')"
+        )
+    return name
 
-    def __init__(self, initial_time: float = 0.0):
+
+class Environment:
+    """The simulation clock and event calendar (abstract front).
+
+    ``Environment(...)`` instantiates the selected calendar kernel:
+    ``calendar=`` keyword first, then the ``REPRO_SIM_CALENDAR``
+    environment variable, then :data:`DEFAULT_CALENDAR`.  The concrete
+    kernels (:class:`~repro.sim.calendar.HeapEnvironment`,
+    :class:`~repro.sim.calendar.WheelEnvironment`) implement
+    ``_schedule``/``_schedule_at``/``peek``/``step``/``run`` and share
+    everything else from this base class.
+    """
+
+    calendar_name = "abstract"
+
+    def __new__(cls, initial_time: float = 0.0,
+                calendar: Optional[str] = None, **kwargs):
+        if cls is Environment:
+            from repro.sim.calendar import HeapEnvironment, WheelEnvironment
+
+            cls = (
+                HeapEnvironment
+                if _resolve_calendar(calendar) == "heap"
+                else WheelEnvironment
+            )
+        return super().__new__(cls)
+
+    def __init__(self, initial_time: float = 0.0,
+                 calendar: Optional[str] = None):
         self._now = float(initial_time)
-        self._heap: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -405,58 +488,56 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    # -- scheduling --------------------------------------------------------
+    # -- scheduling (kernel interface) ------------------------------------
 
-    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0):
-        self._seq = seq = self._seq + 1
-        _heappush(self._heap, (self._now + delay, priority, seq, event))
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        raise NotImplementedError
+
+    def _schedule_at(self, event: Event, t: float,
+                     priority: int = NORMAL) -> None:
+        """Schedule at absolute time ``t`` (no ``now + delay`` rounding)."""
+        raise NotImplementedError
+
+    def cancel(self, event: Event) -> bool:
+        """Lazily cancel ``event``'s pending calendar entry.
+
+        Returns True if a live entry was dropped.  The entry is blanked in
+        place; the dispatch loop skips it when popped.  Cancelling an event
+        another process is waiting on strands that process -- this is a
+        kernel-level API for timer owners (samplers, daemons), not a
+        general wait-abort mechanism.
+        """
+        entry = event._entry
+        if entry is None or entry[3] is None:
+            return False
+        entry[3] = None
+        event._entry = None
+        self._note_cancel(entry)
+        return True
+
+    def _note_cancel(self, entry: list) -> None:
+        """Kernel hook: bookkeeping after an entry is blanked."""
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if the calendar is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        raise NotImplementedError
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("no scheduled events")
-        t, _prio, _seq, event = _heappop(self._heap)
-        self._now = t
-        callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
-        event._processed = True
-        if not event._ok and not event._defused:
-            raise event._value
+        raise NotImplementedError
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the calendar drains or the clock reaches ``until``.
+        """Run until the calendar drains or the clock reaches ``until``."""
+        raise NotImplementedError
 
-        The loop body is :meth:`step` inlined with the heap and heappop
-        bound to locals: this path pops every event of every run, and the
-        per-event call/attribute overhead of delegating to ``step()`` is
-        measurable on multi-second horizons.
-        """
+    # shared by both kernels' run() implementations
+    def _check_until(self, until: Optional[float]) -> float:
         if until is None:
-            limit = float("inf")
-        else:
-            limit = until = float(until)
-            if until < self._now:
-                raise SimulationError(
-                    f"run(until={until}) is in the past (now={self._now})"
-                )
-        heap = self._heap
-        pop = _heappop
-        while heap:
-            if heap[0][0] > limit:
-                self._now = until
-                return
-            t, _prio, _seq, event = pop(heap)
-            self._now = t
-            callbacks, event.callbacks = event.callbacks, None
-            for cb in callbacks:
-                cb(event)
-            event._processed = True
-            if not event._ok and not event._defused:
-                raise event._value
-        if until is not None:
-            self._now = until
+            return float("inf")
+        until = float(until)
+        if until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})"
+            )
+        return until

@@ -72,24 +72,31 @@ class PeriodicSampler:
         self.fn = fn
         self.series = Series(name)
         self._stopped = False
+        self._timer: RecurringTimeout | None = None
         self.process = env.process(self._run(), name=f"sampler:{name}")
 
     def stop(self) -> None:
         self._stopped = True
+        # Drop the armed timer from the calendar: without this the entry
+        # would sit there until it fired into the stopped loop.
+        if self._timer is not None:
+            self._timer.cancel()
 
     def _run(self):
-        # One reusable timer instead of one Timeout allocation per sample:
-        # at a 50 us period over seconds of simulated time the allocation
-        # churn is what dominates the sampler's cost.
-        timer = RecurringTimeout(self.env, self.period)
+        # One reusable auto-rearming timer instead of one Timeout
+        # allocation per sample: at a 50 us period over seconds of
+        # simulated time the allocation churn is what dominates the
+        # sampler's cost.
+        timer = RecurringTimeout(self.env, self.period, auto=True)
+        self._timer = timer
         record = self.series.record
         fn = self.fn
         while not self._stopped:
             yield timer
             if self._stopped:
-                return
+                break
             now = self.env.now
             value = fn(now)
             if value is not None:
                 record(now, float(value))
-            timer.rearm()
+        timer.cancel()
