@@ -15,7 +15,10 @@ Checks, mirroring what the bench itself promises:
   a wheel slower than the reference heap means the default kernel
   regressed;
 * the cluster sweep reports must be byte-identical under heap vs wheel
-  and coalescing on vs off.
+  and coalescing on vs off;
+* the fault-injection hook points, measured with an *empty* fault plan
+  attached, must cost at most ``max_fault_overhead`` times the plain
+  run (default 1.05x: the chaos engine is free when unused).
 
 Exit status is nonzero on any failure, so the workflow step fails.
 """
@@ -38,7 +41,8 @@ def normalised_serial_wall(record: dict) -> float:
 
 
 def check(current: dict, baseline: dict, max_ratio: float,
-          min_wheel_ratio: float) -> list[str]:
+          min_wheel_ratio: float,
+          max_fault_overhead: float = 1.05) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -92,6 +96,26 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 "cluster sweep reports differ across kernels/coalescing: "
                 "the calendar or coalescing changed experiment output"
             )
+
+    fo = current.get("fault_overhead")
+    if fo is None:
+        failures.append(
+            "bench record has no fault_overhead section (bench predates "
+            "the fault-injection engine?)"
+        )
+    else:
+        fo_ratio = fo["overhead_ratio"] or float("inf")
+        print(
+            f"fault hooks (empty plan): plain {fo['plain_wall_s']:.3f}s, "
+            f"hooked {fo['hooked_wall_s']:.3f}s, ratio {fo_ratio:.3f}x "
+            f"(limit {max_fault_overhead:.2f}x)"
+        )
+        if fo_ratio > max_fault_overhead:
+            failures.append(
+                f"fault-injection hooks cost {fo_ratio:.3f}x the plain "
+                f"run with no fault configured (limit "
+                f"{max_fault_overhead:.2f}x)"
+            )
     return failures
 
 
@@ -104,11 +128,15 @@ def main(argv=None) -> int:
                         help="allowed normalised serial-wall slowdown")
     parser.add_argument("--min-wheel-ratio", type=float, default=1.0,
                         help="required wheel-vs-heap event-loop ratio")
+    parser.add_argument("--max-fault-overhead", type=float, default=1.05,
+                        help="allowed fault-hook overhead with an empty "
+                             "fault plan (default 1.05 = 5%%)")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio)
+    failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
+                     args.max_fault_overhead)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

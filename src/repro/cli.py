@@ -256,6 +256,77 @@ def cmd_bench(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args) -> int:
+    import pathlib
+
+    from repro.analysis.export import canonical_dumps
+    from repro.faults import standard_chaos_plan
+    from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
+
+    plan = standard_chaos_plan(
+        seed=args.fault_seed,
+        counter_error_rate=args.counter_error_rate,
+        garbage_rate=args.garbage_rate,
+        tick_miss_rate=args.tick_miss_rate,
+        stall_rate=args.stall_rate,
+        stall_duration_us=args.stall_duration_us,
+        cgroup_error_rate=args.cgroup_error_rate,
+        container_crash_period_us=args.crash_period * 1e6,
+        node_failures=args.node_failures,
+        node_failure_period_us=args.node_failure_period * 1e6,
+        node_downtime_us=args.node_downtime * 1e6,
+    )
+    if not plan.specs:
+        print("chaos plan is empty: enable at least one fault source "
+              "(see --help)", file=sys.stderr)
+        return 2
+    params = {
+        "service": args.service,
+        "workload": args.workload,
+        "duration_us": args.duration * 1e6,
+        "n_nodes": args.nodes,
+        "n_jobs": args.jobs,
+        "cluster_duration_us": args.duration * 1e6,
+        "max_resubmits": args.max_resubmits,
+        # the plan rides as its canonical JSON string so the cell params
+        # stay hashable and the cache key is stable.
+        "faults": plan.to_json(),
+    }
+    request = ExperimentRequest.make("chaos", params, args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    print(f"chaos run: {len(plan.specs)} fault specs (fault seed "
+          f"{args.fault_seed}), node + {args.nodes}-node cluster ...",
+          file=sys.stderr)
+    report = runner.run([request])
+    agg = report.experiments[request.experiment_id]
+
+    path = pathlib.Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # canonical bytes: same seeds => byte-identical chaos report
+    path.write_text(canonical_dumps(report.merged()) + "\n")
+
+    node, cl = agg["node"], agg["cluster"]
+    batch = cl.get("batch") or {}
+    rows = [
+        ["daemon health at end", node["health"]],
+        ["degraded time (us)", round(node["degraded_total_us"] or 0.0, 1)],
+        ["counter read failures", node["counter_read_failures"]],
+        ["garbage samples", node["garbage_samples"]],
+        ["missed / stalled ticks",
+         f"{node['missed_ticks']} / {node['stalled_ticks']}"],
+        ["watchdog recoveries", node["watchdog_recoveries"]],
+        ["node fail-stops", cl["node_failures"]],
+        ["nodes down at end", cl["nodes_down_at_end"]],
+        ["jobs resubmitted", batch.get("resubmitted")],
+        ["jobs failed", batch.get("failed")],
+        ["cluster jobs completed", cl["completed"]],
+    ]
+    print(format_table(["metric", "value"], rows))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_run_all(args) -> int:
     from repro.analysis.export import export_result
     from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
@@ -372,6 +443,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="cluster_report.json")
 
     p = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection run: one faulted co-location "
+             "node plus a faulted cluster sweep; writes a canonical report",
+    )
+    p.add_argument("service", nargs="?", default="redis",
+                   choices=["redis", "memcached", "rocksdb", "wiredtiger"])
+    p.add_argument("-w", "--workload", default="a")
+    p.add_argument("--duration", type=float, default=0.12,
+                   help="simulated seconds per cell (default 0.12)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault plan (decoupled from --seed)")
+    p.add_argument("--counter-error-rate", type=float, default=0.05,
+                   help="per-read HPE failure probability (default 0.05)")
+    p.add_argument("--garbage-rate", type=float, default=0.02,
+                   help="per-read garbage-sample probability (default 0.02)")
+    p.add_argument("--tick-miss-rate", type=float, default=0.02,
+                   help="per-tick daemon miss probability (default 0.02)")
+    p.add_argument("--stall-rate", type=float, default=0.005,
+                   help="per-tick daemon stall probability (default 0.005)")
+    p.add_argument("--stall-duration-us", type=float, default=2_000.0,
+                   help="stall length in microseconds (default 2000)")
+    p.add_argument("--cgroup-error-rate", type=float, default=0.02,
+                   help="per-op cgroup write/attach failure probability "
+                        "(default 0.02)")
+    p.add_argument("--crash-period", type=float, default=0.03,
+                   help="mean seconds between container crashes; 0 disables "
+                        "(default 0.03)")
+    p.add_argument("--node-failures", type=int, default=1,
+                   help="cluster node fail-stop events; 0 disables (default 1)")
+    p.add_argument("--node-failure-period", type=float, default=0.05,
+                   help="mean seconds between node fail-stops (default 0.05)")
+    p.add_argument("--node-downtime", type=float, default=0.02,
+                   help="seconds a failed node stays down (default 0.02)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="servers in the chaos cluster sweep (default 4)")
+    p.add_argument("--jobs", type=int, default=30,
+                   help="batch jobs in the chaos cluster sweep (default 30)")
+    p.add_argument("--max-resubmits", type=int, default=3,
+                   help="resubmission budget per killed job (default 3)")
+    p.add_argument("--parallel", type=int, default=2,
+                   help="worker processes (default 2)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: no cache)")
+    p.add_argument("--output", default="chaos_report.json")
+
+    p = sub.add_parser(
         "run-all",
         help="reproduce all figures in one sweep through the runner",
     )
@@ -398,6 +515,7 @@ COMMANDS = {
     "convergence": cmd_convergence,
     "sweep-e": cmd_sweep_e,
     "cluster": cmd_cluster,
+    "chaos": cmd_chaos,
     "bench": cmd_bench,
     "run-all": cmd_run_all,
 }

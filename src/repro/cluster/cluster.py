@@ -12,11 +12,12 @@ task-count heuristic ``batch_load()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core import Holmes, HolmesConfig, TelemetrySnapshot
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights, interference_score
+from repro.faults import FaultInjector, FaultPlan
 from repro.hw import HWConfig
 from repro.oskernel import System
 from repro.sim import Environment
@@ -34,6 +35,15 @@ class ServerNode:
     index: int = 0
     #: per-node Holmes daemon, when the cluster runs one (telemetry source).
     holmes: Optional[Holmes] = None
+    #: per-node fault injector, when the cluster runs chaos (same seed,
+    #: per-node channel scope).
+    faults: Optional[FaultInjector] = None
+    #: fail-stop state: a dead node runs nothing and exports no telemetry.
+    alive: bool = True
+    failed_at: Optional[float] = None
+    #: fail-stop events suffered over the run.
+    failures: int = 0
+    _holmes_was_running: bool = field(default=False, repr=False)
 
     def batch_load(self) -> float:
         """Live batch task threads per logical CPU (placement heuristic)."""
@@ -47,9 +57,36 @@ class ServerNode:
 
     def telemetry(self) -> Optional[TelemetrySnapshot]:
         """This node's latest health summary, or None without a daemon."""
-        if self.holmes is None:
+        if self.holmes is None or not self.alive:
             return None
         return self.holmes.telemetry()
+
+    def fail_stop(self) -> None:
+        """Kill the node: daemon, batch jobs, and every live process."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.failed_at = self.system.env.now
+        self.failures += 1
+        self._holmes_was_running = (
+            self.holmes is not None and self.holmes._running
+        )
+        if self.holmes is not None:
+            self.holmes.stop()
+        for job in self.nodemanager.running_jobs:
+            self.nodemanager.kill_job(job)
+        for proc in list(self.system.processes.values()):
+            if proc.alive:
+                proc.kill()
+
+    def recover(self) -> None:
+        """Bring a fail-stopped node back (fresh boot, daemon restarted)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.failed_at = None
+        if self.holmes is not None and self._holmes_was_running:
+            self.holmes.start()  # restart-safe: rebuilds loop + windows
 
     def interference_score(
         self, weights: ScoreWeights = DEFAULT_WEIGHTS
@@ -73,6 +110,7 @@ class Cluster:
         seed: int = 42,
         holmes_config: Optional[HolmesConfig] = None,
         start_daemons: bool = True,
+        faults: Optional[FaultPlan] = None,
     ):
         if n_servers < 1:
             raise ValueError("a cluster needs at least one server")
@@ -84,11 +122,23 @@ class Cluster:
             system = System(env=self.env, config=node_cfg)
             nm = NodeManager(system, seed=seed + i)
             node = ServerNode(f"server{i}", system, nm, index=i)
+            injector = (
+                FaultInjector(faults, scope=node.name)
+                if faults is not None
+                else None
+            )
+            node.faults = injector
             if holmes_config is not None:
-                node.holmes = Holmes(system, holmes_config)
+                node.holmes = Holmes(system, holmes_config, faults=injector)
                 if start_daemons:
                     node.holmes.start()
+            elif injector is not None:
+                injector.install(system)
             self.nodes.append(node)
+
+    @property
+    def alive_nodes(self) -> list[ServerNode]:
+        return [n for n in self.nodes if n.alive]
 
     def run(self, until: Optional[float] = None) -> None:
         self.env.run(until=until)

@@ -30,7 +30,7 @@ from repro.cluster.cluster import Cluster, ServerNode
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights
 from repro.sim import Interrupt, SimulationError
 from repro.workloads.batch import BatchJobSpec
-from repro.yarnlike import JobInstance
+from repro.yarnlike import ContainerLaunchError, JobInstance
 
 #: placement policies the scheduler understands.
 POLICIES = ("least-loaded", "score")
@@ -54,14 +54,23 @@ class TrackedJob:
     stalled_since: Optional[float] = None
     relocations: int = 0
     rejected: bool = False
+    #: attempts resubmitted after the running instance died under the job
+    #: (node fail-stop or container crash).
+    resubmits: int = 0
+    #: gave up: the resubmission budget is exhausted.
+    failed: bool = False
 
     @property
     def queued(self) -> bool:
-        return self.instance is None and not self.rejected
+        return self.instance is None and not self.rejected and not self.failed
 
     @property
     def finished(self) -> bool:
-        return self.instance is not None and self.instance.finished
+        return (
+            self.instance is not None
+            and self.instance.finished
+            and not self.instance.killed
+        )
 
     @property
     def queue_delay_us(self) -> Optional[float]:
@@ -102,7 +111,10 @@ class ClusterBatchScheduler:
         max_queue: Optional[int] = None,
         relocate_threshold: Optional[float] = None,
         relocate_margin: float = 0.25,
+        max_resubmits: int = 3,
     ):
+        if max_resubmits < 0:
+            raise ValueError("max_resubmits must be >= 0")
         if not 0.0 < min_progress_fraction < 1.0:
             raise ValueError("min_progress_fraction must be in (0, 1)")
         if policy not in POLICIES:
@@ -121,6 +133,7 @@ class ClusterBatchScheduler:
         self.max_queue = max_queue
         self.relocate_threshold = relocate_threshold
         self.relocate_margin = relocate_margin
+        self.max_resubmits = max_resubmits
         self.jobs: list[TrackedJob] = []
         self.queue: deque[TrackedJob] = deque()
         self.relocations = 0
@@ -129,6 +142,12 @@ class ClusterBatchScheduler:
         self.admitted = 0
         self.enqueued = 0
         self.rejected = 0
+        #: attempts resubmitted after dying under node/container faults.
+        self.resubmitted = 0
+        #: jobs abandoned with the resubmission budget exhausted.
+        self.failed_jobs = 0
+        #: container launches that failed under cgroup faults (job requeued).
+        self.launch_failures = 0
         self._running = False
         self._proc = None
 
@@ -144,43 +163,64 @@ class ClusterBatchScheduler:
 
     # -- submission --------------------------------------------------------
 
-    def pick_node(self, exclude: Optional[ServerNode] = None) -> ServerNode:
-        candidates = [n for n in self.cluster.nodes if n is not exclude]
+    def pick_node(self, exclude: Optional[ServerNode] = None) -> Optional[ServerNode]:
+        """Best alive node for a new placement; None when no node is alive."""
+        alive = [n for n in self.cluster.nodes if n.alive]
+        if not alive:
+            return None
+        candidates = [n for n in alive if n is not exclude]
         if not candidates:
-            candidates = list(self.cluster.nodes)
+            candidates = alive
         return min(candidates, key=self._placement_key)
 
     def submit(self, spec: BatchJobSpec,
                node: Optional[ServerNode] = None) -> TrackedJob:
         tracked = TrackedJob(spec=spec, submitted_at=self.env.now)
         if node is not None:
-            self._launch(tracked, node)
+            if not self._launch(tracked, node):
+                self._enqueue(tracked)
             self.jobs.append(tracked)
             return tracked
         target = self.pick_node()
-        if self._admission_active() and self.node_score(target) > self.admit_threshold:
+        if target is None:
+            # the whole cluster is down: hold for the supervision loop.
+            self._enqueue(tracked)
+        elif (
+            self._admission_active()
+            and self.node_score(target) > self.admit_threshold
+        ):
             if self.max_queue is not None and len(self.queue) >= self.max_queue:
                 tracked.rejected = True
                 self.rejected += 1
             else:
-                self.queue.append(tracked)
-                self.enqueued += 1
+                self._enqueue(tracked)
         else:
-            self._launch(tracked, target)
+            if not self._launch(tracked, target):
+                self._enqueue(tracked)
         self.jobs.append(tracked)
         return tracked
 
     def _admission_active(self) -> bool:
         return self.policy == "score" and self.admit_threshold is not None
 
-    def _launch(self, tracked: TrackedJob, node: ServerNode) -> None:
-        tracked.instance = node.nodemanager.launch_job(
-            tracked.spec, tasks_per_container=self.tasks_per_container
-        )
+    def _enqueue(self, tracked: TrackedJob) -> None:
+        self.queue.append(tracked)
+        self.enqueued += 1
+
+    def _launch(self, tracked: TrackedJob, node: ServerNode) -> bool:
+        try:
+            instance = node.nodemanager.launch_job(
+                tracked.spec, tasks_per_container=self.tasks_per_container
+            )
+        except ContainerLaunchError:
+            self.launch_failures += 1
+            return False
+        tracked.instance = instance
         tracked.node = node
         tracked.started_at = self.env.now
         tracked.last_cputime = self._cputime(tracked)
         self.admitted += 1
+        return True
 
     # -- supervision ----------------------------------------------------------
 
@@ -222,6 +262,7 @@ class ClusterBatchScheduler:
                 raise
 
     def _tick(self) -> None:
+        self._handle_dead_instances()
         self._drain_queue()
         now = self.env.now
         for job in list(self.jobs):
@@ -245,18 +286,48 @@ class ClusterBatchScheduler:
                 job.stalled_since = None
         self._preemptive_relocation()
 
+    # -- fault recovery ----------------------------------------------------
+
+    def _handle_dead_instances(self) -> None:
+        """Resubmit jobs whose running attempt was killed under them.
+
+        A killed instance means a node fail-stop or an injected container
+        crash (relocation kills replace the instance synchronously and
+        are never seen here).  Each job gets ``max_resubmits`` fresh
+        attempts before it is abandoned as failed.
+        """
+        for job in self.jobs:
+            instance = job.instance
+            if instance is None or not instance.killed:
+                continue
+            job.instance = None
+            job.node = None
+            job.stalled_since = None
+            if job.resubmits >= self.max_resubmits:
+                job.failed = True
+                self.failed_jobs += 1
+                continue
+            job.resubmits += 1
+            self.resubmitted += 1
+            self.queue.append(job)  # placed by _drain_queue, FIFO
+
     # -- admission queue ---------------------------------------------------
 
     def _drain_queue(self) -> None:
         """Launch queued jobs, FIFO, while some node is cool enough."""
         while self.queue:
             target = self.pick_node()
+            if target is None:
+                return  # no alive node; hold everything
             if (
                 self._admission_active()
                 and self.node_score(target) > self.admit_threshold
             ):
                 return
-            self._launch(self.queue.popleft(), target)
+            tracked = self.queue.popleft()
+            if not self._launch(tracked, target):
+                self.queue.appendleft(tracked)
+                return  # cgroup faults on the best node; retry next tick
 
     # -- relocation --------------------------------------------------------
 
@@ -267,31 +338,41 @@ class ClusterBatchScheduler:
             job.stalled_since = None
             return
         target = target or self.pick_node(exclude=job.node)
-        if target is job.node:
+        if target is None or target is job.node:
             job.stalled_since = None  # nowhere better to go; keep waiting
             return
         job.node.nodemanager.kill_job(job.instance)
-        job.instance = target.nodemanager.launch_job(
-            job.spec, tasks_per_container=self.tasks_per_container
-        )
-        job.node = target
-        job.last_cputime = self._cputime(job)
-        job.stalled_since = None
         job.relocations += 1
         self.relocations += 1
         if kind == "stall":
             self.stall_relocations += 1
         else:
             self.preemptive_relocations += 1
+        try:
+            job.instance = target.nodemanager.launch_job(
+                job.spec, tasks_per_container=self.tasks_per_container
+            )
+        except ContainerLaunchError:
+            # the old attempt is already dead; requeue the job instead.
+            self.launch_failures += 1
+            job.instance = None
+            job.node = None
+            job.stalled_since = None
+            self.queue.append(job)
+            return
+        job.node = target
+        job.last_cputime = self._cputime(job)
+        job.stalled_since = None
 
     def _preemptive_relocation(self) -> None:
         """Move one job off the hottest node before it stalls (score policy)."""
         if self.policy != "score" or self.relocate_threshold is None:
             return
-        if len(self.cluster.nodes) < 2:
+        alive = [n for n in self.cluster.nodes if n.alive]
+        if len(alive) < 2:
             return
         hot = max(
-            self.cluster.nodes,
+            alive,
             key=lambda n: (self.node_score(n), -n.index),
         )
         hot_score = self.node_score(hot)

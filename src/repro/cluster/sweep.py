@@ -28,6 +28,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.scheduler import ClusterBatchScheduler
 from repro.cluster.score import ScoreWeights
 from repro.core import HolmesConfig
+from repro.faults import FaultPlan, start_cluster_drivers
 from repro.runner.cells import latency_summary
 
 #: default per-node daemon (telemetry) interval at cluster scale.
@@ -64,6 +65,8 @@ def run_cluster_sweep(
     slo_multiplier: float = SLO_MULTIPLIER,
     score_weights: Optional[ScoreWeights] = None,
     coalesce_idle_ticks: int = 1,
+    faults=None,
+    max_resubmits: int = 3,
 ) -> dict:
     """Run one policy over the churned cluster; return the metrics payload.
 
@@ -71,16 +74,25 @@ def run_cluster_sweep(
     its tick while the node is still virgin (nothing has ever run there);
     the payload is byte-identical either way -- the skipped ticks are
     no-ops -- so it is purely a wall-clock knob for large sweeps.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, its dict form, or its
+    canonical JSON string) attaches seeded chaos: per-node counter/tick/
+    cgroup faults plus cluster-level container crashes and node fail-stop
+    with recovery.  The payload then gains a ``faults`` section; with
+    ``faults=None`` the payload is byte-identical to a plain sweep.
     """
     churn = churn or ChurnConfig(n_jobs=n_jobs)
     if churn.n_jobs != n_jobs:
         churn = ChurnConfig(**{**churn.__dict__, "n_jobs": n_jobs})
+    plan = FaultPlan.coerce(faults) if faults is not None else None
 
     holmes_cfg = HolmesConfig(
         interval_us=telemetry_interval_us,
         coalesce_idle_ticks=coalesce_idle_ticks,
     )
-    cluster = Cluster(n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg)
+    cluster = Cluster(
+        n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg, faults=plan
+    )
 
     weights = score_weights or ScoreWeights()
     scheduler = ClusterBatchScheduler(
@@ -92,6 +104,7 @@ def run_cluster_sweep(
         admit_threshold=admit_threshold if policy == "score" else None,
         relocate_threshold=relocate_threshold if policy == "score" else None,
         relocate_margin=relocate_margin,
+        max_resubmits=max_resubmits,
     )
 
     root_rng = np.random.default_rng(seed)
@@ -107,6 +120,8 @@ def run_cluster_sweep(
     arrivals = JobArrivalProcess(scheduler, churn, duration_us, arrival_rng)
     scheduler.start()
     arrivals.start()
+    if plan is not None:
+        start_cluster_drivers(cluster, plan)
 
     cluster.run(until=duration_us)
     scheduler.stop()
@@ -140,7 +155,7 @@ def run_cluster_sweep(
     ]
     final_scores = [scheduler.node_score(n) for n in cluster.nodes]
 
-    return {
+    payload = {
         "policy": policy,
         "n_nodes": int(n_nodes),
         "n_jobs": int(n_jobs),
@@ -175,3 +190,29 @@ def run_cluster_sweep(
             "final_score_max": float(np.max(final_scores)),
         },
     }
+    if plan is not None:
+        # chaos-only section: with faults=None the payload above is
+        # byte-identical to a plain sweep.
+        payload["faults"] = {
+            "plan": plan.to_dict(),
+            "node_failures": int(sum(n.failures for n in cluster.nodes)),
+            "nodes_down_at_end": int(sum(1 for n in cluster.nodes if not n.alive)),
+            "batch": {
+                "resubmitted": int(scheduler.resubmitted),
+                "failed": int(scheduler.failed_jobs),
+                "launch_failures": int(scheduler.launch_failures),
+                "max_resubmits": int(max_resubmits),
+            },
+            "per_node": [
+                {
+                    "name": n.name,
+                    "alive": bool(n.alive),
+                    "failures": int(n.failures),
+                    "daemon": (
+                        n.holmes.health_report() if n.holmes is not None else None
+                    ),
+                }
+                for n in cluster.nodes
+            ],
+        }
+    return payload

@@ -84,6 +84,28 @@ class HolmesConfig:
     #: default; every figure experiment ticks every interval).
     coalesce_idle_ticks: int = 1
 
+    # -- robustness / graceful degradation --------------------------------
+    #: bounded retries of a failed counter read within one window.  The
+    #: retry budget backs off exponentially while the counter stays
+    #: broken (halved per consecutive stale window), so a dead counter
+    #: costs one read attempt per tick, not a retry storm.
+    counter_read_retries: int = 3
+    #: K: stale windows over which the monitor holds the last-good VPI
+    #: before declaring the signal lost and entering degraded mode.
+    stale_hold_windows: int = 4
+    #: plausibility ceiling for a VPI sample; readings above it (or
+    #: non-finite) are multiplexing garbage and are discarded.  The
+    #: paper's scale tops out around 60 under heavy interference, so
+    #: 1000 is unambiguously junk.
+    vpi_garbage_ceiling: float = 1_000.0
+    #: per-container bound on cpuset-write retries (one per tick) after
+    #: a cgroup write failure, before the write is abandoned and logged.
+    cpuset_retry_limit: int = 40
+    #: daemon watchdog: a loop silent for this long is stalled and gets
+    #: re-armed.  None = auto (20 intervals, only when fault injection
+    #: is attached); 0 = disabled.
+    watchdog_timeout_us: Optional[float] = None
+
     def __post_init__(self):
         if self.interval_us <= 0:
             raise ValueError("interval_us must be positive")
@@ -104,6 +126,16 @@ class HolmesConfig:
             raise ValueError("batch_guaranteed_cpus must be >= 0")
         if self.coalesce_idle_ticks < 1:
             raise ValueError("coalesce_idle_ticks must be >= 1")
+        if self.counter_read_retries < 1:
+            raise ValueError("counter_read_retries must be >= 1")
+        if self.stale_hold_windows < 1:
+            raise ValueError("stale_hold_windows must be >= 1")
+        if self.vpi_garbage_ceiling <= 0:
+            raise ValueError("vpi_garbage_ceiling must be positive")
+        if self.cpuset_retry_limit < 1:
+            raise ValueError("cpuset_retry_limit must be >= 1")
+        if self.watchdog_timeout_us is not None and self.watchdog_timeout_us < 0:
+            raise ValueError("watchdog_timeout_us must be >= 0 or None")
 
     def resolve_reserved(self, n_cores: int) -> list[int]:
         """Concrete reserved logical CPU list for a machine of n_cores."""

@@ -8,11 +8,12 @@ from typing import Optional, TYPE_CHECKING
 import numpy as np
 
 from repro.core.config import HolmesConfig
-from repro.core.monitor import MetricMonitor
+from repro.core.monitor import DeadServiceError, MetricMonitor
 from repro.core.scheduler import HolmesScheduler
 from repro.sim import Series
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
     from repro.oskernel import System
 
 
@@ -44,6 +45,18 @@ class TelemetrySnapshot:
     expanded: int
     #: any registered LC service currently serving traffic?
     serving: bool
+    # -- robustness fields (appended with defaults so existing consumers
+    # -- and positional constructions keep working) -----------------------
+    #: VPI signal health: "healthy", "stale" or "degraded".
+    health: str = "healthy"
+    #: consecutive windows the monitor has gone without a good VPI read.
+    stale_windows: int = 0
+    #: cumulative time this daemon has spent in degraded mode.
+    degraded_total_us: float = 0.0
+    #: daemon ticks lost to injected misses.
+    missed_ticks: int = 0
+    #: times the watchdog re-armed a stalled loop.
+    watchdog_recoveries: int = 0
 
 
 class Holmes:
@@ -72,18 +85,33 @@ class Holmes:
         system: "System",
         config: Optional[HolmesConfig] = None,
         record_vpi_every: int = 20,
+        faults: Optional["FaultInjector"] = None,
     ):
         self.system = system
         self.env = system.env
         self.config = config or HolmesConfig()
-        self.monitor = MetricMonitor(system, self.config)
+        self.faults = faults
+        #: static: does the plan ever miss/stall a tick?  Keeps the
+        #: per-tick hot path free of injector calls otherwise.
+        self._tick_faults = faults is not None and faults.has_tick_faults
+        if faults is not None:
+            faults.install(system)
+        self.monitor = MetricMonitor(system, self.config, faults=faults)
         self.scheduler = HolmesScheduler(system, self.config, self.monitor)
         self.ticks = 0
         self.active_ticks = 0
         #: ticks skipped by quiescent coalescing (each a provable no-op).
         self.skipped_idle_ticks = 0
+        #: injected tick faults absorbed by the loop.
+        self.missed_ticks = 0
+        self.stalled_ticks = 0
+        #: times the watchdog re-armed a silent loop.
+        self.watchdog_recoveries = 0
+        self._last_tick_at = 0.0
         self._running = False
+        self._started_once = False
         self._process = None
+        self._watchdog_proc = None
         self._timer = None
         #: True until the node first shows any activity; quiescent
         #: coalescing only applies to virgin nodes, because EMAs never
@@ -121,12 +149,25 @@ class Holmes:
             self.scheduler.reserved
         )
 
-    def register_lc_service(self, pid: int) -> None:
-        self.monitor.register_lc_service(pid)
+    def register_lc_service(self, pid: int) -> bool:
+        """Register a latency-critical service by pid.
+
+        Returns True on success.  A pid the system has never seen is a
+        caller bug and raises KeyError; a known pid whose process already
+        exited is an operational race (the service crashed before the
+        handover) -- that is logged and reported as False, and the daemon
+        keeps running.
+        """
+        try:
+            self.monitor.register_lc_service(pid)
+        except DeadServiceError as exc:
+            self.scheduler._log("lc_register_failed", str(exc))
+            return False
         self.scheduler.allocate_lc_service(pid)
         # an activation edge: a coalesced daemon must tick at the next
         # boundary, not at the end of its stretched sleep.
         self._on_activity()
+        return True
 
     def telemetry(self) -> TelemetrySnapshot:
         """Current per-node health summary (see :class:`TelemetrySnapshot`)."""
@@ -156,22 +197,86 @@ class Holmes:
             n_lc_cpus=len(lc),
             expanded=len(lc) - len(reserved),
             serving=any(s.serving for s in monitor.lc_services.values()),
+            health=monitor.health,
+            stale_windows=monitor.stale_windows,
+            degraded_total_us=monitor.degraded_total_us(self.env.now),
+            missed_ticks=self.missed_ticks,
+            watchdog_recoveries=self.watchdog_recoveries,
         )
+
+    def health_report(self) -> dict:
+        """Robustness counters for sweep reports and chaos analysis."""
+        now = self.env.now
+        monitor = self.monitor
+        report = {
+            "health": monitor.health,
+            "degraded_intervals": [
+                [a, b] for a, b in monitor.degraded_intervals_closed(now)
+            ],
+            "degraded_total_us": monitor.degraded_total_us(now),
+            "counter_read_failures": monitor.counter_read_failures,
+            "counter_retries": monitor.counter_retries,
+            "garbage_samples": monitor.garbage_samples,
+            "discarded_samples": monitor.discarded_samples,
+            "missed_ticks": self.missed_ticks,
+            "stalled_ticks": self.stalled_ticks,
+            "watchdog_recoveries": self.watchdog_recoveries,
+        }
+        if self.faults is not None:
+            report["injected"] = self.faults.stats_dict()
+        return report
 
     def start(self) -> None:
         if self._running:
             raise RuntimeError("Holmes already started")
+        if self._started_once:
+            # restart: re-baseline every window (usage, counters, per-LC
+            # cputime) so the stopped span does not pollute the first
+            # post-restart sample, and forget any stale coalescing state.
+            self.monitor.rebaseline(self.env.now)
+            self._stretched = False
+            self._resync_to = None
+            self._skip_count = 0
+        self._started_once = True
         self._running = True
+        self._last_tick_at = self.env.now
         self._process = self.env.process(self._loop(), name="holmes")
+        wd = self._watchdog_timeout()
+        if wd:
+            self._watchdog_proc = self.env.process(
+                self._watchdog(wd), name="holmes-watchdog"
+            )
 
     def stop(self) -> None:
+        if not self._running:
+            return  # double stop is a no-op
         self._running = False
         # Drop the armed tick from the calendar so a stopped daemon leaves
-        # no stale entry firing into a dead loop.
+        # no stale entry firing into a dead loop, and unwind the loop and
+        # watchdog processes so a later start() rebuilds them cleanly.
         if self._timer is not None:
             self._timer.cancel()
+        self._interrupt_quietly(self._process)
+        self._interrupt_quietly(self._watchdog_proc)
         self._stretched = False
         self._disarm_hooks()
+
+    def _interrupt_quietly(self, proc) -> None:
+        from repro.sim import SimulationError
+
+        if proc is None or not proc.is_alive:
+            return
+        try:
+            proc.interrupt("holmes-stop")
+        except SimulationError:
+            pass  # never started or already unwinding
+
+    def _watchdog_timeout(self) -> float:
+        """Effective watchdog timeout; 0 disables the watchdog."""
+        if self.config.watchdog_timeout_us is not None:
+            return self.config.watchdog_timeout_us
+        # auto: arm only when fault injection can actually stall the loop.
+        return 20.0 * self.config.interval_us if self._tick_faults else 0.0
 
     # -- the closed loop ------------------------------------------------------------
 
@@ -188,15 +293,38 @@ class Holmes:
         while self._running:
             try:
                 yield timer
-            except Interrupt:
+            except Interrupt as exc:
                 if not self._running:
                     break
+                if exc.cause == "watchdog":
+                    # re-armed by the watchdog: just park on the (auto
+                    # re-arming) timer again, which waits for the next
+                    # grid boundary.
+                    continue
                 # activation edge during a stretched sleep: snap back to
                 # the first tick boundary at or after the edge.
                 self._realign(timer)
                 continue
             if not self._running:
                 break
+            if self._tick_faults:
+                fault = self.faults.tick_fault(self.env.now)
+                if fault is not None:
+                    kind, duration = fault
+                    if kind == "miss":
+                        # tick dropped whole: the next collect simply sees
+                        # a doubled window, like a delayed wakeup would.
+                        self.missed_ticks += 1
+                        self._last_tick_at = self.env.now
+                        continue
+                    # stall: the loop wedges mid-tick for ``duration``.
+                    self.stalled_ticks += 1
+                    try:
+                        yield self.env.timeout(duration)
+                    except Interrupt:
+                        if not self._running:
+                            break
+                        continue  # watchdog recovery: abandon this tick
             if self._resync_to is not None:
                 # waking from a stretched sleep: the skipped boundaries
                 # were provable no-op ticks; fast-forward the monitor's
@@ -212,6 +340,7 @@ class Holmes:
             events_before = len(self.scheduler.events)
             self.scheduler.tick(sample)
             self.ticks += 1
+            self._last_tick_at = self.env.now
             if len(self.scheduler.events) > events_before:
                 self.active_ticks += 1
             if self.ticks % self._record_every == 0:
@@ -235,6 +364,36 @@ class Holmes:
         timer.cancel()
         self._stretched = False
         self._disarm_hooks()
+
+    def _watchdog(self, timeout_us: float):
+        """Re-arm the loop when it has been silent for ``timeout_us``.
+
+        A stretched (coalesced) sleep is intentional silence and is left
+        alone; anything else this long past the last completed tick means
+        the loop is wedged (an injected stall, on real hardware a blocked
+        syscall) and gets an interrupt that sends it back to the timer.
+        """
+        from repro.sim import Interrupt, RecurringTimeout
+
+        timer = RecurringTimeout(self.env, timeout_us, auto=True)
+        while self._running:
+            try:
+                yield timer
+            except Interrupt:
+                break
+            if not self._running:
+                break
+            if self._stretched:
+                continue
+            loop = self._process
+            if (
+                loop is not None
+                and loop.is_alive
+                and (self.env.now - self._last_tick_at) >= timeout_us
+            ):
+                self.watchdog_recoveries += 1
+                loop.interrupt("watchdog")
+        timer.cancel()
 
     # -- quiescent tick coalescing -----------------------------------------
 

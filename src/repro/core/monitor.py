@@ -23,8 +23,18 @@ from repro.core.vpi import VPIReader, aggregate_per_core
 from repro.oskernel.accounting import UsageTracker
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultInjector
     from repro.oskernel import OSProcess, System
     from repro.oskernel.cgroup import Cgroup
+
+
+class DeadServiceError(RuntimeError):
+    """Raised when a known-but-exited pid is registered as an LC service.
+
+    Distinct from the ``KeyError`` raised for a pid the system has never
+    seen (a caller bug): a dead service is a race the daemon must survive
+    -- the administrator handed over the pid just as the service crashed.
+    """
 
 
 @dataclass
@@ -63,14 +73,19 @@ class MonitorSample:
     new_containers: list[ContainerInfo]
     gone_containers: list[ContainerInfo]
     lc_statuses: list[LCStatus]
+    #: VPI signal health: "healthy", "stale" (holding last-good values)
+    #: or "degraded" (signal lost for >= K windows; fail safe).
+    health: str = "healthy"
 
 
 class MetricMonitor:
     """State holder + per-tick collection logic (driven by the daemon)."""
 
-    def __init__(self, system: "System", config: HolmesConfig):
+    def __init__(self, system: "System", config: HolmesConfig,
+                 faults: "FaultInjector | None" = None):
         self.system = system
         self.config = config
+        self._faults = faults
         self.env = system.env
         server = system.server
         from repro.hw.events import by_code
@@ -97,6 +112,18 @@ class MetricMonitor:
         self._container_names: frozenset[str] = frozenset()
         system.cgroups.create(config.batch_cgroup_root)
         self._last_time = self.env.now
+        # -- VPI signal health (only exercised under fault injection) ------
+        self.health = "healthy"
+        self._stale_windows = 0
+        self._last_good_vpi = np.zeros(self.n_lcpus)
+        self._last_good_core = np.zeros(self.n_cores)
+        #: closed [start, end) spans the monitor spent degraded.
+        self.degraded_intervals: list[tuple[float, float]] = []
+        self._degraded_since: float | None = None
+        self.counter_read_failures = 0
+        self.counter_retries = 0
+        self.garbage_samples = 0
+        self.discarded_samples = 0
 
     # -- smoothed views (telemetry reads these between collect() calls) ---------
 
@@ -113,10 +140,20 @@ class MetricMonitor:
     # -- registration -----------------------------------------------------------
 
     def register_lc_service(self, pid: int) -> LCStatus:
-        """The administrator hands Holmes the service PID (Section 5)."""
+        """The administrator hands Holmes the service PID (Section 5).
+
+        Raises ``KeyError`` for a pid the system has never seen (a caller
+        bug) and :class:`DeadServiceError` for a known pid whose process
+        has already exited (a crash race the daemon handles gracefully).
+        """
         process = self.system.processes.get(pid)
         if process is None:
             raise KeyError(f"no such process: pid={pid}")
+        if not process.alive:
+            raise DeadServiceError(
+                f"cannot register LC service pid={pid} "
+                f"({process.name!r}): process has already exited"
+            )
         status = LCStatus(pid=pid, process=process,
                           last_cputime=process.cputime_us)
         self.lc_services[pid] = status
@@ -137,19 +174,33 @@ class MetricMonitor:
         tmp *= alpha
         self._usage_ema += tmp
 
-        raw_vpi, ldst, counter = self.vpi_reader.sample_full()
-        if self.config.metric_mode == "cps":
-            # the rejected Section 3.1 alternative: counter value per
-            # second of wall time, regardless of how loaded the CPU was.
-            vpi = counter / (dt / 1e6)
+        if self._faults is None or not self._faults.has_counter_faults:
+            ok = True
+            raw_vpi, ldst, counter = self.vpi_reader.sample_full()
         else:
-            vpi = raw_vpi
-        core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
+            ok, raw_vpi, ldst, counter = self._sample_vpi_faulty(now)
+        if ok:
+            if self.config.metric_mode == "cps":
+                # the rejected Section 3.1 alternative: counter value per
+                # second of wall time, regardless of how loaded the CPU was.
+                vpi = counter / (dt / 1e6)
+            else:
+                vpi = raw_vpi
+            core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
 
-        vpi_alpha = 1.0 - math.exp(-dt / self.config.vpi_ema_tau_us)
-        np.subtract(vpi, self._vpi_ema, out=tmp)
-        tmp *= vpi_alpha
-        self._vpi_ema += tmp
+            vpi_alpha = 1.0 - math.exp(-dt / self.config.vpi_ema_tau_us)
+            np.subtract(vpi, self._vpi_ema, out=tmp)
+            tmp *= vpi_alpha
+            self._vpi_ema += tmp
+            if self._faults is not None:
+                self._last_good_vpi = vpi
+                self._last_good_core = core_vpi
+        else:
+            # stale window: hold the last-good VPI view (and its EMA) so
+            # one bad read doesn't flap the algorithms; K held windows in
+            # a row flip health to "degraded" (see _note_stale).
+            vpi = self._last_good_vpi
+            core_vpi = self._last_good_core
 
         self._update_lc_statuses(dt, alpha)
         new, gone = self._scan_containers()
@@ -163,7 +214,101 @@ class MetricMonitor:
             new_containers=new,
             gone_containers=gone,
             lc_statuses=list(self.lc_services.values()),
+            health=self.health,
         )
+
+    # -- counter faults and signal health ---------------------------------
+
+    def _sample_vpi_faulty(self, now: float):
+        """One counter read under fault injection.
+
+        Returns ``(ok, vpi, ldst, counter)``.  A failed read is retried
+        within the window (the budget backs off while the signal stays
+        broken); an unrecovered failure skips the read entirely, so the
+        underlying counter window widens exactly as a real perf fd's
+        would.  Garbage reads consume the window but may be discarded by
+        the plausibility check.
+        """
+        cfg = self.config
+        fault = self._faults.counter_fault(now)
+        if fault == "error":
+            attempts = max(
+                1, cfg.counter_read_retries >> min(self._stale_windows, 8)
+            )
+            recovered = False
+            for _ in range(attempts):
+                self.counter_retries += 1
+                if self._faults.counter_retry_ok(now):
+                    recovered = True
+                    break
+            if not recovered:
+                self.counter_read_failures += 1
+                self._note_stale(now)
+                return False, None, None, None
+        raw_vpi, ldst, counter = self.vpi_reader.sample_full()
+        if fault == "garbage":
+            self.garbage_samples += 1
+            raw_vpi = self._faults.corrupt(raw_vpi, now)
+            counter = self._faults.corrupt(counter, now)
+            implausible = (
+                not np.isfinite(raw_vpi).all()
+                or float(raw_vpi.max(initial=0.0)) > cfg.vpi_garbage_ceiling
+            )
+            if implausible:
+                self.discarded_samples += 1
+                self._note_stale(now)
+                return False, None, None, None
+        self._note_good(now)
+        return True, raw_vpi, ldst, counter
+
+    def _note_stale(self, now: float) -> None:
+        self._stale_windows += 1
+        if self._stale_windows >= self.config.stale_hold_windows:
+            if self.health != "degraded":
+                self.health = "degraded"
+                self._degraded_since = now
+        elif self.health == "healthy":
+            self.health = "stale"
+
+    def _note_good(self, now: float) -> None:
+        if self.health == "degraded" and self._degraded_since is not None:
+            self.degraded_intervals.append((self._degraded_since, now))
+            self._degraded_since = None
+        self._stale_windows = 0
+        self.health = "healthy"
+
+    @property
+    def stale_windows(self) -> int:
+        """Consecutive windows the VPI signal has been unreadable."""
+        return self._stale_windows
+
+    def degraded_total_us(self, now: float) -> float:
+        """Total time spent degraded, including any open interval."""
+        total = sum(b - a for a, b in self.degraded_intervals)
+        if self._degraded_since is not None:
+            total += now - self._degraded_since
+        return float(total)
+
+    def degraded_intervals_closed(self, now: float) -> list[tuple[float, float]]:
+        """All degraded spans, with any open one closed at ``now``."""
+        out = list(self.degraded_intervals)
+        if self._degraded_since is not None:
+            out.append((self._degraded_since, now))
+        return out
+
+    def rebaseline(self, now: float) -> None:
+        """Restart every sampling window from ``now`` (daemon restart).
+
+        The stopped span must not leak into the first window after a
+        restart: usage would read the whole gap's busy time, the counter
+        delta would cover the gap, and every LC service's CPU-time rate
+        would spike, falsely flipping it to "serving".
+        """
+        self._last_time = now
+        self.usage_tracker.rebaseline()
+        self.vpi_reader.resync()
+        for status in self.lc_services.values():
+            status.last_cputime = status.process.cputime_us
 
     def resync_idle(self, t: float) -> None:
         """Fast-forward the sampling clocks to ``t`` without collecting.

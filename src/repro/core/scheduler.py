@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.config import HolmesConfig
 from repro.core.monitor import ContainerInfo, MetricMonitor, MonitorSample
+from repro.oskernel.cgroup import CgroupError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.oskernel import System
@@ -65,6 +66,10 @@ class HolmesScheduler:
         #: last time each LC CPU's VPI was observed at/above E.
         self._last_high: dict[int, float] = {c: -np.inf for c in self.lc_cpus}
         self._rr_cursor = 0
+        #: containers whose last cpuset write failed -> retry attempts so
+        #: far.  Retried once per tick, bounded by cpuset_retry_limit.
+        self._pending_cpuset: dict[str, int] = {}
+        self._last_health = "healthy"
         self.events: list[SchedulerEvent] = []
         #: capped event log so multi-second runs don't grow unboundedly.
         self.max_events = 200_000
@@ -109,7 +114,28 @@ class HolmesScheduler:
                 self.topology.all_lcpus()
             )
             info.cpus = set(cpus)
-        info.cgroup.set_cpuset(cpus)
+        try:
+            info.cgroup.set_cpuset(cpus)
+        except CgroupError as exc:
+            attempts = self._pending_cpuset.get(info.name, 0) + 1
+            self._pending_cpuset[info.name] = attempts
+            self._log("cpuset_write_failed", f"{info.name} attempt={attempts}: {exc}")
+            return
+        self._pending_cpuset.pop(info.name, None)
+
+    def _retry_pending_cpusets(self) -> None:
+        """Re-issue failed cpuset writes, one attempt per tick per container."""
+        for name in sorted(self._pending_cpuset):
+            info = self.monitor.containers.get(name)
+            if info is None:
+                # container exited while its write was pending
+                self._pending_cpuset.pop(name, None)
+                continue
+            if self._pending_cpuset[name] >= self.config.cpuset_retry_limit:
+                self._pending_cpuset.pop(name)
+                self._log("cpuset_write_abandoned", name)
+                continue
+            self._apply_cpuset(info)
 
     # -- LC service placement (Algorithm 1, service arm) ----------------------------
 
@@ -131,9 +157,27 @@ class HolmesScheduler:
     # -- per-tick entry point ------------------------------------------------------
 
     def tick(self, sample: MonitorSample) -> None:
+        if self._pending_cpuset:
+            self._retry_pending_cpusets()
+        if sample.health != self._last_health:
+            self._on_health_change(sample.health, sample.time)
         self._handle_exits(sample)
         self._handle_launches(sample)
-        self._handle_running(sample)
+        if sample.health == "degraded":
+            self._handle_running_degraded(sample)
+        else:
+            self._handle_running(sample)
+
+    def _on_health_change(self, health: str, now: float) -> None:
+        if self._last_health == "degraded":
+            # signal back: require a full S of *observed* calm before any
+            # sibling re-grant, as if every LC CPU had just read high.
+            for lc in self.lc_cpus:
+                self._last_high[lc] = now
+            self._log("vpi_signal_restored", f"health={health}")
+        elif health == "degraded":
+            self._log("vpi_signal_lost", "failing safe: no sibling grants")
+        self._last_health = health
 
     # -- Algorithm 3: exiting ----------------------------------------------------------
 
@@ -181,8 +225,9 @@ class HolmesScheduler:
         busy = bool(non_sib) and float(
             np.mean(sample.usage_ema[non_sib])
         ) >= self.config.nonsibling_busy_usage
-        if (not chosen) or busy:
-            # spill onto LC-sibling CPUs whose LC CPU is calm (VPI < E)
+        if ((not chosen) or busy) and sample.health != "degraded":
+            # spill onto LC-sibling CPUs whose LC CPU is calm (VPI < E);
+            # with the metric signal lost, "calm" is unknowable -> no spill.
             for lc in self.lc_cpus:
                 sib = self.topology.sibling(lc)
                 if sample.vpi[lc] < self.threshold:
@@ -220,6 +265,31 @@ class HolmesScheduler:
         if serving:
             self._maybe_expand(sample)
         else:
+            self._maybe_contract()
+
+    def _handle_running_degraded(self, sample: MonitorSample) -> None:
+        """Algorithm 2 with the metric signal lost (degraded mode).
+
+        SLO first: while the service is serving, assume every LC CPU is
+        interfered with -- keep all siblings deallocated and let the
+        usage-based expansion (which needs no counters) keep working.
+        With no traffic there is nothing to protect, so batch gets the
+        siblings back and expansion rolls back, exactly as in Algorithm 3.
+        """
+        now = sample.time
+        serving = any(s.serving for s in sample.lc_statuses)
+        if serving:
+            for lc in self.lc_cpus:
+                self._last_high[lc] = now
+                self._deallocate_sibling(lc)
+            self._maybe_expand(sample)
+        else:
+            for lc in self.lc_cpus:
+                sib = self.topology.sibling(lc)
+                if any(sib in i.sibling_grants
+                       for i in self.monitor.containers.values()):
+                    continue
+                self._reallocate_sibling(lc)
             self._maybe_contract()
 
     def _deallocate_sibling(self, lc_cpu: int) -> None:

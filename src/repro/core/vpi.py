@@ -38,12 +38,7 @@ class VPIReader:
 
     def sample(self) -> np.ndarray:
         """Per-lcpu VPI over the window since the last sample."""
-        deltas = self._group.sample()
-        counter = deltas[:, 0]
-        ldst = deltas[:, 1] + deltas[:, 2]
-        vpi = np.zeros_like(counter)
-        mask = ldst >= self.min_instructions
-        vpi[mask] = counter[mask] / ldst[mask] * self.scale
+        vpi, _, _ = self.sample_full()
         return vpi
 
     def sample_with_instructions(self) -> tuple[np.ndarray, np.ndarray]:
@@ -52,14 +47,28 @@ class VPIReader:
         return vpi, ldst
 
     def sample_full(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(vpi, loads+stores, raw counter delta) per lcpu."""
+        """(vpi, loads+stores, raw counter delta) per lcpu.
+
+        Deltas are clamped at zero: a counter reset/wrap between windows
+        must never read as negative stalls or instructions (which would
+        push VPI negative, or NaN through the core aggregation).
+        """
         deltas = self._group.sample()
-        counter = deltas[:, 0]
+        counter = np.maximum(deltas[:, 0], 0.0)
         ldst = deltas[:, 1] + deltas[:, 2]
+        np.maximum(ldst, 0.0, out=ldst)
         vpi = np.zeros_like(counter)
         mask = ldst >= self.min_instructions
         vpi[mask] = counter[mask] / ldst[mask] * self.scale
         return vpi, ldst, counter
+
+    def resync(self) -> None:
+        """Discard the window since the last read (re-baseline).
+
+        Used when the daemon restarts after a stop: the stopped span must
+        not appear as one giant window in the first sample.
+        """
+        self._group.sample()
 
 
 def aggregate_per_core(values: np.ndarray, weights: np.ndarray,

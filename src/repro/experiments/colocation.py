@@ -59,6 +59,8 @@ class CoLocationResult:
     vpi_times: np.ndarray
     vpi_values: np.ndarray
     holmes_overhead: Optional[dict] = None
+    #: daemon robustness counters; present only when faults were injected.
+    holmes_health: Optional[dict] = None
 
     @property
     def mean_latency(self) -> float:
@@ -80,13 +82,28 @@ def run_colocation(
     rate_qps: Optional[float] = None,
     holmes_config: Optional[HolmesConfig] = None,
     n_keys: int = DEFAULT_N_KEYS,
+    faults=None,
 ) -> CoLocationResult:
-    """Run one co-location experiment and collect its metrics."""
+    """Run one co-location experiment and collect its metrics.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, dict, or canonical
+    JSON string) attaches the seeded fault injector to the node: counter
+    read errors / garbage, daemon tick misses and stalls, cgroup write
+    failures, and timed container crashes.  With ``faults=None`` the run
+    is byte-identical to before the fault engine existed.
+    """
     if setting not in ALL_SETTINGS:
         raise ValueError(
             f"setting must be one of {ALL_SETTINGS}, got {setting!r}"
         )
     scale = scale or ExperimentScale()
+    plan = None
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.coerce(faults)
+        injector = FaultInjector(plan, scope="node0")
     spec = workload_by_name(workload_name)
     rate = rate_qps if rate_qps is not None else service_rate(
         service_name, spec.name
@@ -107,7 +124,7 @@ def run_colocation(
     perfiso: Optional[PerfIso] = None
     if setting == "holmes":
         cfg = holmes_config or HolmesConfig(n_reserved=scale.n_reserved)
-        holmes = Holmes(system, cfg)
+        holmes = Holmes(system, cfg, faults=injector)
         holmes.start()
         holmes.register_lc_service(service.pid)
     elif setting == "perfiso":
@@ -132,6 +149,14 @@ def run_colocation(
             tasks_per_container=scale.tasks_per_container,
         )
         submitter.start()
+
+    if injector is not None:
+        if setting != "holmes":
+            injector.install(system)  # cgroup faults even without a daemon
+        if nm is not None:
+            from repro.faults import start_node_drivers
+
+            start_node_drivers(nm, plan, scope="node0")
 
     # -- traffic -------------------------------------------------------------------
     traffic = BurstyTraffic(
@@ -170,6 +195,11 @@ def run_colocation(
         vpi_times=vpi_sampler.series.times,
         vpi_values=vpi_sampler.series.values,
         holmes_overhead=holmes.estimated_overhead() if holmes else None,
+        holmes_health=(
+            holmes.health_report()
+            if holmes is not None and injector is not None
+            else None
+        ),
     )
 
 

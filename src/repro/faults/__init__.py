@@ -1,0 +1,35 @@
+"""Deterministic, seed-driven fault injection.
+
+A :class:`FaultPlan` is a frozen, JSON-able list of fault specs plus a
+seed; a :class:`FaultInjector` turns one plan into per-node, per-channel
+decision streams that the monitor, daemon and cgroup layers consult.
+Driver-style faults (container crashes, node fail-stop) run as ordinary
+simulation processes (:mod:`repro.faults.drivers`).
+
+Everything is bit-deterministic: the same plan and scope always produce
+the same decision sequence, so a chaos run is as reproducible as a
+fault-free one.
+"""
+
+from repro.faults.drivers import (
+    ClusterContainerCrashDriver,
+    ContainerCrashDriver,
+    NodeFailureDriver,
+    start_cluster_drivers,
+    start_node_drivers,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, standard_chaos_plan
+
+__all__ = [
+    "FAULT_KINDS",
+    "ClusterContainerCrashDriver",
+    "ContainerCrashDriver",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NodeFailureDriver",
+    "start_cluster_drivers",
+    "start_node_drivers",
+    "standard_chaos_plan",
+]

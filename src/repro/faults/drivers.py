@@ -1,0 +1,145 @@
+"""Driver-style faults: simulation processes that break things on time.
+
+Probabilistic faults (counter reads, ticks, cgroup writes) are decided
+inline by :class:`~repro.faults.injector.FaultInjector`; the two fault
+kinds that *act* on the system -- killing containers and fail-stopping
+nodes -- need a clock, so they run as ordinary simulation processes
+seeded from the plan's channel RNGs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.yarnlike import NodeManager
+
+
+class _TimedDriver:
+    """Common shape: exponential gaps within the spec's active window."""
+
+    def __init__(self, env, spec: FaultSpec, rng: np.random.Generator,
+                 name: str):
+        self.env = env
+        self.spec = spec
+        self.rng = rng
+        self.name = name
+        self.fired = 0
+
+    def start(self) -> None:
+        self.env.process(self._body(), name=self.name)
+
+    def _body(self):
+        spec = self.spec
+        if self.env.now < spec.start_us:
+            yield self.env.timeout(spec.start_us - self.env.now)
+        end = spec.end_us if spec.end_us is not None else math.inf
+        while spec.count == 0 or self.fired < spec.count:
+            yield self.env.timeout(float(self.rng.exponential(spec.period_us)))
+            if self.env.now >= end:
+                return
+            if self._strike():
+                self.fired += 1
+
+    def _strike(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class ContainerCrashDriver(_TimedDriver):
+    """Kills a random running batch job on one node's NodeManager."""
+
+    def __init__(self, nodemanager: "NodeManager", spec: FaultSpec,
+                 rng: np.random.Generator, name: str = "container-crash"):
+        super().__init__(nodemanager.env, spec, rng, name)
+        self.nodemanager = nodemanager
+
+    def _strike(self) -> bool:
+        jobs = self.nodemanager.running_jobs
+        if not jobs:
+            return False
+        victim = jobs[int(self.rng.integers(len(jobs)))]
+        self.nodemanager.kill_job(victim)
+        return True
+
+
+class ClusterContainerCrashDriver(_TimedDriver):
+    """Kills a random running batch job anywhere in the cluster."""
+
+    def __init__(self, cluster: "Cluster", spec: FaultSpec,
+                 rng: np.random.Generator):
+        super().__init__(cluster.env, spec, rng, "cluster-container-crash")
+        self.cluster = cluster
+
+    def _strike(self) -> bool:
+        pools = [
+            (node, node.nodemanager.running_jobs)
+            for node in self.cluster.nodes
+            if node.alive and node.nodemanager.running_jobs
+        ]
+        if not pools:
+            return False
+        node, jobs = pools[int(self.rng.integers(len(pools)))]
+        node.nodemanager.kill_job(jobs[int(self.rng.integers(len(jobs)))])
+        return True
+
+
+class NodeFailureDriver(_TimedDriver):
+    """Fail-stops a random alive node; recovers it after ``duration_us``."""
+
+    def __init__(self, cluster: "Cluster", spec: FaultSpec,
+                 rng: np.random.Generator):
+        super().__init__(cluster.env, spec, rng, "node-fail-stop")
+        self.cluster = cluster
+
+    def _strike(self) -> bool:
+        alive = [n for n in self.cluster.nodes if n.alive]
+        if len(alive) <= 1:
+            return False  # never take the last node down
+        node = alive[int(self.rng.integers(len(alive)))]
+        node.fail_stop()
+        if self.spec.duration_us > 0:
+            self.env.process(
+                self._recover(node), name=f"recover-{node.name}"
+            )
+        return True
+
+    def _recover(self, node):
+        yield self.env.timeout(self.spec.duration_us)
+        node.recover()
+
+
+def start_node_drivers(nodemanager: "NodeManager", plan: FaultPlan,
+                       scope: str = "node0") -> list[ContainerCrashDriver]:
+    """Single-node chaos: one crash driver per container_crash spec."""
+    drivers = []
+    for i, spec in enumerate(plan.by_kind("container_crash", scope)):
+        drv = ContainerCrashDriver(
+            nodemanager, spec, plan.rng(f"{scope}/container_crash/{i}"),
+            name=f"container-crash-{i}",
+        )
+        drv.start()
+        drivers.append(drv)
+    return drivers
+
+
+def start_cluster_drivers(cluster: "Cluster", plan: FaultPlan) -> list:
+    """Cluster chaos: node fail-stop + cluster-wide container crashes."""
+    drivers: list = []
+    for i, spec in enumerate(plan.by_kind("node_fail_stop")):
+        drv = NodeFailureDriver(cluster, spec,
+                                plan.rng(f"cluster/node_fail_stop/{i}"))
+        drv.start()
+        drivers.append(drv)
+    for i, spec in enumerate(plan.by_kind("container_crash")):
+        drv = ClusterContainerCrashDriver(
+            cluster, spec, plan.rng(f"cluster/container_crash/{i}")
+        )
+        drv.start()
+        drivers.append(drv)
+    return drivers

@@ -50,10 +50,18 @@ class CounterSnapshot:
         return self.values.get(code, 0.0)
 
     def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
-        """Per-event difference ``self - earlier``."""
+        """Per-event difference ``self - earlier``, clamped at zero.
+
+        A counter that reset or wrapped between the two snapshots would
+        read negative; clamping means one bad window under-reports
+        instead of driving VPI negative (or NaN downstream).
+        """
         return CounterSnapshot(
             {
-                code: self.values.get(code, 0.0) - earlier.values.get(code, 0.0)
+                code: max(
+                    0.0,
+                    self.values.get(code, 0.0) - earlier.values.get(code, 0.0),
+                )
                 for code in set(self.values) | set(earlier.values)
             }
         )

@@ -15,7 +15,7 @@ user-space daemon: it can only read counters/usage and call
 
 from repro.oskernel.thread import SimThread, ThreadKilled, ThreadState
 from repro.oskernel.process import OSProcess
-from repro.oskernel.cgroup import Cgroup, CgroupFS
+from repro.oskernel.cgroup import Cgroup, CgroupError, CgroupFS
 from repro.oskernel.accounting import UsageTracker
 from repro.oskernel.system import System
 
@@ -25,6 +25,7 @@ __all__ = [
     "ThreadState",
     "OSProcess",
     "Cgroup",
+    "CgroupError",
     "CgroupFS",
     "UsageTracker",
     "System",

@@ -50,6 +50,16 @@ class UsageTracker:
         """
         self._last_time = t
 
+    def rebaseline(self) -> None:
+        """Restart the window from the current busy counters and clock.
+
+        Unlike :meth:`resync`, this is valid after arbitrary activity --
+        a restarted daemon uses it so the stopped span's busy time does
+        not pollute its first window.
+        """
+        self._last_busy = self.server.busy_snapshot()
+        self._last_time = self.env.now
+
     def peek(self) -> np.ndarray:
         """Like :meth:`sample` but without advancing the window."""
         now = self.env.now

@@ -18,6 +18,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.oskernel.system import System
 
 
+class CgroupError(OSError):
+    """A cgroup write or attach failed (modelled EBUSY, e.g. a write
+    racing container teardown under fault injection)."""
+
+
 class Cgroup:
     """One node of the cgroup tree."""
 
@@ -55,6 +60,7 @@ class Cgroup:
 
     def attach(self, process: "OSProcess") -> None:
         """Move a process into this group, applying the effective cpuset."""
+        self.fs.maybe_fail("attach", self.path)
         if process.cgroup is not None:
             process.cgroup.detach(process)
         self.processes.append(process)
@@ -70,6 +76,7 @@ class Cgroup:
 
     def set_cpuset(self, cpus: Optional[Iterable[int]]) -> None:
         """Write the cpuset file; reapplies affinity down the subtree."""
+        self.fs.maybe_fail("write", self.path)
         if cpus is not None:
             cpus = frozenset(cpus)
             if not cpus:
@@ -110,6 +117,15 @@ class CgroupFS:
         #: directory -- the container-launch activation edge for the
         #: Holmes daemon's coalesced idle ticks.  None = disabled.
         self.on_create = None
+        #: optional ``fn(op, path) -> bool`` consulted before writes and
+        #: attaches; returning True fails the operation with
+        #: :class:`CgroupError`.  The fault injector's hook point.
+        self.fault_hook = None
+
+    def maybe_fail(self, op: str, path: str) -> None:
+        hook = self.fault_hook
+        if hook is not None and hook(op, path):
+            raise CgroupError(f"cgroup {op} failed (EBUSY): {path}")
 
     def _resolve(self, path: str) -> list[str]:
         if not path.startswith("/"):

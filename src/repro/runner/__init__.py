@@ -24,8 +24,13 @@ from repro.runner.aggregate import (
     expand_request,
     aggregate_request,
 )
-from repro.runner.runner import ExperimentRunner, RunReport
-from repro.runner.bench import bench_event_loop, bench_sweep, run_bench
+from repro.runner.runner import CellExecutionError, ExperimentRunner, RunReport
+from repro.runner.bench import (
+    bench_event_loop,
+    bench_fault_overhead,
+    bench_sweep,
+    run_bench,
+)
 
 __all__ = [
     "Cell",
@@ -38,9 +43,11 @@ __all__ = [
     "ExperimentRequest",
     "expand_request",
     "aggregate_request",
+    "CellExecutionError",
     "ExperimentRunner",
     "RunReport",
     "bench_event_loop",
+    "bench_fault_overhead",
     "bench_sweep",
     "run_bench",
 ]

@@ -213,6 +213,66 @@ def _agg_cluster(params: dict, by_role: dict[str, Any]) -> dict:
     return compare_policies(by_role)
 
 
+def _expand_chaos(params: dict, seed: int) -> list[tuple[str, Cell]]:
+    """One faulted co-location run plus one faulted cluster sweep.
+
+    ``params["faults"]`` carries the fault plan as its canonical JSON
+    string (cell params must stay hashable); both cells decode it back
+    into the same seeded :class:`~repro.faults.FaultPlan`.
+    """
+    faults = params["faults"]
+    node = {
+        "service": params.get("service", "redis"),
+        "workload": params.get("workload", "a"),
+        "setting": "holmes",
+        "duration_us": float(params.get("duration_us", 120_000.0)),
+        "faults": faults,
+    }
+    cluster = {
+        "policy": params.get("policy", "score"),
+        "n_nodes": int(params.get("n_nodes", 4)),
+        "n_jobs": int(params.get("n_jobs", 30)),
+        "duration_us": float(params.get("cluster_duration_us", 120_000.0)),
+        "faults": faults,
+        "max_resubmits": int(params.get("max_resubmits", 3)),
+    }
+    return [
+        ("node", Cell.make("colocation", node, seed)),
+        ("cluster", Cell.make("cluster_sweep", cluster, seed)),
+    ]
+
+
+def _agg_chaos(params: dict, by_role: dict[str, Any]) -> dict:
+    """Fold fault/health sections into one chaos-report summary."""
+    node = by_role["node"]
+    cluster = by_role["cluster"]
+    health = node.get("holmes_health") or {}
+    cfaults = cluster.get("faults") or {}
+    return {
+        "node": {
+            "health": health.get("health"),
+            "degraded_total_us": health.get("degraded_total_us"),
+            "degraded_intervals": health.get("degraded_intervals"),
+            "counter_read_failures": health.get("counter_read_failures"),
+            "counter_retries": health.get("counter_retries"),
+            "garbage_samples": health.get("garbage_samples"),
+            "discarded_samples": health.get("discarded_samples"),
+            "missed_ticks": health.get("missed_ticks"),
+            "stalled_ticks": health.get("stalled_ticks"),
+            "watchdog_recoveries": health.get("watchdog_recoveries"),
+            "mean_latency_us": node["latency"]["mean"],
+            "jobs_completed": node["jobs_completed"],
+        },
+        "cluster": {
+            "node_failures": cfaults.get("node_failures"),
+            "nodes_down_at_end": cfaults.get("nodes_down_at_end"),
+            "batch": cfaults.get("batch"),
+            "completed": cluster["batch"]["completed"],
+            "slo_violation_ratio": cluster["lc"]["slo_violation_ratio"],
+        },
+    }
+
+
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     "compare": ExperimentSpec("compare", _colo_triple, _agg_compare),
     "latency": ExperimentSpec("latency", _colo_triple, _agg_latency),
@@ -233,6 +293,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         _agg_passthrough,
     ),
     "cluster": ExperimentSpec("cluster", _expand_cluster, _agg_cluster),
+    "chaos": ExperimentSpec("chaos", _expand_chaos, _agg_chaos),
 }
 
 

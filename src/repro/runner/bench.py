@@ -21,6 +21,9 @@ trajectory is tracked from PR to PR:
 * **sweep** -- serial vs parallel wall-clock of a 4-experiment
   co-location sweep through the runner (cache + process fan-out), with
   the serial/parallel byte-identity check.
+* **fault_overhead** -- wall-clock of a telemetry-mode daemon run with
+  and without the (empty) fault-injection hooks attached; the ratio is
+  what the CI regression gate holds to <= 5%.
 
 The bench *fails* (nonzero exit through the CLI) if any identity check
 fails.  ``--profile`` additionally dumps a cProfile report of the
@@ -268,6 +271,54 @@ def profile_event_loop(output: str | pathlib.Path,
     return str(report)
 
 
+def bench_fault_overhead(duration_us: float = 50_000.0, repeats: int = 5,
+                         seed: int = 42) -> dict:
+    """Cost of the fault-injection hook points when no fault fires.
+
+    Two identical telemetry-mode Holmes runs on an otherwise idle system:
+    one without the fault engine, one with an *empty* :class:`FaultPlan`
+    injector attached (every hook installed, nothing ever injected, plus
+    the watchdog the chaos path arms).  Both arms do the same scheduling
+    work, so the wall-clock ratio isolates the hook overhead that the
+    ``check_bench_regression`` gate holds to <= 5%.  Arms are interleaved
+    and min-of-``repeats`` so frequency drift hits both equally.
+    """
+    from repro.core import Holmes, HolmesConfig
+    from repro.experiments.common import ExperimentScale, build_system
+    from repro.faults import FaultInjector, FaultPlan
+
+    def one(with_hooks: bool) -> float:
+        scale = ExperimentScale(duration_us=duration_us, seed=seed)
+        system = build_system(scale)
+        injector = (
+            FaultInjector(FaultPlan(seed=0, specs=()), scope="bench")
+            if with_hooks
+            else None
+        )
+        holmes = Holmes(system, HolmesConfig(n_reserved=scale.n_reserved),
+                        faults=injector)
+        holmes.start()
+        t0 = time.perf_counter()
+        system.run(until=duration_us)
+        wall = time.perf_counter() - t0
+        holmes.stop()
+        return wall
+
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    for _ in range(repeats):
+        for hooked in (False, True):
+            walls[hooked].append(one(hooked))
+    plain = min(walls[False])
+    hooked = min(walls[True])
+    return {
+        "duration_us": duration_us,
+        "repeats": repeats,
+        "plain_wall_s": plain,
+        "hooked_wall_s": hooked,
+        "overhead_ratio": hooked / plain if plain > 0 else None,
+    }
+
+
 def bench_event_loop(n_timers: int = EVENT_LOOP_TIMERS_QUICK,
                      horizon_us: Optional[float] = None) -> dict:
     """Back-compat shim: the wheel-kernel timer flood at one population."""
@@ -343,6 +394,11 @@ def run_bench(
             "cache": par.cache_stats,
         },
     }
+    record["fault_overhead"] = bench_fault_overhead(
+        duration_us=20_000.0 if quick else 50_000.0,
+        repeats=3 if quick else 5,
+        seed=seed,
+    )
     if kernel:
         record["event_loop"], record["kernel"] = bench_kernel(quick)
     if cluster:

@@ -105,6 +105,9 @@ def _colocation_cell(params: dict, seed: int) -> dict:
         params["setting"],
         scale=scale,
         holmes_config=holmes_config,
+        # fault plans ride as canonical JSON strings so cell params stay
+        # hashable; run_colocation coerces back to a FaultPlan.
+        faults=params.get("faults"),
     )
     payload = {
         "service": res.service,
@@ -125,6 +128,8 @@ def _colocation_cell(params: dict, seed: int) -> dict:
             k: (float(v) if isinstance(v, float) else v)
             for k, v in res.holmes_overhead.items()
         }
+    if res.holmes_health is not None:
+        payload["holmes_health"] = res.holmes_health
     return payload
 
 
@@ -197,6 +202,8 @@ def _cluster_sweep_cell(params: dict, seed: int) -> dict:
             "relocate_threshold",
             "relocate_margin",
             "slo_multiplier",
+            "faults",
+            "max_resubmits",
         )
         if k in params
     }

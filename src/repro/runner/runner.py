@@ -39,6 +39,17 @@ def _execute_cell_worker(args: tuple) -> tuple[dict, float]:
     return payload, time.perf_counter() - t0
 
 
+class CellExecutionError(RuntimeError):
+    """A cell kept failing after its retry budget was exhausted."""
+
+    def __init__(self, cell_id: str, last_error: BaseException):
+        super().__init__(
+            f"cell {cell_id!r} failed after retries: {last_error!r}"
+        )
+        self.cell_id = cell_id
+        self.last_error = last_error
+
+
 @dataclass
 class RunReport:
     """Merged output of one sweep."""
@@ -70,12 +81,53 @@ class ExperimentRunner:
         cache: Optional[ResultCache] = None,
         parallel: int = 1,
         dedupe: bool = True,
+        cell_retries: int = 2,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if cell_retries < 0:
+            raise ValueError(
+                f"cell_retries must be >= 0, got {cell_retries}"
+            )
         self.cache = cache
         self.parallel = parallel
         self.dedupe = dedupe
+        self.cell_retries = cell_retries
+
+    def _run_one(self, cell: Cell, arg: tuple) -> tuple[dict, float]:
+        """Execute one cell in-process, with a bounded retry budget."""
+        last: Optional[BaseException] = None
+        for _attempt in range(1 + self.cell_retries):
+            try:
+                return _execute_cell_worker(arg)
+            except Exception as exc:  # noqa: BLE001 - rethrown below
+                last = exc
+        raise CellExecutionError(cell.cell_id, last)
+
+    def _run_parallel(
+        self, cells: list[Cell], args: list[tuple]
+    ) -> list[tuple[dict, float]]:
+        """Fan cells over a process pool; backfill crashed slots serially.
+
+        A worker that dies (e.g. ``os._exit`` mid-cell) poisons the whole
+        ``ProcessPoolExecutor`` -- every outstanding future raises
+        ``BrokenProcessPool``.  Rather than losing the sweep, each failed
+        slot is recomputed in the parent with the normal retry budget;
+        only a cell that keeps failing there raises
+        :class:`CellExecutionError`.
+        """
+        results: list = [None] * len(args)
+        failed: list[int] = []
+        with ProcessPoolExecutor(max_workers=self.parallel) as pool:
+            futures = [pool.submit(_execute_cell_worker, a) for a in args]
+            for i, fut in enumerate(futures):
+                try:
+                    results[i] = fut.result()
+                except Exception:  # noqa: BLE001 - backfilled below
+                    failed.append(i)
+        for i in failed:
+            results[i] = self._run_one(cells[i], args[i])
+        return results
 
     def run(self, requests: list[ExperimentRequest]) -> RunReport:
         t0 = time.perf_counter()
@@ -117,10 +169,11 @@ class ExperimentRunner:
         if to_run:
             args = [(c.kind, c.param_dict, c.seed) for c in to_run]
             if self.parallel > 1:
-                with ProcessPoolExecutor(max_workers=self.parallel) as pool:
-                    results = list(pool.map(_execute_cell_worker, args))
+                results = self._run_parallel(to_run, args)
             else:
-                results = [_execute_cell_worker(a) for a in args]
+                results = [
+                    self._run_one(c, a) for c, a in zip(to_run, args)
+                ]
             for cell, (payload, secs) in zip(to_run, results):
                 payloads[cell.cell_id] = payload
                 timings[cell.cell_id] = timings.get(cell.cell_id, 0.0) + secs

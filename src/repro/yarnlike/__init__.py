@@ -10,7 +10,11 @@ number of concurrent jobs running for the duration of an experiment
 """
 
 from repro.yarnlike.container import Container, JobInstance
-from repro.yarnlike.nodemanager import NodeManager, BATCH_CGROUP_ROOT
+from repro.yarnlike.nodemanager import (
+    BATCH_CGROUP_ROOT,
+    ContainerLaunchError,
+    NodeManager,
+)
 from repro.yarnlike.jobqueue import ContinuousSubmitter
 
 __all__ = [
@@ -18,5 +22,6 @@ __all__ = [
     "JobInstance",
     "NodeManager",
     "BATCH_CGROUP_ROOT",
+    "ContainerLaunchError",
     "ContinuousSubmitter",
 ]

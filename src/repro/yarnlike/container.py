@@ -38,6 +38,10 @@ class JobInstance:
     containers: list[Container] = field(default_factory=list)
     submitted_at: float = 0.0
     finished_at: Optional[float] = None
+    #: set when the job was killed (preemption, crash injection, or node
+    #: failure) rather than running to completion.  ``finished_at`` is
+    #: still stamped, so completion metrics must exclude killed jobs.
+    killed: bool = False
 
     @property
     def finished(self) -> bool:

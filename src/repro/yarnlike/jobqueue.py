@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.workloads.batch import BatchJobSpec, DEFAULT_JOB_MIX
 from repro.yarnlike.container import JobInstance
-from repro.yarnlike.nodemanager import NodeManager
+from repro.yarnlike.nodemanager import ContainerLaunchError, NodeManager
 
 
 class ContinuousSubmitter:
@@ -37,6 +37,10 @@ class ContinuousSubmitter:
         self._mix_cursor = 0
         self._running = False
         self.submitted = 0
+        #: launches abandoned by the NodeManager (cgroup faults); each
+        #: failure leaves a deficit that is made up on the next finish.
+        self.launch_failures = 0
+        self._deficit = 0
 
     def start(self) -> None:
         if self._running:
@@ -54,14 +58,24 @@ class ContinuousSubmitter:
         self._mix_cursor += 1
         return spec
 
-    def _submit_next(self) -> JobInstance:
+    def _submit_next(self) -> Optional[JobInstance]:
         self.submitted += 1
-        return self.nm.launch_job(
-            self._next_spec(),
-            n_containers=self.containers_per_job,
-            tasks_per_container=self.tasks_per_container,
-        )
+        try:
+            return self.nm.launch_job(
+                self._next_spec(),
+                n_containers=self.containers_per_job,
+                tasks_per_container=self.tasks_per_container,
+            )
+        except ContainerLaunchError:
+            self.launch_failures += 1
+            self._deficit += 1
+            return None
 
     def _job_finished(self, job: JobInstance) -> None:
-        if self._running:
+        if not self._running:
+            return
+        # replace the finished job, plus any earlier failed launches.
+        attempts = 1 + self._deficit
+        self._deficit = 0
+        for _ in range(attempts):
             self._submit_next()

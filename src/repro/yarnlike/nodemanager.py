@@ -6,12 +6,20 @@ from typing import Callable, Iterable, Optional
 
 import numpy as np
 
-from repro.oskernel import System
+from repro.oskernel import CgroupError, System
 from repro.workloads.batch import BatchJobSpec
 from repro.yarnlike.container import Container, JobInstance
 
 #: parent cgroup for all batch containers (what Holmes' monitor scans).
 BATCH_CGROUP_ROOT = "/yarn"
+
+#: immediate retries of a failed cgroup operation during container launch
+#: before the launch is abandoned (transient EBUSY under fault injection).
+LAUNCH_CGROUP_RETRIES = 3
+
+
+class ContainerLaunchError(RuntimeError):
+    """A container could not be launched: cgroup setup kept failing."""
 
 #: scheduling quantum for batch task threads (coarser than services).
 BATCH_QUANTUM_US = 100.0
@@ -46,6 +54,8 @@ class NodeManager:
         self.jobs: list[JobInstance] = []
         self._next_job_id = 1
         self._next_container_id = 1
+        #: container launches abandoned after cgroup setup kept failing.
+        self.launch_failures = 0
         #: callbacks fired when a job completes (ContinuousSubmitter hooks in).
         self.on_job_finished: list[Callable[[JobInstance], None]] = []
 
@@ -80,10 +90,19 @@ class NodeManager:
         )
         self._next_job_id += 1
         self.jobs.append(job)
-        for _ in range(n_containers):
-            job.containers.append(
-                self._launch_container(job, spec, tasks_per_container, cpuset)
-            )
+        try:
+            for _ in range(n_containers):
+                job.containers.append(
+                    self._launch_container(job, spec, tasks_per_container, cpuset)
+                )
+        except ContainerLaunchError:
+            # roll back any containers that did come up; the job never ran.
+            for container in job.containers:
+                container.process.kill()
+            job.killed = True
+            job.finished_at = self.env.now
+            self.launch_failures += 1
+            raise
         self.env.process(self._watch_job(job), name=f"watch:job{job.job_id}")
         return job
 
@@ -100,10 +119,14 @@ class NodeManager:
         cgroup = self.system.cgroups.create(cgroup_path)
         cpus = cpuset if cpuset is not None else self.default_cpuset
         if cpus is not None:
-            cgroup.set_cpuset(cpus)
-        proc = self.system.spawn_process(
-            f"{spec.name}:{cid}", cgroup_path=cgroup_path
-        )
+            self._cgroup_setup(lambda: cgroup.set_cpuset(cpus),
+                               f"{cid}: cpuset write")
+        proc = self.system.spawn_process(f"{spec.name}:{cid}")
+        try:
+            self._cgroup_setup(lambda: cgroup.attach(proc), f"{cid}: attach")
+        except ContainerLaunchError:
+            proc.exited_at = self.env.now  # threadless; just mark it gone
+            raise
         proc.resident_bytes = CONTAINER_MEMORY_BYTES
         task_rngs = self.rng.spawn(n_tasks)
         for i, task_rng in enumerate(task_rngs):
@@ -117,7 +140,18 @@ class NodeManager:
             n_tasks=n_tasks,
         )
 
+    def _cgroup_setup(self, op, what: str):
+        """Run a cgroup operation with bounded immediate retries."""
+        last: Optional[CgroupError] = None
+        for _ in range(LAUNCH_CGROUP_RETRIES):
+            try:
+                return op()
+            except CgroupError as exc:
+                last = exc
+        raise ContainerLaunchError(f"{what}: {last}") from last
+
     def kill_job(self, job: JobInstance) -> None:
+        job.killed = True
         for container in job.containers:
             container.process.kill()
 

@@ -1,0 +1,181 @@
+"""Cluster-level chaos: node fail-stop/recovery, resubmission budgets,
+and the deterministic chaos sweep/report path.
+"""
+
+import json
+
+from repro.cluster import Cluster
+from repro.cluster.scheduler import ClusterBatchScheduler
+from repro.cluster.sweep import run_cluster_sweep
+from repro.core import HolmesConfig
+from repro.faults import standard_chaos_plan
+from repro.runner.cells import Cell, execute_cell
+from repro.workloads.batch import BatchJobSpec
+
+
+LONG_JOB = BatchJobSpec(
+    name="grinder", iterations=500_000, mem_lines=2000,
+    mem_dram_frac=0.8, comp_cycles=200_000,
+)
+
+
+def canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- fail-stop and recovery ---------------------------------------------------
+
+
+def test_fail_stop_and_recover_are_idempotent():
+    cluster = Cluster(
+        n_servers=2, holmes_config=HolmesConfig(interval_us=1_000.0)
+    )
+    cluster.run(until=5_000.0)
+    node = cluster.nodes[0]
+    assert node.telemetry() is not None
+    node.fail_stop()
+    node.fail_stop()  # second call is a no-op
+    assert node.failures == 1
+    assert not node.alive
+    assert node.telemetry() is None
+    assert cluster.alive_nodes == [cluster.nodes[1]]
+    ticks = node.holmes.ticks
+    cluster.run(until=10_000.0)
+    assert node.holmes.ticks == ticks  # dead node runs nothing
+    node.recover()
+    node.recover()  # idempotent too
+    assert node.alive and node.failures == 1
+    cluster.run(until=15_000.0)
+    assert node.holmes.ticks > ticks  # daemon restarted on recovery
+    cluster.stop_daemons()
+
+
+def test_node_death_resubmits_then_exhausts_budget():
+    cluster = Cluster(
+        n_servers=2, holmes_config=HolmesConfig(interval_us=1_000.0)
+    )
+    sched = ClusterBatchScheduler(
+        cluster, check_interval_us=5_000.0, max_resubmits=1
+    )
+    sched.start()
+    job = sched.submit(LONG_JOB)
+    assert job.instance is not None
+    first_node = job.node
+    cluster.run(until=2_000.0)
+    first_node.fail_stop()
+    assert job.instance.killed
+    cluster.run(until=10_000.0)
+    # one resubmission left in the budget: the job restarts elsewhere
+    assert job.resubmits == 1 and sched.resubmitted == 1
+    assert not job.failed
+    assert job.node is not first_node and job.node.alive
+    assert not job.instance.killed
+    # second death exhausts the budget: failed, surfaced in the counters
+    job.node.fail_stop()
+    cluster.run(until=20_000.0)
+    assert job.failed
+    assert sched.failed_jobs == 1
+    assert not job.queued  # a failed job never re-enters the queue
+    sched.stop()
+    cluster.stop_daemons()
+
+
+def test_zero_resubmit_budget_fails_immediately():
+    cluster = Cluster(
+        n_servers=2, holmes_config=HolmesConfig(interval_us=1_000.0)
+    )
+    sched = ClusterBatchScheduler(
+        cluster, check_interval_us=5_000.0, max_resubmits=0
+    )
+    sched.start()
+    job = sched.submit(LONG_JOB)
+    cluster.run(until=2_000.0)
+    job.node.fail_stop()
+    cluster.run(until=10_000.0)
+    assert job.failed and job.resubmits == 0
+    assert sched.failed_jobs == 1 and sched.resubmitted == 0
+    sched.stop()
+    cluster.stop_daemons()
+
+
+# -- the chaos sweep path -----------------------------------------------------
+
+
+def chaos_plan(seed=1):
+    return standard_chaos_plan(
+        seed=seed,
+        counter_error_rate=0.05,
+        container_crash_period_us=20_000.0,
+        node_failures=1,
+        node_failure_period_us=10_000.0,
+        node_downtime_us=15_000.0,
+    )
+
+
+def test_chaos_sweep_is_deterministic_and_reports_faults():
+    kwargs = dict(
+        policy="score", n_nodes=3, n_jobs=10, duration_us=60_000.0,
+        seed=11, faults=chaos_plan(),
+    )
+    a = run_cluster_sweep(**kwargs)
+    b = run_cluster_sweep(**kwargs)
+    assert canon(a) == canon(b)
+    faults = a["faults"]
+    assert faults["plan"] == chaos_plan().to_dict()
+    assert faults["node_failures"] >= 1
+    assert len(faults["per_node"]) == 3
+    assert all(n["daemon"] is not None for n in faults["per_node"])
+    resub = faults["batch"]
+    assert resub["max_resubmits"] == 3
+    assert resub["resubmitted"] >= 0 and resub["failed"] >= 0
+
+
+def test_plain_sweep_has_no_faults_section():
+    payload = run_cluster_sweep(
+        policy="score", n_nodes=2, n_jobs=6, duration_us=40_000.0, seed=3
+    )
+    assert "faults" not in payload
+
+
+def test_chaos_sweep_accepts_json_plan_form():
+    # cell params carry plans as canonical JSON strings; the sweep must
+    # decode them to the same run as the object form
+    plan = chaos_plan()
+    a = run_cluster_sweep(
+        policy="score", n_nodes=2, n_jobs=6, duration_us=40_000.0,
+        seed=5, faults=plan,
+    )
+    b = run_cluster_sweep(
+        policy="score", n_nodes=2, n_jobs=6, duration_us=40_000.0,
+        seed=5, faults=plan.to_json(),
+    )
+    assert canon(a) == canon(b)
+
+
+# -- chaos through the runner cells ------------------------------------------
+
+
+def test_chaos_colocation_cell_is_deterministic():
+    params = {
+        "service": "redis",
+        "workload": "a",
+        "setting": "holmes",
+        "duration_us": 40_000.0,
+        "faults": standard_chaos_plan(
+            seed=2, counter_error_rate=0.2, garbage_rate=0.05
+        ).to_json(),
+    }
+    a = execute_cell(Cell.make("colocation", params, 5))
+    b = execute_cell(Cell.make("colocation", params, 5))
+    assert canon(a) == canon(b)
+    health = a["holmes_health"]
+    assert health["counter_retries"] + health["counter_read_failures"] > 0
+
+
+def test_plain_colocation_cell_has_no_health_section():
+    params = {
+        "service": "redis", "workload": "a", "setting": "holmes",
+        "duration_us": 40_000.0,
+    }
+    payload = execute_cell(Cell.make("colocation", params, 5))
+    assert "holmes_health" not in payload
