@@ -18,7 +18,11 @@ Checks, mirroring what the bench itself promises:
   and coalescing on vs off;
 * the fault-injection hook points, measured with an *empty* fault plan
   attached, must cost at most ``max_fault_overhead`` times the plain
-  run (default 1.05x: the chaos engine is free when unused).
+  run (default 1.05x: the chaos engine is free when unused);
+* the observability plane must cost at most ``max_obs_disabled`` times
+  the plain run when attached with every category gated off (default
+  1.03x: observability is free when unused) and at most
+  ``max_obs_enabled`` times when fully enabled (default 1.15x).
 
 Exit status is nonzero on any failure, so the workflow step fails.
 """
@@ -42,7 +46,9 @@ def normalised_serial_wall(record: dict) -> float:
 
 def check(current: dict, baseline: dict, max_ratio: float,
           min_wheel_ratio: float,
-          max_fault_overhead: float = 1.05) -> list[str]:
+          max_fault_overhead: float = 1.05,
+          max_obs_disabled: float = 1.03,
+          max_obs_enabled: float = 1.15) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -116,6 +122,34 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 f"run with no fault configured (limit "
                 f"{max_fault_overhead:.2f}x)"
             )
+
+    oo = current.get("obs_overhead")
+    if oo is None:
+        failures.append(
+            "bench record has no obs_overhead section (bench predates "
+            "the observability plane?)"
+        )
+    else:
+        dis_ratio = oo["disabled_ratio"] or float("inf")
+        en_ratio = oo["enabled_ratio"] or float("inf")
+        print(
+            f"obs plane: plain {oo['plain_wall_s']:.3f}s, disabled "
+            f"{oo['disabled_wall_s']:.3f}s ({dis_ratio:.3f}x, limit "
+            f"{max_obs_disabled:.2f}x), enabled {oo['enabled_wall_s']:.3f}s "
+            f"({en_ratio:.3f}x, limit {max_obs_enabled:.2f}x)"
+        )
+        if dis_ratio > max_obs_disabled:
+            failures.append(
+                f"observability hook points cost {dis_ratio:.3f}x the "
+                f"plain run with every category disabled (limit "
+                f"{max_obs_disabled:.2f}x)"
+            )
+        if en_ratio > max_obs_enabled:
+            failures.append(
+                f"the fully-enabled observability plane costs "
+                f"{en_ratio:.3f}x the plain run (limit "
+                f"{max_obs_enabled:.2f}x)"
+            )
     return failures
 
 
@@ -131,12 +165,19 @@ def main(argv=None) -> int:
     parser.add_argument("--max-fault-overhead", type=float, default=1.05,
                         help="allowed fault-hook overhead with an empty "
                              "fault plan (default 1.05 = 5%%)")
+    parser.add_argument("--max-obs-disabled", type=float, default=1.03,
+                        help="allowed obs-hook overhead with every "
+                             "category disabled (default 1.03 = 3%%)")
+    parser.add_argument("--max-obs-enabled", type=float, default=1.15,
+                        help="allowed overhead of the fully-enabled obs "
+                             "plane (default 1.15 = 15%%)")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
-                     args.max_fault_overhead)
+                     args.max_fault_overhead, args.max_obs_disabled,
+                     args.max_obs_enabled)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

@@ -70,6 +70,45 @@ def compare_policies(by_policy: dict[str, dict]) -> dict:
     return out
 
 
+def format_node_health_table(node_health: list[dict]) -> str:
+    """Render the per-node ``node_health`` payload section as a table.
+
+    One row per node: liveness, the monitor's health verdict, the
+    telemetry EMAs the score policy reads, and the daemon robustness
+    counters (stale windows, degraded time, watchdog recoveries).
+    Nodes that never produced telemetry (e.g. down at the end of the
+    run) render with dashes.
+    """
+    headers = (
+        "node", "alive", "health", "vpi_ema", "pressure", "occup",
+        "lc_cpus", "stale", "degraded_ms", "watchdog",
+    )
+    lines = []
+    for row in node_health:
+        has_snap = "health" in row
+        lines.append((
+            row["name"],
+            "yes" if row["alive"] else "DOWN",
+            row.get("health", "-") if has_snap else "-",
+            f"{row['lc_vpi_ema']:.1f}" if has_snap else "-",
+            f"{row['reserved_pressure']:.2f}" if has_snap else "-",
+            f"{row['batch_occupancy']:.2f}" if has_snap else "-",
+            (f"{row['n_lc_cpus']}+{row['expanded']}" if has_snap else "-"),
+            str(row["stale_windows"]) if has_snap else "-",
+            f"{row['degraded_total_us'] / 1e3:.1f}" if has_snap else "-",
+            str(row["watchdog_recoveries"]) if has_snap else "-",
+        ))
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in lines)) if lines
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    rendered = [fmt.format(*headers)]
+    rendered += [fmt.format(*row) for row in lines]
+    return "\n".join(rendered)
+
+
 def format_cluster_table(aggregate: dict) -> str:
     """Render the policy comparison as an aligned text table."""
     headers = (

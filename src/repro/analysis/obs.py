@@ -1,0 +1,105 @@
+"""Text views over observability payloads: timeline, summary, metrics.
+
+These render the plain-dict obs payloads (``ObservabilityPlane.snapshot()``
+sections stored in experiment reports) into terminal tables — the
+human-facing half of the exporter layer, next to the machine-facing
+Chrome-trace/JSONL exporters in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def _fmt_args(args: dict, limit: int = 6) -> str:
+    parts = []
+    for k in sorted(args):
+        v = args[k]
+        if isinstance(v, float):
+            v = f"{v:.4g}"
+        parts.append(f"{k}={v}")
+        if len(parts) >= limit:
+            parts.append("...")
+            break
+    return " ".join(parts)
+
+
+def format_event_summary(streams: Dict[str, dict]) -> str:
+    """Per-stream ``category/name`` event counts, one table."""
+    rows: List[tuple] = []
+    for stream in sorted(streams):
+        counts: Dict[str, int] = {}
+        for ev in streams[stream].get("events", ()):
+            key = f"{ev['cat']}/{ev['name']}"
+            counts[key] = counts.get(key, 0) + 1
+        for key in sorted(counts):
+            rows.append((stream, key, counts[key]))
+    if not rows:
+        return "(no events)"
+    w0 = max(len("stream"), max(len(r[0]) for r in rows))
+    w1 = max(len("event"), max(len(r[1]) for r in rows))
+    lines = [f"{'stream':<{w0}}  {'event':<{w1}}  {'count':>7}",
+             f"{'-' * w0}  {'-' * w1}  {'-' * 7}"]
+    for stream, key, count in rows:
+        lines.append(f"{stream:<{w0}}  {key:<{w1}}  {count:>7}")
+    return "\n".join(lines) + "\n"
+
+
+def format_timeline(streams: Dict[str, dict], max_events: int = 200) -> str:
+    """Merged event timeline in sim-time order, truncated past a cap."""
+    from repro.obs.export import _merged_events
+
+    merged = _merged_events(streams)
+    if not merged:
+        return "(no events)\n"
+    lines = []
+    shown = merged[:max_events]
+    for row in shown:
+        node = f" [{row['node']}]" if row["node"] else ""
+        args = _fmt_args(row["args"])
+        args = f"  {args}" if args else ""
+        lines.append(
+            f"{row['t']:>12.1f}us  {row['stream']}{node}  "
+            f"{row['cat']}/{row['name']}{args}"
+        )
+    if len(merged) > max_events:
+        lines.append(f"... ({len(merged) - max_events} more events)")
+    return "\n".join(lines) + "\n"
+
+
+def format_metrics_table(streams: Dict[str, dict]) -> str:
+    """Flat table of all registry metrics across streams."""
+    rows: List[tuple] = []
+    for stream in sorted(streams):
+        for key, snap in sorted(
+            streams[stream].get("metrics", {}).items()
+        ):
+            kind = snap.get("type", "?")
+            if kind == "histogram":
+                val = (
+                    f"n={snap['count']} p50={_num(snap['p50'])} "
+                    f"p95={_num(snap['p95'])} p99={_num(snap['p99'])}"
+                )
+            else:
+                val = _num(snap.get("value"))
+            rows.append((stream, key, kind, val))
+    if not rows:
+        return "(no metrics)"
+    w0 = max(len("stream"), max(len(r[0]) for r in rows))
+    w1 = max(len("metric"), max(len(r[1]) for r in rows))
+    w2 = max(len("type"), max(len(r[2]) for r in rows))
+    lines = [
+        f"{'stream':<{w0}}  {'metric':<{w1}}  {'type':<{w2}}  value",
+        f"{'-' * w0}  {'-' * w1}  {'-' * w2}  {'-' * 5}",
+    ]
+    for stream, key, kind, val in rows:
+        lines.append(f"{stream:<{w0}}  {key:<{w1}}  {kind:<{w2}}  {val}")
+    return "\n".join(lines) + "\n"
+
+
+def _num(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

@@ -54,7 +54,7 @@ def cmd_colocate(args) -> int:
     from repro.experiments.colocation import run_colocation
 
     res = run_colocation(args.service, args.workload, args.setting,
-                         scale=_scale(args))
+                         scale=_scale(args), obs=args.obs)
     print(format_table(
         ["metric", "value"],
         [
@@ -71,6 +71,11 @@ def cmd_colocate(args) -> int:
     print()
     print(render_series(res.vpi_times, res.vpi_values,
                         title="VPI on the LC CPUs over time", threshold=40.0))
+    if res.obs is not None:
+        from repro.analysis.obs import format_event_summary
+
+        print()
+        print(format_event_summary({"node0": res.obs}))
     return 0
 
 
@@ -173,6 +178,8 @@ def cmd_cluster(args) -> int:
         "duration_us": args.duration * 1e6,
         "policies": policies,
     }
+    if args.obs is not None:
+        params["obs"] = args.obs
     request = ExperimentRequest.make("cluster", params, args.seed)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ExperimentRunner(cache=cache, parallel=args.parallel)
@@ -187,6 +194,14 @@ def cmd_cluster(args) -> int:
     path.write_text(canonical_dumps(report.merged()) + "\n")
 
     print(format_cluster_table(aggregate))
+    if args.obs is not None:
+        from repro.analysis.cluster import format_node_health_table
+
+        for cell_id, payload in report.cells.items():
+            if isinstance(payload, dict) and payload.get("node_health"):
+                print()
+                print(f"node health: {payload.get('policy', cell_id)}")
+                print(format_node_health_table(payload["node_health"]))
     print(f"{report.n_cell_runs} cells computed, {report.wall_s:.1f}s wall")
     print(f"wrote {args.output}")
     return 0
@@ -292,6 +307,8 @@ def cmd_chaos(args) -> int:
         # stay hashable and the cache key is stable.
         "faults": plan.to_json(),
     }
+    if args.obs is not None:
+        params["obs"] = args.obs
     request = ExperimentRequest.make("chaos", params, args.seed)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     runner = ExperimentRunner(cache=cache, parallel=args.parallel)
@@ -324,6 +341,98 @@ def cmd_chaos(args) -> int:
     ]
     print(format_table(["metric", "value"], rows))
     print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one experiment with the observability plane on and export it."""
+    import pathlib
+
+    from repro.analysis.obs import format_event_summary
+    from repro.obs import write_trace_bundle
+    from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
+
+    obs_spec = args.obs
+    if args.experiment == "colocation":
+        params = {
+            "service": args.service,
+            "workload": args.workload,
+            "setting": args.setting,
+            "duration_us": args.duration * 1e6,
+            "obs": obs_spec,
+        }
+    elif args.experiment == "cluster":
+        params = {
+            "n_nodes": args.nodes,
+            "n_jobs": args.jobs,
+            "duration_us": args.duration * 1e6,
+            "policies": (args.policy,),
+            "obs": obs_spec,
+        }
+    else:  # chaos
+        from repro.faults import standard_chaos_plan
+
+        # the `repro chaos` CLI defaults, so a chaos trace shows the
+        # fault-injector events a default chaos run would produce.
+        plan = standard_chaos_plan(
+            seed=args.fault_seed,
+            counter_error_rate=0.05,
+            garbage_rate=0.02,
+            tick_miss_rate=0.02,
+            stall_rate=0.005,
+            cgroup_error_rate=0.02,
+            container_crash_period_us=0.03 * 1e6,
+            node_failures=1,
+            node_failure_period_us=0.05 * 1e6,
+            node_downtime_us=0.02 * 1e6,
+        )
+        params = {
+            "service": args.service,
+            "workload": args.workload,
+            "duration_us": args.duration * 1e6,
+            "n_nodes": args.nodes,
+            "n_jobs": args.jobs,
+            "cluster_duration_us": args.duration * 1e6,
+            "faults": plan.to_json(),
+            "obs": obs_spec,
+        }
+    request = ExperimentRequest.make(args.experiment, params, args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    print(f"tracing {args.experiment} (obs={obs_spec!r}, "
+          f"--parallel {args.parallel}) ...", file=sys.stderr)
+    report = runner.run([request])
+
+    # one exporter *stream* per observed cell.  Stream names come from
+    # the stable sorted cell ids, shortened to the cell kind (full ids
+    # embed fault-plan JSON), so the bundle is byte-identical across
+    # --parallel settings and repeats.
+    observed = [
+        (cell_id, payload["obs"])
+        for cell_id, payload in sorted(report.cells.items())
+        if isinstance(payload, dict) and payload.get("obs") is not None
+    ]
+    streams = {}
+    for cell_id, snap in observed:
+        kind = cell_id.split(";", 1)[0]
+        name = kind
+        n = 1
+        while name in streams:
+            n += 1
+            name = f"{kind}#{n}"
+        streams[name] = snap
+    if not streams:
+        print("no observed cells: nothing to export (is the obs spec "
+              "empty?)", file=sys.stderr)
+        return 2
+
+    out_dir = pathlib.Path(args.out)
+    paths = write_trace_bundle(str(out_dir), streams)
+    print(format_event_summary(streams))
+    n_events = sum(s.get("n_events", 0) for s in streams.values())
+    print(f"{len(streams)} stream(s), {n_events} events")
+    for name in sorted(paths):
+        print(f"wrote {paths[name]}")
     return 0
 
 
@@ -383,6 +492,9 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "colocate":
             p.add_argument("--setting", default="holmes",
                            choices=["alone", "holmes", "perfiso"])
+            p.add_argument("--obs", default=None, metavar="SPEC",
+                           help="observability spec: 'all', 'none', or a "
+                                "comma list of categories (default: off)")
 
     p = sub.add_parser("microbench", help="the Fig 2 placement study")
     p.add_argument("--duration", type=float, default=1.0)
@@ -441,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: no cache)")
     p.add_argument("--output", default="cluster_report.json")
+    p.add_argument("--obs", default=None, metavar="SPEC",
+                   help="observability spec ('all', 'none', or a comma "
+                        "list); adds node-health and obs sections to the "
+                        "report (default: off)")
 
     p = sub.add_parser(
         "chaos",
@@ -487,6 +603,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: no cache)")
     p.add_argument("--output", default="chaos_report.json")
+    p.add_argument("--obs", default=None, metavar="SPEC",
+                   help="observability spec ('all', 'none', or a comma "
+                        "list); tags fault-injector decisions and adds "
+                        "obs sections to the report (default: off)")
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment with the observability plane on and "
+             "export trace.json (Perfetto), events.jsonl, metrics.json "
+             "and timeline.txt",
+    )
+    p.add_argument("experiment", choices=["colocation", "cluster", "chaos"])
+    p.add_argument("--service", default="redis",
+                   choices=["redis", "memcached", "rocksdb", "wiredtiger"])
+    p.add_argument("-w", "--workload", default="a")
+    p.add_argument("--setting", default="holmes",
+                   choices=["alone", "holmes", "perfiso"])
+    p.add_argument("--duration", type=float, default=0.12,
+                   help="simulated seconds per cell (default 0.12)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="cluster nodes for cluster/chaos (default 4)")
+    p.add_argument("--jobs", type=int, default=30,
+                   help="batch jobs for cluster/chaos (default 30)")
+    p.add_argument("--policy", default="score",
+                   choices=["score", "least-loaded"],
+                   help="placement policy for the cluster trace")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="fault-plan seed for the chaos trace (default 0)")
+    p.add_argument("--obs", default="all", metavar="SPEC",
+                   help="observability spec (default 'all')")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker processes (default 1; exports are "
+                        "byte-identical either way)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: no cache)")
+    p.add_argument("--out", default="trace_out",
+                   help="output directory for the bundle "
+                        "(default trace_out/)")
 
     p = sub.add_parser(
         "run-all",
@@ -517,6 +671,7 @@ COMMANDS = {
     "cluster": cmd_cluster,
     "chaos": cmd_chaos,
     "bench": cmd_bench,
+    "trace": cmd_trace,
     "run-all": cmd_run_all,
 }
 

@@ -13,7 +13,7 @@ task-count heuristic ``batch_load()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.core import Holmes, HolmesConfig, TelemetrySnapshot
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights, interference_score
@@ -22,6 +22,9 @@ from repro.hw import HWConfig
 from repro.oskernel import System
 from repro.sim import Environment
 from repro.yarnlike import NodeManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import NodeObs, ObservabilityPlane
 
 
 @dataclass
@@ -43,6 +46,8 @@ class ServerNode:
     failed_at: Optional[float] = None
     #: fail-stop events suffered over the run.
     failures: int = 0
+    #: this node's observability scope, when the cluster is observed.
+    obs: Optional["NodeObs"] = None
     _holmes_was_running: bool = field(default=False, repr=False)
 
     def batch_load(self) -> float:
@@ -68,6 +73,9 @@ class ServerNode:
         self.alive = False
         self.failed_at = self.system.env.now
         self.failures += 1
+        if self.obs is not None:
+            self.obs.emit("cluster", "node_fail_stop", self.system.env.now,
+                          failures=self.failures)
         self._holmes_was_running = (
             self.holmes is not None and self.holmes._running
         )
@@ -85,6 +93,8 @@ class ServerNode:
             return
         self.alive = True
         self.failed_at = None
+        if self.obs is not None:
+            self.obs.emit("cluster", "node_recover", self.system.env.now)
         if self.holmes is not None and self._holmes_was_running:
             self.holmes.start()  # restart-safe: rebuilds loop + windows
 
@@ -111,10 +121,12 @@ class Cluster:
         holmes_config: Optional[HolmesConfig] = None,
         start_daemons: bool = True,
         faults: Optional[FaultPlan] = None,
+        obs: Optional["ObservabilityPlane"] = None,
     ):
         if n_servers < 1:
             raise ValueError("a cluster needs at least one server")
         self.env = env or Environment()
+        self.obs = obs
         self.nodes: list[ServerNode] = []
         for i in range(n_servers):
             cfg = config or HWConfig(sockets=1, cores_per_socket=8)
@@ -122,6 +134,8 @@ class Cluster:
             system = System(env=self.env, config=node_cfg)
             nm = NodeManager(system, seed=seed + i)
             node = ServerNode(f"server{i}", system, nm, index=i)
+            scope = obs.for_node(node.name) if obs is not None else None
+            node.obs = scope
             injector = (
                 FaultInjector(faults, scope=node.name)
                 if faults is not None
@@ -129,11 +143,14 @@ class Cluster:
             )
             node.faults = injector
             if holmes_config is not None:
-                node.holmes = Holmes(system, holmes_config, faults=injector)
+                node.holmes = Holmes(system, holmes_config, faults=injector,
+                                     obs=scope)
                 if start_daemons:
                     node.holmes.start()
             elif injector is not None:
                 injector.install(system)
+                if scope is not None:
+                    injector.attach_obs(scope)
             self.nodes.append(node)
 
     @property

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster, ServerNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import ObservabilityPlane
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights
 from repro.sim import Interrupt, SimulationError
 from repro.workloads.batch import BatchJobSpec
@@ -112,6 +115,7 @@ class ClusterBatchScheduler:
         relocate_threshold: Optional[float] = None,
         relocate_margin: float = 0.25,
         max_resubmits: int = 3,
+        obs: Optional["ObservabilityPlane"] = None,
     ):
         if max_resubmits < 0:
             raise ValueError("max_resubmits must be >= 0")
@@ -150,6 +154,12 @@ class ClusterBatchScheduler:
         self.launch_failures = 0
         self._running = False
         self._proc = None
+        self._obs = obs
+        self._obs_cluster = obs is not None and obs.wants("cluster")
+
+    def _emit(self, name: str, node: str = "", **args) -> None:
+        if self._obs_cluster:
+            self._obs.emit("cluster", name, self.env.now, node=node, **args)
 
     # -- scoring ----------------------------------------------------------
 
@@ -192,6 +202,8 @@ class ClusterBatchScheduler:
             if self.max_queue is not None and len(self.queue) >= self.max_queue:
                 tracked.rejected = True
                 self.rejected += 1
+                self._emit("job_reject", job=tracked.spec.name,
+                           queue_len=len(self.queue))
             else:
                 self._enqueue(tracked)
         else:
@@ -206,6 +218,8 @@ class ClusterBatchScheduler:
     def _enqueue(self, tracked: TrackedJob) -> None:
         self.queue.append(tracked)
         self.enqueued += 1
+        self._emit("job_enqueue", job=tracked.spec.name,
+                   queue_len=len(self.queue))
 
     def _launch(self, tracked: TrackedJob, node: ServerNode) -> bool:
         try:
@@ -214,12 +228,18 @@ class ClusterBatchScheduler:
             )
         except ContainerLaunchError:
             self.launch_failures += 1
+            self._emit("launch_failed", node=node.name,
+                       job=tracked.spec.name)
             return False
         tracked.instance = instance
         tracked.node = node
         tracked.started_at = self.env.now
         tracked.last_cputime = self._cputime(tracked)
         self.admitted += 1
+        if self._obs_cluster:
+            self._emit("job_place", node=node.name, job=tracked.spec.name,
+                       policy=self.policy, score=self.node_score(node),
+                       resubmits=tracked.resubmits)
         return True
 
     # -- supervision ----------------------------------------------------------
@@ -306,9 +326,13 @@ class ClusterBatchScheduler:
             if job.resubmits >= self.max_resubmits:
                 job.failed = True
                 self.failed_jobs += 1
+                self._emit("job_failed", job=job.spec.name,
+                           resubmits=job.resubmits)
                 continue
             job.resubmits += 1
             self.resubmitted += 1
+            self._emit("job_resubmit", job=job.spec.name,
+                       resubmits=job.resubmits)
             self.queue.append(job)  # placed by _drain_queue, FIFO
 
     # -- admission queue ---------------------------------------------------
@@ -348,6 +372,11 @@ class ClusterBatchScheduler:
             self.stall_relocations += 1
         else:
             self.preemptive_relocations += 1
+        if self._obs_cluster:
+            self._emit("job_relocate", node=job.node.name, kind=kind,
+                       job=job.spec.name, to=target.name,
+                       from_score=self.node_score(job.node),
+                       to_score=self.node_score(target))
         try:
             job.instance = target.nodemanager.launch_job(
                 job.spec, tasks_per_container=self.tasks_per_container

@@ -67,6 +67,7 @@ def run_cluster_sweep(
     coalesce_idle_ticks: int = 1,
     faults=None,
     max_resubmits: int = 3,
+    obs=None,
 ) -> dict:
     """Run one policy over the churned cluster; return the metrics payload.
 
@@ -80,18 +81,30 @@ def run_cluster_sweep(
     cgroup faults plus cluster-level container crashes and node fail-stop
     with recovery.  The payload then gains a ``faults`` section; with
     ``faults=None`` the payload is byte-identical to a plain sweep.
+
+    ``obs`` (an :class:`~repro.obs.ObservabilityPlane`, a spec string, or
+    None) threads the observability plane through every node's daemon,
+    the fault injectors and the batch scheduler; the payload then gains
+    ``obs`` and ``node_health`` sections.  With ``obs=None`` the payload
+    is byte-identical to an unobserved sweep.
     """
     churn = churn or ChurnConfig(n_jobs=n_jobs)
     if churn.n_jobs != n_jobs:
         churn = ChurnConfig(**{**churn.__dict__, "n_jobs": n_jobs})
     plan = FaultPlan.coerce(faults) if faults is not None else None
+    plane = None
+    if obs is not None:
+        from repro.obs import ObservabilityPlane
+
+        plane = ObservabilityPlane.coerce(obs)
 
     holmes_cfg = HolmesConfig(
         interval_us=telemetry_interval_us,
         coalesce_idle_ticks=coalesce_idle_ticks,
     )
     cluster = Cluster(
-        n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg, faults=plan
+        n_servers=n_nodes, seed=seed, holmes_config=holmes_cfg, faults=plan,
+        obs=plane,
     )
 
     weights = score_weights or ScoreWeights()
@@ -105,6 +118,7 @@ def run_cluster_sweep(
         relocate_threshold=relocate_threshold if policy == "score" else None,
         relocate_margin=relocate_margin,
         max_resubmits=max_resubmits,
+        obs=plane,
     )
 
     root_rng = np.random.default_rng(seed)
@@ -215,4 +229,54 @@ def run_cluster_sweep(
                 for n in cluster.nodes
             ],
         }
+    if plane is not None:
+        # observed-only sections: with obs=None the payload above is
+        # byte-identical to an unobserved sweep.
+        if plane.metrics is not None:
+            from repro.obs import LATENCY_BUCKETS_US
+
+            for node, arr in zip(cluster.nodes, lat_arrays):
+                hist = plane.metrics.histogram(
+                    "lc_request_latency_us", LATENCY_BUCKETS_US,
+                    node=node.name,
+                )
+                hist.observe_many(arr)
+            plane.metrics.counter("jobs_completed").inc(len(finished))
+            plane.metrics.counter("relocations").inc(scheduler.relocations)
+        payload["node_health"] = [
+            _node_health(n) for n in cluster.nodes
+        ]
+        payload["obs"] = plane.snapshot()
     return payload
+
+
+def _node_health(node) -> dict:
+    """Per-node health row: telemetry + daemon robustness counters.
+
+    Rendered by ``repro cluster``'s node-health table
+    (:func:`repro.analysis.cluster.format_node_health_table`).
+    """
+    row = {
+        "name": node.name,
+        "alive": bool(node.alive),
+        "failures": int(node.failures),
+    }
+    snap = node.telemetry()
+    if snap is not None:
+        row.update({
+            "health": snap.health,
+            "lc_vpi_ema": float(snap.lc_vpi_ema),
+            "reserved_pressure": float(snap.reserved_pressure),
+            "batch_occupancy": float(snap.batch_occupancy),
+            "n_containers": int(snap.n_containers),
+            "n_lc_cpus": int(snap.n_lc_cpus),
+            "expanded": int(snap.expanded),
+            "serving": bool(snap.serving),
+            "stale_windows": int(snap.stale_windows),
+            "degraded_total_us": float(snap.degraded_total_us),
+            "missed_ticks": int(snap.missed_ticks),
+            "watchdog_recoveries": int(snap.watchdog_recoveries),
+        })
+    if node.holmes is not None:
+        row["daemon"] = node.holmes.health_report()
+    return row

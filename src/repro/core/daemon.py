@@ -14,6 +14,7 @@ from repro.sim import Series
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultInjector
+    from repro.obs import NodeObs
     from repro.oskernel import System
 
 
@@ -86,18 +87,37 @@ class Holmes:
         config: Optional[HolmesConfig] = None,
         record_vpi_every: int = 20,
         faults: Optional["FaultInjector"] = None,
+        obs: Optional["NodeObs"] = None,
     ):
         self.system = system
         self.env = system.env
         self.config = config or HolmesConfig()
         self.faults = faults
+        self.obs = obs
+        self._obs_daemon = obs is not None and obs.wants("daemon")
+        #: LC-mean VPI histogram in the metrics registry, fed at the same
+        #: decimated cadence as vpi_history; None keeps the record point
+        #: at one extra is-not-None check when metrics are off.
+        self._vpi_hist = None
+        if obs is not None and obs.wants("metrics") and obs.metrics is not None:
+            from repro.obs import VPI_BUCKETS
+
+            self._vpi_hist = obs.histogram("lc_vpi", VPI_BUCKETS)
+            self._usage_hist = obs.histogram(
+                "lc_usage", (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
+                             0.95, 1.0)
+            )
         #: static: does the plan ever miss/stall a tick?  Keeps the
         #: per-tick hot path free of injector calls otherwise.
         self._tick_faults = faults is not None and faults.has_tick_faults
         if faults is not None:
             faults.install(system)
-        self.monitor = MetricMonitor(system, self.config, faults=faults)
-        self.scheduler = HolmesScheduler(system, self.config, self.monitor)
+            if obs is not None:
+                faults.attach_obs(obs)
+        self.monitor = MetricMonitor(system, self.config, faults=faults,
+                                     obs=obs)
+        self.scheduler = HolmesScheduler(system, self.config, self.monitor,
+                                         obs=obs)
         self.ticks = 0
         self.active_ticks = 0
         #: ticks skipped by quiescent coalescing (each a provable no-op).
@@ -240,6 +260,10 @@ class Holmes:
         self._started_once = True
         self._running = True
         self._last_tick_at = self.env.now
+        if self._obs_daemon:
+            self.obs.emit("daemon", "start", self.env.now,
+                          interval_us=float(self.config.interval_us),
+                          restart=self.ticks > 0)
         self._process = self.env.process(self._loop(), name="holmes")
         wd = self._watchdog_timeout()
         if wd:
@@ -251,6 +275,8 @@ class Holmes:
         if not self._running:
             return  # double stop is a no-op
         self._running = False
+        if self._obs_daemon:
+            self.obs.emit("daemon", "stop", self.env.now, ticks=self.ticks)
         # Drop the armed tick from the calendar so a stopped daemon leaves
         # no stale entry firing into a dead loop, and unwind the loop and
         # watchdog processes so a later start() rebuilds them cleanly.
@@ -316,9 +342,14 @@ class Holmes:
                         # a doubled window, like a delayed wakeup would.
                         self.missed_ticks += 1
                         self._last_tick_at = self.env.now
+                        if self._obs_daemon:
+                            self.obs.emit("daemon", "tick_miss", self.env.now)
                         continue
                     # stall: the loop wedges mid-tick for ``duration``.
                     self.stalled_ticks += 1
+                    if self._obs_daemon:
+                        self.obs.emit("daemon", "tick_stall", self.env.now,
+                                      duration_us=float(duration))
                     try:
                         yield self.env.timeout(duration)
                     except Interrupt:
@@ -345,10 +376,13 @@ class Holmes:
                 self.active_ticks += 1
             if self.ticks % self._record_every == 0:
                 lc = self.scheduler.lc_cpus
-                self.vpi_history.record(sample.time, float(np.mean(sample.vpi[lc])))
-                self.usage_history.record(
-                    sample.time, float(np.mean(sample.usage_ema[lc]))
-                )
+                lc_vpi = float(np.mean(sample.vpi[lc]))
+                lc_usage = float(np.mean(sample.usage_ema[lc]))
+                self.vpi_history.record(sample.time, lc_vpi)
+                self.usage_history.record(sample.time, lc_usage)
+                if self._vpi_hist is not None:
+                    self._vpi_hist.observe(lc_vpi)
+                    self._usage_hist.observe(lc_usage)
             if stretch > 1 and self._virgin:
                 if (
                     not self.monitor.lc_services
@@ -392,6 +426,10 @@ class Holmes:
                 and (self.env.now - self._last_tick_at) >= timeout_us
             ):
                 self.watchdog_recoveries += 1
+                if self._obs_daemon:
+                    self.obs.emit("daemon", "watchdog_recovery", self.env.now,
+                                  silent_for_us=float(
+                                      self.env.now - self._last_tick_at))
                 loop.interrupt("watchdog")
         timer.cancel()
 

@@ -24,6 +24,7 @@ from repro.oskernel.accounting import UsageTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults import FaultInjector
+    from repro.obs import NodeObs
     from repro.oskernel import OSProcess, System
     from repro.oskernel.cgroup import Cgroup
 
@@ -82,10 +83,15 @@ class MetricMonitor:
     """State holder + per-tick collection logic (driven by the daemon)."""
 
     def __init__(self, system: "System", config: HolmesConfig,
-                 faults: "FaultInjector | None" = None):
+                 faults: "FaultInjector | None" = None,
+                 obs: "NodeObs | None" = None):
         self.system = system
         self.config = config
         self._faults = faults
+        self._obs = obs
+        #: health transitions only happen under fault injection, so this
+        #: capability costs nothing on the healthy hot path.
+        self._obs_health = obs is not None and obs.wants("health")
         self.env = system.env
         server = system.server
         from repro.hw.events import by_code
@@ -267,13 +273,28 @@ class MetricMonitor:
             if self.health != "degraded":
                 self.health = "degraded"
                 self._degraded_since = now
+                if self._obs_health:
+                    self._obs.emit("health", "degraded", now,
+                                   stale_windows=self._stale_windows)
         elif self.health == "healthy":
             self.health = "stale"
+            if self._obs_health:
+                self._obs.emit("health", "stale", now,
+                               stale_windows=self._stale_windows)
 
     def _note_good(self, now: float) -> None:
         if self.health == "degraded" and self._degraded_since is not None:
             self.degraded_intervals.append((self._degraded_since, now))
+            if self._obs_health:
+                self._obs.emit(
+                    "health", "recovered", now,
+                    degraded_for_us=float(now - self._degraded_since),
+                    stale_windows=self._stale_windows,
+                )
             self._degraded_since = None
+        elif self.health == "stale" and self._obs_health:
+            self._obs.emit("health", "recovered", now,
+                           stale_windows=self._stale_windows)
         self._stale_windows = 0
         self.health = "healthy"
 

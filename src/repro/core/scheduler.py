@@ -31,6 +31,7 @@ from repro.core.monitor import ContainerInfo, MetricMonitor, MonitorSample
 from repro.oskernel.cgroup import CgroupError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import NodeObs
     from repro.oskernel import System
 
 
@@ -47,10 +48,16 @@ class HolmesScheduler:
     """Algorithms 1-3 over the monitor's state."""
 
     def __init__(self, system: "System", config: HolmesConfig,
-                 monitor: MetricMonitor):
+                 monitor: MetricMonitor, obs: "NodeObs | None" = None):
         self.system = system
         self.config = config
         self.monitor = monitor
+        self._obs = obs
+        #: capability precomputed once; when False the per-action cost of
+        #: the observability plane is a single boolean check in _log.
+        self._obs_sched = obs is not None and obs.wants("sched")
+        #: sample under scheduling this tick (audit records read it).
+        self._sample: MonitorSample | None = None
         topo = system.server.topology
         self.topology = topo
         self.reserved: list[int] = config.resolve_reserved(topo.n_cores)
@@ -88,9 +95,56 @@ class HolmesScheduler:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _log(self, action: str, detail: str = "") -> None:
+    def _log(self, action: str, detail: str = "",
+             lcpu: "int | None" = None, **extra) -> None:
+        now = self.system.env.now
         if len(self.events) < self.max_events:
-            self.events.append(SchedulerEvent(self.system.env.now, action, detail))
+            self.events.append(SchedulerEvent(now, action, detail))
+        if self._obs_sched:
+            args = self._audit(lcpu)
+            if detail:
+                args["detail"] = detail
+            args.update(extra)
+            self._obs.emit("sched", action, now, **args)
+
+    def _audit(self, lcpu: "int | None" = None) -> dict:
+        """Decision audit record: the signals behind a scheduler action.
+
+        Every emitted action carries the thresholds it was judged against
+        (E, T, S), the VPI-signal health/degraded flag, and — when a tick
+        sample and an LC CPU are in scope — the observed VPI, the time
+        since that CPU last read high, and the remaining S countdown.
+        """
+        cfg = self.config
+        args = {
+            "e_threshold": float(self.threshold),
+            "t_expand": float(cfg.t_expand),
+            "s_hold_us": float(cfg.s_hold_us),
+            "health": self._last_health,
+            "degraded": self._last_health == "degraded",
+            "n_lc_cpus": len(self.lc_cpus),
+            "expanded": len(self._expansion),
+        }
+        sample = self._sample
+        if sample is not None:
+            args["serving"] = any(s.serving for s in sample.lc_statuses)
+            args["lc_usage"] = float(np.mean(sample.usage_ema[self.lc_cpus]))
+            if lcpu is not None and lcpu < len(sample.vpi):
+                args["lcpu"] = int(lcpu)
+                args["vpi"] = float(sample.vpi[lcpu])
+                last = self._last_high.get(lcpu, -np.inf)
+                if last == -np.inf:
+                    args["since_high_us"] = None
+                    args["s_remaining_us"] = 0.0
+                else:
+                    since = float(sample.time - last)
+                    args["since_high_us"] = since
+                    args["s_remaining_us"] = float(
+                        max(0.0, cfg.s_hold_us - since)
+                    )
+        elif lcpu is not None:
+            args["lcpu"] = int(lcpu)
+        return args
 
     @property
     def lc_sibling_cpus(self) -> set[int]:
@@ -157,6 +211,7 @@ class HolmesScheduler:
     # -- per-tick entry point ------------------------------------------------------
 
     def tick(self, sample: MonitorSample) -> None:
+        self._sample = sample
         if self._pending_cpuset:
             self._retry_pending_cpusets()
         if sample.health != self._last_health:
@@ -304,7 +359,8 @@ class HolmesScheduler:
                 changed = True
             if changed:
                 self._apply_cpuset(info)
-                self._log("dealloc_sibling", f"lcpu={sib} from {info.name}")
+                self._log("dealloc_sibling", f"lcpu={sib} from {info.name}",
+                          lcpu=lc_cpu, sibling=sib, container=info.name)
 
     def _reallocate_sibling(self, lc_cpu: int) -> None:
         """CHOOSE_ONE(pid_set_batch); ALLOCATE(sibling_CPU, pid)."""
@@ -316,7 +372,8 @@ class HolmesScheduler:
         self._rr_cursor += 1
         info.sibling_grants.add(sib)
         self._apply_cpuset(info)
-        self._log("realloc_sibling", f"lcpu={sib} to {info.name}")
+        self._log("realloc_sibling", f"lcpu={sib} to {info.name}",
+                  lcpu=lc_cpu, sibling=sib, container=info.name)
 
     def _maybe_expand(self, sample: MonitorSample) -> None:
         cfg = self.config
@@ -337,7 +394,7 @@ class HolmesScheduler:
         self._expansion.append(new_cpu)
         self._last_high[new_cpu] = self.system.env.now
         self._deallocate_sibling(new_cpu)
-        self._log("expand", f"lcpu={new_cpu}")
+        self._log("expand", f"lcpu={new_cpu}", lcpu=new_cpu)
 
     def _evict_batch_from(self, lcpu: int) -> None:
         for info in self.monitor.containers.values():
@@ -362,4 +419,4 @@ class HolmesScheduler:
                 info.sibling_grants -= stale
                 info.cpus |= stale
         for lcpu in released:
-            self._log("contract", f"lcpu={lcpu}")
+            self._log("contract", f"lcpu={lcpu}", lcpu=lcpu)

@@ -61,6 +61,9 @@ class CoLocationResult:
     holmes_overhead: Optional[dict] = None
     #: daemon robustness counters; present only when faults were injected.
     holmes_health: Optional[dict] = None
+    #: observability snapshot (events, metrics, quanta); present only when
+    #: the run was observed -- disabled runs serialise exactly as before.
+    obs: Optional[dict] = None
 
     @property
     def mean_latency(self) -> float:
@@ -83,6 +86,7 @@ def run_colocation(
     holmes_config: Optional[HolmesConfig] = None,
     n_keys: int = DEFAULT_N_KEYS,
     faults=None,
+    obs=None,
 ) -> CoLocationResult:
     """Run one co-location experiment and collect its metrics.
 
@@ -91,6 +95,11 @@ def run_colocation(
     read errors / garbage, daemon tick misses and stalls, cgroup write
     failures, and timed container crashes.  With ``faults=None`` the run
     is byte-identical to before the fault engine existed.
+
+    ``obs`` (an :class:`~repro.obs.ObservabilityPlane`, a spec string
+    like ``"all"`` or ``"sched,fault"``, or None) attaches the
+    observability plane; the snapshot lands in ``CoLocationResult.obs``.
+    With ``obs=None`` the run is byte-identical to an unobserved one.
     """
     if setting not in ALL_SETTINGS:
         raise ValueError(
@@ -104,6 +113,13 @@ def run_colocation(
 
         plan = FaultPlan.coerce(faults)
         injector = FaultInjector(plan, scope="node0")
+    plane = None
+    obs_scope = None
+    if obs is not None:
+        from repro.obs import ObservabilityPlane
+
+        plane = ObservabilityPlane.coerce(obs)
+        obs_scope = plane.for_node("node0") if plane is not None else None
     spec = workload_by_name(workload_name)
     rate = rate_qps if rate_qps is not None else service_rate(
         service_name, spec.name
@@ -124,7 +140,7 @@ def run_colocation(
     perfiso: Optional[PerfIso] = None
     if setting == "holmes":
         cfg = holmes_config or HolmesConfig(n_reserved=scale.n_reserved)
-        holmes = Holmes(system, cfg, faults=injector)
+        holmes = Holmes(system, cfg, faults=injector, obs=obs_scope)
         holmes.start()
         holmes.register_lc_service(service.pid)
     elif setting == "perfiso":
@@ -153,6 +169,8 @@ def run_colocation(
     if injector is not None:
         if setting != "holmes":
             injector.install(system)  # cgroup faults even without a daemon
+            if obs_scope is not None:
+                injector.attach_obs(obs_scope)
         if nm is not None:
             from repro.faults import start_node_drivers
 
@@ -180,8 +198,44 @@ def run_colocation(
     vpi_sampler = PeriodicSampler(env, period=1_000.0, fn=sample_vpi,
                                   name="lc_vpi")
 
+    tracer = None
+    if plane is not None and plane.wants("quantum"):
+        from repro.tracing import ExecutionTracer
+
+        tracer = ExecutionTracer(system)
+        tracer.attach()
+
     system.run(until=scale.duration_us)
     vpi_sampler.stop()
+
+    obs_snapshot = None
+    if plane is not None:
+        if tracer is not None:
+            tracer.detach()
+        if plane.metrics is not None:
+            from repro.obs import LATENCY_BUCKETS_US
+
+            lat_hist = plane.metrics.histogram(
+                "query_latency_us", LATENCY_BUCKETS_US,
+                node="node0", service=service_name, setting=setting,
+            )
+            lat_hist.observe_many(service.recorder.latencies())
+            g = plane.metrics.gauge
+            g("avg_cpu_utilization", node="node0").set(usage.average())
+            g("jobs_completed", node="node0").set(
+                float(nm.completed_count() if nm is not None else 0)
+            )
+        obs_snapshot = plane.snapshot()
+        if tracer is not None:
+            a = tracer.arrays()
+            obs_snapshot["quanta"] = {
+                "lcpu": [int(v) for v in a["lcpu"]],
+                "tid": [int(v) for v in a["tid"]],
+                "is_mem": [bool(v) for v in a["is_mem"]],
+                "start": [float(v) for v in a["start"]],
+                "duration": [float(v) for v in a["duration"]],
+                "dropped": int(tracer.dropped),
+            }
 
     return CoLocationResult(
         service=service_name,
@@ -200,6 +254,7 @@ def run_colocation(
             if holmes is not None and injector is not None
             else None
         ),
+        obs=obs_snapshot,
     )
 
 

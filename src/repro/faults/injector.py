@@ -22,6 +22,7 @@ import numpy as np
 from repro.faults.plan import FAULT_KINDS, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import NodeObs
     from repro.oskernel import System
 
 
@@ -40,7 +41,13 @@ class FaultInjector:
             if specs
         }
         self.injected = {kind: 0 for kind in FAULT_KINDS}
+        #: RNG draws consumed per channel so far.  An injection event
+        #: tagged with its draw index pins down *which* decision in the
+        #: deterministic stream fired, independent of wall time.
+        self.draws = {kind: 0 for kind in FAULT_KINDS}
         self._env = None
+        self._obs: "NodeObs | None" = None
+        self._obs_fault = False
         #: static per-plan capability flags: consumers branch on these so
         #: an unconfigured fault kind keeps its fault-free hot path (the
         #: bench gate holds the empty-plan overhead to <= 5%).
@@ -62,13 +69,23 @@ class FaultInjector:
     def _cgroup_hook(self, op: str, path: str) -> bool:
         return self.cgroup_fault(op, path, self._env.now)
 
+    def attach_obs(self, obs: "NodeObs") -> None:
+        """Tag injection decisions as bus events (kind, draw index)."""
+        self._obs = obs
+        self._obs_fault = obs.wants("fault")
+
     # -- decision channels -------------------------------------------------
 
     def _hit(self, kind: str, now: float) -> bool:
         for spec in self._specs[kind]:
             if spec.active(now) and spec.rate > 0.0:
+                self.draws[kind] += 1
                 if float(self._rng[kind].random()) < spec.rate:
                     self.injected[kind] += 1
+                    if self._obs_fault:
+                        self._obs.emit("fault", kind, now,
+                                       draw=self.draws[kind],
+                                       injected=self.injected[kind])
                     return True
         return False
 
@@ -84,6 +101,7 @@ class FaultInjector:
         """One bounded retry: an independent re-read, same failure odds."""
         for spec in self._specs["counter_read_error"]:
             if spec.active(now) and spec.rate > 0.0:
+                self.draws["counter_read_error"] += 1
                 if float(self._rng["counter_read_error"].random()) < spec.rate:
                     return False
         return True
@@ -96,6 +114,7 @@ class FaultInjector:
             if spec.active(now):
                 magnitude = spec.magnitude
                 break
+        self.draws["counter_garbage"] += 2  # mask + noise vectors
         mask = rng.random(values.size) < 0.5
         noise = magnitude * rng.random(values.size)
         return np.where(mask, noise, values)
@@ -106,8 +125,14 @@ class FaultInjector:
             return ("miss", 0.0)
         for spec in self._specs["tick_stall"]:
             if spec.active(now) and spec.rate > 0.0:
+                self.draws["tick_stall"] += 1
                 if float(self._rng["tick_stall"].random()) < spec.rate:
                     self.injected["tick_stall"] += 1
+                    if self._obs_fault:
+                        self._obs.emit("fault", "tick_stall", now,
+                                       draw=self.draws["tick_stall"],
+                                       injected=self.injected["tick_stall"],
+                                       duration_us=float(spec.duration_us))
                     return ("stall", spec.duration_us)
         return None
 
@@ -120,6 +145,18 @@ class FaultInjector:
         """Injected-fault counts, only for configured kinds (JSON-able)."""
         return {
             kind: int(self.injected[kind])
+            for kind in FAULT_KINDS
+            if self._specs[kind]
+        }
+
+    def draws_dict(self) -> dict:
+        """RNG draws consumed per configured channel (JSON-able).
+
+        Kept separate from :meth:`stats_dict` so existing report payloads
+        are byte-identical when the observability plane is off.
+        """
+        return {
+            kind: int(self.draws[kind])
             for kind in FAULT_KINDS
             if self._specs[kind]
         }

@@ -1,0 +1,71 @@
+"""Unified observability plane: event bus, metrics, exporters.
+
+The plane answers *why* the Holmes control loop acted, not merely what
+it produced.  Three layers:
+
+* :mod:`repro.obs.bus` — a deterministic, sim-time-stamped event bus.
+  Producers (daemon, monitor, scheduler, cluster scheduler, fault
+  injector, runner) emit typed structured events into a bounded
+  columnar buffer; every scheduler deallocate/restore/expand action
+  carries a *decision audit record* (observed VPI vs E, usage vs T,
+  S-countdown state, degraded-mode flag) so Algorithm 1–3 transitions
+  are fully explainable after the fact.
+* :mod:`repro.obs.metrics` — a metrics registry of counters, gauges and
+  fixed-bucket histograms (p50/p95/p99 off the bucket grid), keyed by
+  node/service labels, snapshotting into experiment payloads.
+* :mod:`repro.obs.export` — exporters: Chrome-trace/Perfetto JSON (bus
+  events interleaved with execution-tracer quanta on one timeline), a
+  flat JSONL event log, and the text views in
+  :mod:`repro.analysis.obs`.
+
+The determinism contract: events are stamped with *simulation* time and
+emitted in simulation order, so two runs with identical seeds and plans
+produce byte-identical event streams — regardless of ``--parallel``
+fan-out, result caching, or wall-clock jitter.  Runner-level events are
+the one exception (they time real work, so they carry wall-clock
+durations) and are therefore kept out of every byte-compared artifact.
+
+Zero-cost when disabled: consumers hold ``obs=None`` and guard every
+emission behind a single ``is not None`` / precomputed-capability check;
+the ``repro bench`` ``obs_overhead`` section gates the disabled path at
+<= 1.03x and the fully-enabled path at <= 1.15x.
+"""
+
+from repro.obs.bus import Event, EventBus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    VPI_BUCKETS,
+)
+from repro.obs.plane import (
+    CATEGORIES,
+    NodeObs,
+    ObservabilityPlane,
+)
+from repro.obs.export import (
+    chrome_trace,
+    dumps_canonical,
+    events_jsonl,
+    write_trace_bundle,
+)
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_US",
+    "VPI_BUCKETS",
+    "CATEGORIES",
+    "NodeObs",
+    "ObservabilityPlane",
+    "chrome_trace",
+    "dumps_canonical",
+    "events_jsonl",
+    "write_trace_bundle",
+]

@@ -1,0 +1,124 @@
+"""The deterministic event bus: typed structured events, ring-buffered.
+
+One :class:`EventBus` holds one run's event stream.  Producers append
+``(time, category, name, node, args)`` tuples; the buffer is columnar
+(five parallel lists, like the execution tracer) so appends cost a few
+list ops and no per-event object allocation beyond the args dict the
+producer already built.
+
+Determinism: events carry *simulation* timestamps and are appended in
+simulation order, which the engine makes deterministic for a given seed.
+The buffer is bounded — past ``max_events`` new events are counted as
+dropped rather than evicting old ones, so the retained prefix (and any
+byte-compared export of it) never depends on how long the run went on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event off the bus (materialised view)."""
+
+    time: float
+    category: str
+    name: str
+    node: str
+    args: dict
+
+    def as_dict(self) -> dict:
+        return {
+            "t": self.time,
+            "cat": self.category,
+            "name": self.name,
+            "node": self.node,
+            "args": self.args,
+        }
+
+
+def _plain(value: Any) -> Any:
+    """Coerce a producer-supplied value into plain JSON types.
+
+    Producers hand over numpy scalars, sets, and tuples; exports and
+    cross-process payloads need plain ints/floats/strings so canonical
+    dumps are stable no matter which process materialised the event.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_plain(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+class EventBus:
+    """Bounded columnar event stream for one run."""
+
+    __slots__ = ("max_events", "dropped", "_t", "_cat", "_name", "_node",
+                 "_args")
+
+    def __init__(self, max_events: int = 500_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.dropped = 0
+        self._t: list[float] = []
+        self._cat: list[str] = []
+        self._name: list[str] = []
+        self._node: list[str] = []
+        self._args: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def emit(self, category: str, name: str, time: float, node: str = "",
+             args: Optional[dict] = None) -> None:
+        if len(self._t) >= self.max_events:
+            self.dropped += 1
+            return
+        self._t.append(float(time))
+        self._cat.append(category)
+        self._name.append(name)
+        self._node.append(node)
+        self._args.append(args or {})
+
+    # -- access ------------------------------------------------------------
+
+    def events(self, category: Optional[str] = None,
+               node: Optional[str] = None) -> Iterator[Event]:
+        for i in range(len(self._t)):
+            if category is not None and self._cat[i] != category:
+                continue
+            if node is not None and self._node[i] != node:
+                continue
+            yield Event(self._t[i], self._cat[i], self._name[i],
+                        self._node[i], self._args[i])
+
+    def counts(self) -> dict[str, int]:
+        """Event count per ``category/name`` key (summary views)."""
+        out: dict[str, int] = {}
+        for i in range(len(self._t)):
+            key = f"{self._cat[i]}/{self._name[i]}"
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def snapshot(self) -> list[dict]:
+        """The whole stream as plain JSON-able dicts, in emission order."""
+        return [
+            {
+                "t": self._t[i],
+                "cat": self._cat[i],
+                "name": self._name[i],
+                "node": self._node[i],
+                "args": _plain(self._args[i]),
+            }
+            for i in range(len(self._t))
+        ]

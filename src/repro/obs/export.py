@@ -1,0 +1,146 @@
+"""Exporters: Chrome-trace/Perfetto JSON, flat JSONL, trace bundles.
+
+All exporters consume *obs payloads* — the plain-dict snapshots stored in
+experiment results (``ObservabilityPlane.snapshot()`` plus an optional
+``"quanta"`` section from the execution tracer) — never live objects, so
+the same code serves in-process planes and payloads read back from
+report JSON.
+
+Byte-identity: every serialisation goes through :func:`dumps_canonical`
+(sorted keys, no whitespace), and event merge order is
+``(t, stream, emission index)`` — a total order independent of how the
+cells were scheduled across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.analysis.export import _to_jsonable
+
+
+def dumps_canonical(obj) -> str:
+    """Canonical JSON: sorted keys, compact separators, plain types."""
+    return json.dumps(_to_jsonable(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _merged_events(streams: Dict[str, dict]) -> List[dict]:
+    """All bus events across streams, tagged and totally ordered.
+
+    Sort key is ``(t, stream name, emission index)``: sim time first,
+    then the (sorted, stable) stream name, then the within-stream
+    emission index — deterministic regardless of worker scheduling.
+    """
+    rows = []
+    for stream in sorted(streams):
+        for idx, ev in enumerate(streams[stream].get("events", ())):
+            rows.append((ev["t"], stream, idx, ev))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    return [
+        {"t": t, "stream": stream, "seq": idx, "cat": ev["cat"],
+         "name": ev["name"], "node": ev["node"], "args": ev["args"]}
+        for t, stream, idx, ev in rows
+    ]
+
+
+def events_jsonl(streams: Dict[str, dict]) -> str:
+    """Flat JSONL event log: one canonical-JSON event per line."""
+    lines = [dumps_canonical(row) for row in _merged_events(streams)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(streams: Dict[str, dict]) -> dict:
+    """Chrome-trace ("trace event format") JSON, Perfetto-loadable.
+
+    Each stream (experiment cell) becomes one *process* (pid = index in
+    sorted stream-name order).  Execution-tracer quanta render as
+    complete-duration ``"X"`` slices with tid = logical CPU; bus events
+    render as instant ``"i"`` markers on tid 0 of the same process.
+    Timestamps are already microseconds of simulation time — exactly the
+    unit the trace format expects.
+    """
+    trace_events: List[dict] = []
+    for pid, stream in enumerate(sorted(streams)):
+        payload = streams[stream]
+        trace_events.append({
+            "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": stream},
+        })
+        quanta = payload.get("quanta")
+        if quanta:
+            lcpus = quanta["lcpu"]
+            tids = quanta["tid"]
+            is_mem = quanta["is_mem"]
+            starts = quanta["start"]
+            durations = quanta["duration"]
+            seen_lcpus = sorted(set(lcpus))
+            for lcpu in seen_lcpus:
+                trace_events.append({
+                    "ph": "M", "pid": pid, "tid": int(lcpu),
+                    "name": "thread_name",
+                    "args": {"name": f"lcpu{int(lcpu)}"},
+                })
+            for i in range(len(starts)):
+                trace_events.append({
+                    "ph": "X", "pid": pid, "tid": int(lcpus[i]),
+                    "ts": float(starts[i]), "dur": float(durations[i]),
+                    "cat": "quantum",
+                    "name": f"tid{int(tids[i])}",
+                    "args": {"tid": int(tids[i]),
+                             "is_mem": bool(is_mem[i])},
+                })
+        for idx, ev in enumerate(payload.get("events", ())):
+            args = dict(ev["args"])
+            if ev["node"]:
+                args["node"] = ev["node"]
+            args["seq"] = idx
+            trace_events.append({
+                "ph": "i", "pid": pid, "tid": 0, "ts": float(ev["t"]),
+                "s": "p", "cat": ev["cat"], "name": ev["name"],
+                "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def merged_metrics(streams: Dict[str, dict]) -> dict:
+    """All registry snapshots, keyed ``stream/metric`` and sorted."""
+    out = {}
+    for stream in sorted(streams):
+        for key, snap in streams[stream].get("metrics", {}).items():
+            out[f"{stream}/{key}"] = snap
+    return dict(sorted(out.items()))
+
+
+def write_trace_bundle(out_dir: str, streams: Dict[str, dict]) -> dict:
+    """Write trace.json / events.jsonl / metrics.json / timeline.txt.
+
+    Returns ``{artifact name: path}`` for the files written.  Every JSON
+    artifact is canonical, so repeated runs with identical seeds produce
+    byte-identical files.
+    """
+    from repro.analysis.obs import format_timeline
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {}
+
+    trace = chrome_trace(streams)
+    paths["trace.json"] = os.path.join(out_dir, "trace.json")
+    with open(paths["trace.json"], "w") as fh:
+        fh.write(dumps_canonical(trace) + "\n")
+
+    paths["events.jsonl"] = os.path.join(out_dir, "events.jsonl")
+    with open(paths["events.jsonl"], "w") as fh:
+        fh.write(events_jsonl(streams))
+
+    paths["metrics.json"] = os.path.join(out_dir, "metrics.json")
+    with open(paths["metrics.json"], "w") as fh:
+        fh.write(dumps_canonical(merged_metrics(streams)) + "\n")
+
+    paths["timeline.txt"] = os.path.join(out_dir, "timeline.txt")
+    with open(paths["timeline.txt"], "w") as fh:
+        fh.write(format_timeline(streams))
+
+    return paths

@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the aggregated (as opposed to event-by-event) half of
+the observability plane.  Metrics are keyed by name plus sorted labels
+(``latency_us{node=node0,service=redis}``), so per-node and per-service
+series coexist in one registry and snapshot into one sorted dict.
+
+Histograms use *fixed* bucket bounds: the bucket grid is part of the
+metric's identity, so two runs (or two processes of one ``--parallel``
+run) aggregate into byte-identical snapshots.  Quantiles (p50/p95/p99)
+are estimated by linear interpolation within the bucket that crosses the
+target rank, clamped to the observed min/max — the standard
+Prometheus-style estimate, deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+#: default latency bucket upper bounds, microseconds (geometric-ish grid
+#: spanning sub-us KV hits to 100 ms stalls).
+LATENCY_BUCKETS_US = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,
+)
+
+#: default VPI bucket upper bounds (the paper's E thresholds live in
+#: 40-80; the grid resolves both the calm and the thrashing regimes).
+VPI_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0, 60.0,
+    80.0, 100.0, 150.0, 200.0, 300.0, 500.0,
+)
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical ``name{k=v,...}`` key with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": int(self.value)}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with deterministic quantile estimates."""
+
+    __slots__ = ("bounds", "counts", "overflow", "total", "sum",
+                 "min", "max")
+
+    def __init__(self, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        b = [float(x) for x in bounds]
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = tuple(b)
+        self.counts = [0] * len(b)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.total += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Rank-``q`` estimate off the bucket grid (``q`` in [0, 1])."""
+        if self.total == 0:
+            return None
+        target = q * self.total
+        cum = 0
+        lower = self.min
+        for i, bound in enumerate(self.bounds):
+            c = self.counts[i]
+            if c and cum + c >= target:
+                frac = (target - cum) / c
+                est = lower + frac * (bound - lower)
+                return float(min(max(est, self.min), self.max))
+            if c:
+                lower = bound
+            cum += c
+        # target falls in the overflow bucket: interpolate to observed max
+        if self.overflow:
+            frac = (target - cum) / self.overflow
+            est = lower + frac * (self.max - lower)
+            return float(min(max(est, self.min), self.max))
+        return float(self.max)
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": "histogram",
+            "count": int(self.total),
+            "sum": float(self.sum),
+            "min": None if self.total == 0 else float(self.min),
+            "max": None if self.total == 0 else float(self.max),
+            "buckets": [
+                [float(b), int(c)] for b, c in zip(self.bounds, self.counts)
+            ],
+            "overflow": int(self.overflow),
+        }
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            out[label] = self.quantile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Keyed metric store; one per observability plane."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls, name: str, labels: dict, *args):
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(*args)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_US,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds)
+
+    def snapshot(self) -> dict:
+        """All metrics, sorted by key, as plain JSON-able dicts."""
+        return {
+            key: self._metrics[key].snapshot()
+            for key in sorted(self._metrics)
+        }

@@ -198,6 +198,7 @@ def _expand_cluster(params: dict, seed: int) -> list[tuple[str, Cell]]:
             "relocate_threshold",
             "relocate_margin",
             "slo_multiplier",
+            "obs",
         )
         if k in params
     }
@@ -236,6 +237,11 @@ def _expand_chaos(params: dict, seed: int) -> list[tuple[str, Cell]]:
         "faults": faults,
         "max_resubmits": int(params.get("max_resubmits", 3)),
     }
+    if "obs" in params:
+        # obs specs ride as category strings, like fault plans ride as
+        # canonical JSON (cell params must stay hashable).
+        node["obs"] = params["obs"]
+        cluster["obs"] = params["obs"]
     return [
         ("node", Cell.make("colocation", node, seed)),
         ("cluster", Cell.make("cluster_sweep", cluster, seed)),
@@ -294,6 +300,15 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     ),
     "cluster": ExperimentSpec("cluster", _expand_cluster, _agg_cluster),
     "chaos": ExperimentSpec("chaos", _expand_chaos, _agg_chaos),
+    "colocation": ExperimentSpec(
+        "colocation",
+        _single_cell(
+            "colocation",
+            ("service", "workload", "setting", "duration_us",
+             "e_threshold", "faults", "obs"),
+        ),
+        _agg_passthrough,
+    ),
 }
 
 

@@ -24,6 +24,9 @@ trajectory is tracked from PR to PR:
 * **fault_overhead** -- wall-clock of a telemetry-mode daemon run with
   and without the (empty) fault-injection hooks attached; the ratio is
   what the CI regression gate holds to <= 5%.
+* **obs_overhead** -- wall-clock of the same run with the observability
+  plane absent, attached-but-disabled, and fully enabled; the gate
+  holds disabled/plain to <= 3% and enabled/plain to <= 15%.
 
 The bench *fails* (nonzero exit through the CLI) if any identity check
 fails.  ``--profile`` additionally dumps a cProfile report of the
@@ -319,6 +322,56 @@ def bench_fault_overhead(duration_us: float = 50_000.0, repeats: int = 5,
     }
 
 
+def bench_obs_overhead(duration_us: float = 50_000.0, repeats: int = 5,
+                       seed: int = 42) -> dict:
+    """Cost of the observability plane on the Holmes hot loop.
+
+    Three identical telemetry-mode Holmes runs: *plain* (``obs=None``,
+    one is-not-None check per hook point), *disabled* (a plane built
+    from the ``"none"`` spec attached — every hook point live, every
+    category gated off, so each costs one precomputed-bool branch), and
+    *enabled* (the ``"all"`` spec — events and metrics actually
+    recorded).  The regression gate holds disabled/plain to <= 1.03x
+    and enabled/plain to <= 1.15x.  Arms are interleaved and
+    min-of-``repeats`` so frequency drift hits all three equally.
+    """
+    from repro.core import Holmes, HolmesConfig
+    from repro.experiments.common import ExperimentScale, build_system
+    from repro.obs import ObservabilityPlane
+
+    def one(spec) -> float:
+        scale = ExperimentScale(duration_us=duration_us, seed=seed)
+        system = build_system(scale)
+        plane = ObservabilityPlane.from_spec(spec)
+        obs = plane.for_node("bench") if plane is not None else None
+        holmes = Holmes(system, HolmesConfig(n_reserved=scale.n_reserved),
+                        obs=obs)
+        holmes.start()
+        t0 = time.perf_counter()
+        system.run(until=duration_us)
+        wall = time.perf_counter() - t0
+        holmes.stop()
+        return wall
+
+    arms = (None, "none", "all")
+    walls: dict = {arm: [] for arm in arms}
+    for _ in range(repeats):
+        for arm in arms:
+            walls[arm].append(one(arm))
+    plain = min(walls[None])
+    disabled = min(walls["none"])
+    enabled = min(walls["all"])
+    return {
+        "duration_us": duration_us,
+        "repeats": repeats,
+        "plain_wall_s": plain,
+        "disabled_wall_s": disabled,
+        "enabled_wall_s": enabled,
+        "disabled_ratio": disabled / plain if plain > 0 else None,
+        "enabled_ratio": enabled / plain if plain > 0 else None,
+    }
+
+
 def bench_event_loop(n_timers: int = EVENT_LOOP_TIMERS_QUICK,
                      horizon_us: Optional[float] = None) -> dict:
     """Back-compat shim: the wheel-kernel timer flood at one population."""
@@ -395,6 +448,11 @@ def run_bench(
         },
     }
     record["fault_overhead"] = bench_fault_overhead(
+        duration_us=20_000.0 if quick else 50_000.0,
+        repeats=3 if quick else 5,
+        seed=seed,
+    )
+    record["obs_overhead"] = bench_obs_overhead(
         duration_us=20_000.0 if quick else 50_000.0,
         repeats=3 if quick else 5,
         seed=seed,

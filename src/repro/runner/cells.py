@@ -106,8 +106,11 @@ def _colocation_cell(params: dict, seed: int) -> dict:
         scale=scale,
         holmes_config=holmes_config,
         # fault plans ride as canonical JSON strings so cell params stay
-        # hashable; run_colocation coerces back to a FaultPlan.
+        # hashable; run_colocation coerces back to a FaultPlan.  The obs
+        # spec rides the same way (a category string like "all" or
+        # "sched,fault"); run_colocation coerces it to a plane.
         faults=params.get("faults"),
+        obs=params.get("obs"),
     )
     payload = {
         "service": res.service,
@@ -130,6 +133,8 @@ def _colocation_cell(params: dict, seed: int) -> dict:
         }
     if res.holmes_health is not None:
         payload["holmes_health"] = res.holmes_health
+    if res.obs is not None:
+        payload["obs"] = res.obs
     return payload
 
 
@@ -204,6 +209,7 @@ def _cluster_sweep_cell(params: dict, seed: int) -> dict:
             "slo_multiplier",
             "faults",
             "max_resubmits",
+            "obs",
         )
         if k in params
     }

@@ -64,6 +64,9 @@ class RunReport:
     wall_s: float
     #: cell executions actually performed (cache hits and dedupe excluded)
     n_cell_runs: int
+    #: runner-level observability snapshot (wall-clock progress events);
+    #: deliberately NOT part of merged() -- wall times differ per run.
+    obs: Optional[dict] = None
 
     def merged(self) -> dict:
         """The deterministic, regression-comparable view of the sweep."""
@@ -82,6 +85,7 @@ class ExperimentRunner:
         parallel: int = 1,
         dedupe: bool = True,
         cell_retries: int = 2,
+        obs=None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -93,6 +97,15 @@ class ExperimentRunner:
         self.parallel = parallel
         self.dedupe = dedupe
         self.cell_retries = cell_retries
+        #: runner-scope observability plane (wall-clock progress events;
+        #: kept out of every byte-compared artifact).
+        self.obs = obs
+        self._obs_runner = obs is not None and obs.wants("runner")
+
+    def _emit(self, name: str, t0: float, **args) -> None:
+        if self._obs_runner:
+            self.obs.emit("runner", name, time.perf_counter() - t0,
+                          node="runner", **args)
 
     def _run_one(self, cell: Cell, arg: tuple) -> tuple[dict, float]:
         """Execute one cell in-process, with a bounded retry budget."""
@@ -149,6 +162,7 @@ class ExperimentRunner:
                 if hit is not None:
                     payloads[cell_id] = hit
                     timings[cell_id] = 0.0
+                    self._emit("cache_hit", t0, cell=cell_id)
 
         if self.dedupe:
             to_run = [
@@ -167,6 +181,8 @@ class ExperimentRunner:
 
         n_cell_runs = len(to_run)
         if to_run:
+            self._emit("dispatch", t0, n_cells=len(to_run),
+                       parallel=self.parallel)
             args = [(c.kind, c.param_dict, c.seed) for c in to_run]
             if self.parallel > 1:
                 results = self._run_parallel(to_run, args)
@@ -179,6 +195,8 @@ class ExperimentRunner:
                 timings[cell.cell_id] = timings.get(cell.cell_id, 0.0) + secs
                 if self.cache is not None:
                     self.cache.put(cell, payload)
+                self._emit("cell_done", t0, cell=cell.cell_id,
+                           compute_s=secs)
 
         # -- aggregate back into experiment-level results ----------------
         experiments: dict[str, Any] = {}
@@ -189,6 +207,7 @@ class ExperimentRunner:
                 role: payloads[cell.cell_id] for role, cell in role_cells
             }
             experiments[req.experiment_id] = aggregate_request(req, by_role)
+            self._emit("aggregate", t0, experiment=req.experiment_id)
 
         cells_sorted = {cid: payloads[cid] for cid in sorted(payloads)}
         return RunReport(
@@ -200,4 +219,9 @@ class ExperimentRunner:
             ),
             wall_s=time.perf_counter() - t0,
             n_cell_runs=n_cell_runs,
+            obs=(
+                self.obs.snapshot(include_runner=True)
+                if self.obs is not None
+                else None
+            ),
         )

@@ -55,15 +55,26 @@ class ExecutionTracer:
     # -- lifecycle ---------------------------------------------------------
 
     def attach(self) -> None:
+        """Install the quantum hook.  Idempotent: re-attaching an already
+        attached tracer is a no-op (it must not double-hook or clobber the
+        buffers); attaching over a *different* hook is still an error."""
+        # note == not is: each self._record access builds a fresh bound
+        # method, so identity comparison would never match.
+        if self._attached and self.system.quantum_hook == self._record:
+            return
         if self.system.quantum_hook is not None:
             raise RuntimeError("another quantum hook is already installed")
         self.system.quantum_hook = self._record
         self._attached = True
 
     def detach(self) -> None:
-        if self._attached:
+        """Remove the hook.  Idempotent, and never clobbers a hook some
+        other tracer installed after this one detached."""
+        if not self._attached:
+            return
+        if self.system.quantum_hook == self._record:
             self.system.quantum_hook = None
-            self._attached = False
+        self._attached = False
 
     def _record(self, lcpu: int, tid: int, kind: str, start: float,
                 duration: float) -> None:

@@ -61,6 +61,43 @@ def test_tracer_single_hook_enforced():
     t2.attach()  # fine now
 
 
+def test_tracer_attach_idempotent():
+    """Re-attaching an attached tracer is a no-op: no double hook, no
+    buffer clobber.  Regression: attach/detach used to compare the hook
+    with ``is`` against a fresh bound method, so detach silently left
+    the hook installed."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 1_000), affinity={0})
+    system.run(until=1_500)
+    n = len(tracer)
+    assert n > 0
+    tracer.attach()  # no-op: already this tracer's hook
+    assert len(tracer) == n  # buffers untouched
+    system.run(until=3_000)
+    assert len(tracer) == n  # thread finished; no double-record either
+    tracer.detach()
+    assert system.quantum_hook is None
+    tracer.detach()  # idempotent
+    assert system.quantum_hook is None
+
+
+def test_tracer_detach_spares_other_tracers_hook():
+    """A stale detach must not clobber a hook installed afterwards."""
+    system = small_system()
+    t1 = ExecutionTracer(system)
+    t1.attach()
+    t1.detach()
+    t2 = ExecutionTracer(system)
+    t2.attach()
+    t1.detach()  # stale: t1 is already detached
+    assert system.quantum_hook is not None  # t2's hook survives
+    with pytest.raises(RuntimeError):
+        t1.attach()  # t2 holds the hook
+
+
 def test_tracer_caps_records():
     system = small_system()
     tracer = ExecutionTracer(system, max_records=10)
@@ -146,3 +183,89 @@ def test_gantt_empty():
     system = small_system()
     tracer = ExecutionTracer(system)
     assert gantt(tracer, lcpus=[0]) == "(empty trace)"
+
+
+def test_occupancy_empty_trace():
+    """A tracer that never saw a quantum reports no per-CPU rows."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    assert occupancy(tracer, 0.0, 1_000.0) == {}
+
+
+def test_occupancy_epsilon_window():
+    """A vanishingly thin window inside one quantum: the busy fraction
+    is exact (1.0 inside a quantum, 0.0 outside), not NaN or inf."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 2_000), affinity={0})
+    system.run(until=3_000)
+    recs = tracer.records(lcpu=0)
+    mid = recs[0].start + recs[0].duration / 2
+    eps = 1e-9
+    occ = occupancy(tracer, mid, mid + eps)
+    assert occ[0] == pytest.approx(1.0)
+    # the same epsilon window long after everything finished
+    occ = occupancy(tracer, 50_000.0, 50_000.0 + eps)
+    assert occ[0] == 0.0
+    # t1 == t0 exactly is still rejected
+    with pytest.raises(ValueError):
+        occupancy(tracer, mid, mid)
+
+
+def test_gantt_single_quantum_window():
+    """Default bounds collapse to one quantum's extent and still render
+    a full-width row."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+
+    def one_op(thread):
+        yield from thread.exec(CompOp(cycles=50_000))
+
+    proc.spawn_thread(one_op, affinity={0})
+    system.run(until=10_000)
+    assert len(tracer) == 1
+    out = gantt(tracer, lcpus=[0], width=20)
+    row = out.splitlines()[0].split("|")[1]
+    assert len(row) == 20
+    assert set(row) <= {"C", "c"}  # fully busy, no idle cells
+
+
+def test_gantt_degenerate_window():
+    """An explicit empty/inverted window renders the sentinel, not a
+    divide-by-zero."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+    proc.spawn_thread(lambda th: comp_body(th, 500), affinity={0})
+    system.run(until=1_000)
+    assert gantt(tracer, lcpus=[0], t0=100.0, t1=100.0) == "(empty window)"
+    assert gantt(tracer, lcpus=[0], t0=200.0, t1=100.0) == "(empty window)"
+
+
+def test_gantt_with_gaps():
+    """Idle gaps between quanta render as '.' cells between busy runs."""
+    system = small_system()
+    tracer = ExecutionTracer(system)
+    tracer.attach()
+    proc = system.spawn_process("p")
+
+    def burst_sleep_burst(thread):
+        yield from thread.exec(CompOp(cycles=100_000))
+        yield from thread.sleep(2_000.0)
+        yield from thread.exec(CompOp(cycles=100_000))
+
+    proc.spawn_thread(burst_sleep_burst, affinity={0})
+    system.run(until=10_000)
+    out = gantt(tracer, lcpus=[0], width=40)
+    row = out.splitlines()[0].split("|")[1]
+    assert "." in row  # the sleep gap
+    busy = [i for i, ch in enumerate(row) if ch in "Cc"]
+    idle_between = [
+        i for i in range(busy[0], busy[-1]) if row[i] == "."
+    ]
+    assert idle_between  # gap sits between the two bursts
