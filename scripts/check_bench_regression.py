@@ -16,6 +16,20 @@ Checks, mirroring what the bench itself promises:
   regressed;
 * the cluster sweep reports must be byte-identical under heap vs wheel
   and coalescing on vs off;
+* the wheel's generator-dispatch throughput (interleaved heap/wheel
+  arms, 512 tickers -- the concurrency cluster sweeps actually run at)
+  must be at least ``min_dispatch_ratio`` times the heap's (default
+  0.95x).  History: the wheel once shipped at 0.82x on this bench
+  because every ``_schedule`` paid an extra ``_place`` call frame;
+  inlining fixed it, and this gate keeps the schedule path from
+  silently re-growing.  The 64-ticker ``dispatch_small`` row is
+  recorded but NOT gated: at that population the heap's 6-level C
+  sifts beat the wheel's pure-Python bucket bookkeeping by ~5-10% by
+  design, and that trade-off is documented, not a regression;
+* the profiling stage's wall-clock per probe run must not exceed
+  ``max_profiling_ratio`` times the baseline's (default 2x, same noise
+  allowance as the sweep wall): the micro-probe stage staying cheap is
+  what keeps workload onboarding a one-command affair;
 * the fault-injection hook points, measured with an *empty* fault plan
   attached, must cost at most ``max_fault_overhead`` times the plain
   run (default 1.05x: the chaos engine is free when unused);
@@ -48,7 +62,9 @@ def check(current: dict, baseline: dict, max_ratio: float,
           min_wheel_ratio: float,
           max_fault_overhead: float = 1.05,
           max_obs_disabled: float = 1.03,
-          max_obs_enabled: float = 1.15) -> list[str]:
+          max_obs_enabled: float = 1.15,
+          min_dispatch_ratio: float = 0.95,
+          max_profiling_ratio: float = 2.0) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -86,6 +102,57 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 f"wheel event-loop throughput is {wheel_ratio:.2f}x the "
                 f"heap's (floor {min_wheel_ratio:.2f}x): the default "
                 f"calendar kernel regressed"
+            )
+
+    kernel = current.get("kernel")
+    if kernel is None:
+        failures.append("bench record has no kernel section "
+                        "(run without --no-kernel)")
+    else:
+        disp = kernel["dispatch"]
+        disp_ratio = disp.get("wheel_vs_heap")
+        if disp_ratio is None:
+            failures.append("dispatch bench recorded no wheel_vs_heap ratio")
+        else:
+            print(
+                f"dispatch (n={disp.get('n_tickers', '?')}): heap "
+                f"{disp['heap']['events_per_sec']:,.0f} ev/s, "
+                f"wheel {disp['wheel']['events_per_sec']:,.0f} ev/s, "
+                f"wheel/heap {disp_ratio:.3f}x "
+                f"(floor {min_dispatch_ratio:.2f}x)"
+            )
+            if disp_ratio < min_dispatch_ratio:
+                failures.append(
+                    f"wheel generator-dispatch throughput is "
+                    f"{disp_ratio:.3f}x the heap's (floor "
+                    f"{min_dispatch_ratio:.2f}x): the wheel's schedule "
+                    f"path regressed"
+                )
+
+    prof = current.get("profiling")
+    base_prof = baseline.get("profiling")
+    if prof is None:
+        failures.append(
+            "bench record has no profiling section (bench predates the "
+            "micro-probe profiling stage?)"
+        )
+    elif base_prof is not None:
+        cur_pp = prof.get("wall_per_probe_run_s") or float("inf")
+        base_pp = base_prof.get("wall_per_probe_run_s") or 0.0
+        pp_ratio = cur_pp / base_pp if base_pp > 0 else float("inf")
+        evals = prof.get("pair_eval_per_s") or 0.0
+        print(
+            f"profiling: {prof['probe_runs']} probe runs in "
+            f"{prof['stage_wall_s']:.2f}s ({cur_pp * 1e3:.2f} ms/run, "
+            f"baseline {base_pp * 1e3:.2f} ms/run, ratio {pp_ratio:.2f}x, "
+            f"limit {max_profiling_ratio:.2f}x); model {evals:,.0f} "
+            f"pair-evals/s"
+        )
+        if pp_ratio > max_profiling_ratio:
+            failures.append(
+                f"profiling stage wall per probe run regressed "
+                f"{pp_ratio:.2f}x vs baseline (limit "
+                f"{max_profiling_ratio:.2f}x)"
             )
 
     cluster = current.get("cluster")
@@ -171,13 +238,20 @@ def main(argv=None) -> int:
     parser.add_argument("--max-obs-enabled", type=float, default=1.15,
                         help="allowed overhead of the fully-enabled obs "
                              "plane (default 1.15 = 15%%)")
+    parser.add_argument("--min-dispatch-ratio", type=float, default=0.95,
+                        help="required wheel-vs-heap generator-dispatch "
+                             "throughput ratio (default 0.95)")
+    parser.add_argument("--max-profiling-ratio", type=float, default=2.0,
+                        help="allowed slowdown of the profiling stage's "
+                             "wall per probe run vs baseline (default 2.0)")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
                      args.max_fault_overhead, args.max_obs_disabled,
-                     args.max_obs_enabled)
+                     args.max_obs_enabled, args.min_dispatch_ratio,
+                     args.max_profiling_ratio)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

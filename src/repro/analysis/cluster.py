@@ -43,30 +43,49 @@ def _pct_reduction(baseline: Optional[float],
     return 100.0 * (1.0 - candidate / baseline)
 
 
+def _delta_block(base: dict, cand: dict) -> dict:
+    """Candidate-vs-baseline deltas (positive = candidate is better)."""
+    return {
+        "p99_reduction_pct": _pct_reduction(
+            base["lc_p99_us"], cand["lc_p99_us"]
+        ),
+        "violation_reduction_pct": _pct_reduction(
+            base["slo_violation_ratio"], cand["slo_violation_ratio"]
+        ),
+        "throughput_ratio": (
+            cand["jobs_per_s"] / base["jobs_per_s"]
+            if base["jobs_per_s"]
+            else None
+        ),
+    }
+
+
+#: (candidate, baseline) pairs worth an explicit delta block in the
+#: aggregate; the block is keyed ``{candidate}_vs_{baseline}`` with
+#: dashes turned into underscores.
+_DELTA_PAIRS = (
+    ("score", "least-loaded"),
+    ("predictor", "least-loaded"),
+    ("predictor", "score"),
+)
+
+
 def compare_policies(by_policy: dict[str, dict]) -> dict:
     """Fold per-policy payloads into the experiment aggregate.
 
-    ``by_policy`` maps policy name -> sweep payload.  When both the
-    ``score`` policy and the ``least-loaded`` baseline are present the
-    aggregate carries explicit deltas (positive = score is better).
+    ``by_policy`` maps policy name -> sweep payload.  Every
+    (candidate, baseline) pair in ``_DELTA_PAIRS`` that is present gets
+    an explicit delta block (positive = candidate is better), so a
+    two-way score-vs-least-loaded report keeps its historical shape and
+    the three-way report adds the predictor comparisons.
     """
     rows = {name: policy_row(p) for name, p in sorted(by_policy.items())}
     out: dict[str, Any] = {"policies": rows}
-    base, cand = rows.get("least-loaded"), rows.get("score")
-    if base and cand:
-        out["score_vs_least_loaded"] = {
-            "p99_reduction_pct": _pct_reduction(
-                base["lc_p99_us"], cand["lc_p99_us"]
-            ),
-            "violation_reduction_pct": _pct_reduction(
-                base["slo_violation_ratio"], cand["slo_violation_ratio"]
-            ),
-            "throughput_ratio": (
-                cand["jobs_per_s"] / base["jobs_per_s"]
-                if base["jobs_per_s"]
-                else None
-            ),
-        }
+    for cand_name, base_name in _DELTA_PAIRS:
+        base, cand = rows.get(base_name), rows.get(cand_name)
+        if base and cand:
+            key = f"{cand_name}_vs_{base_name}".replace("-", "_")
+            out[key] = _delta_block(base, cand)
     return out
 
 
@@ -137,8 +156,11 @@ def format_cluster_table(aggregate: dict) -> str:
     fmt = "  ".join(f"{{:>{w}}}" for w in widths)
     rendered = [fmt.format(*headers)]
     rendered += [fmt.format(*row) for row in lines]
-    delta = aggregate.get("score_vs_least_loaded")
-    if delta:
+    for cand_name, base_name in _DELTA_PAIRS:
+        key = f"{cand_name}_vs_{base_name}".replace("-", "_")
+        delta = aggregate.get(key)
+        if not delta:
+            continue
         parts = []
         if delta["p99_reduction_pct"] is not None:
             parts.append(f"P99 {delta['p99_reduction_pct']:+.1f}%")
@@ -149,5 +171,7 @@ def format_cluster_table(aggregate: dict) -> str:
         if delta["throughput_ratio"] is not None:
             parts.append(f"throughput x{delta['throughput_ratio']:.2f}")
         if parts:
-            rendered.append("score vs least-loaded: " + ", ".join(parts))
+            rendered.append(
+                f"{cand_name} vs {base_name}: " + ", ".join(parts)
+            )
     return "\n".join(rendered)

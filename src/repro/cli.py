@@ -171,7 +171,13 @@ def cmd_cluster(args) -> int:
     from repro.cluster import POLICIES
     from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
 
-    policies = tuple(POLICIES) if args.policy == "both" else (args.policy,)
+    if args.policy == "all":
+        policies = tuple(POLICIES)
+    elif args.policy == "both":
+        # historical two-way comparison (pre-predictor)
+        policies = ("least-loaded", "score")
+    else:
+        policies = (args.policy,)
     params = {
         "n_nodes": args.nodes,
         "n_jobs": args.jobs,
@@ -203,6 +209,70 @@ def cmd_cluster(args) -> int:
                 print(f"node health: {payload.get('policy', cell_id)}")
                 print(format_node_health_table(payload["node_health"]))
     print(f"{report.n_cell_runs} cells computed, {report.wall_s:.1f}s wall")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run the profiling stage: per-workload probes + pair model fit."""
+    import pathlib
+
+    from repro.analysis.export import canonical_dumps
+    from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
+
+    params = {}
+    if args.iterations is not None:
+        params["iterations"] = args.iterations
+    request = ExperimentRequest.make("profile", params, args.seed)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    print("profiling: probing workload matrix on the 2-core SMT rig ...",
+          file=sys.stderr)
+    report = runner.run([request])
+    payload = report.experiments[request.experiment_id]
+
+    path = pathlib.Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # canonical bytes: same seed => byte-identical profile file
+    path.write_text(canonical_dumps(report.merged()) + "\n")
+
+    profiles = payload["profiles"]
+    rows = [
+        [n,
+         f"{p['solo_us']:.2f}",
+         f"{p['sens_mem']:.3f}", f"{p['sens_cpu']:.3f}",
+         f"{p['pressure_mem']:.3f}", f"{p['pressure_cpu']:.3f}"]
+        for n, p in sorted(profiles.items())
+    ]
+    print(format_table(
+        ["workload", "solo us", "sens mem", "sens cpu",
+         "press mem", "press cpu"],
+        rows,
+    ))
+
+    # pair-score matrix (upper triangle mirrored: scores are symmetric)
+    names = sorted(profiles)
+    scores = {}
+    for pair in payload["pairs"]:
+        scores[(pair["a"], pair["b"])] = pair["score"]
+        scores[(pair["b"], pair["a"])] = pair["score"]
+    print()
+    print("pair incompatibility scores (0 = frictionless):")
+    header = ["", *(n[:6] for n in names)]
+    matrix = [
+        [a[:6], *(f"{scores[(a, b)]:.2f}" for b in names)]
+        for a in names
+    ]
+    print(format_table(header, matrix))
+
+    fit = payload["fit"]
+    w = payload["model"]["weights"]
+    feats = payload["model"]["features"]
+    terms = ", ".join(f"{f}={v:.3f}" for f, v in zip(feats, w) if v > 0)
+    print()
+    print(f"model: excess = {terms}")
+    print(f"fit: {fit['n_pairs']} pairs, rmse {fit['rmse']:.4f}, "
+          f"max abs err {fit['max_abs_err']:.4f}")
     print(f"wrote {args.output}")
     return 0
 
@@ -544,8 +614,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="servers in the cluster (default 8)")
     p.add_argument("--jobs", type=int, default=200,
                    help="batch jobs submitted over the run (default 200)")
-    p.add_argument("--policy", default="both",
-                   choices=["score", "least-loaded", "both"])
+    p.add_argument("--policy", default="all",
+                   choices=["score", "least-loaded", "predictor", "both",
+                            "all"],
+                   help="placement policy, 'both' for the historical "
+                        "score/least-loaded pair, or 'all' for the "
+                        "three-way head-to-head (default)")
     p.add_argument("--duration", type=float, default=0.6,
                    help="simulated seconds (default 0.6)")
     p.add_argument("--parallel", type=int, default=2,
@@ -557,6 +631,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observability spec ('all', 'none', or a comma "
                         "list); adds node-health and obs sections to the "
                         "report (default: off)")
+
+    p = sub.add_parser(
+        "profile",
+        help="probe each workload's contention profile and fit the "
+             "pair-compatibility model (the predictor policy's input)",
+    )
+    p.add_argument("--iterations", type=int, default=None,
+                   help="target kernel iterations per probe run "
+                        "(default 24)")
+    p.add_argument("--parallel", type=int, default=1,
+                   help="worker processes (default 1; the stage is one "
+                        "cell either way)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: no cache)")
+    p.add_argument("--output", default="profile.json")
 
     p = sub.add_parser(
         "chaos",
@@ -627,7 +716,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=30,
                    help="batch jobs for cluster/chaos (default 30)")
     p.add_argument("--policy", default="score",
-                   choices=["score", "least-loaded"],
+                   choices=["score", "least-loaded", "predictor"],
                    help="placement policy for the cluster trace")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="fault-plan seed for the chaos trace (default 0)")
@@ -669,6 +758,7 @@ COMMANDS = {
     "convergence": cmd_convergence,
     "sweep-e": cmd_sweep_e,
     "cluster": cmd_cluster,
+    "profile": cmd_profile,
     "chaos": cmd_chaos,
     "bench": cmd_bench,
     "trace": cmd_trace,

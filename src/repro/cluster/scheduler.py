@@ -30,13 +30,16 @@ from repro.cluster.cluster import Cluster, ServerNode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import ObservabilityPlane
+    from repro.profiling import PairPredictor
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights
 from repro.sim import Interrupt, SimulationError
 from repro.workloads.batch import BatchJobSpec
 from repro.yarnlike import ContainerLaunchError, JobInstance
 
-#: placement policies the scheduler understands.
-POLICIES = ("least-loaded", "score")
+#: placement policies the scheduler understands.  ``predictor`` replaces
+#: the telemetry score with learned per-pair interference predictions
+#: from :mod:`repro.profiling` (SMTcheck-style).
+POLICIES = ("least-loaded", "score", "predictor")
 
 #: interrupt cause used to cancel the supervision loop immediately.
 _STOP = "cluster-sched-stop"
@@ -116,6 +119,7 @@ class ClusterBatchScheduler:
         relocate_margin: float = 0.25,
         max_resubmits: int = 3,
         obs: Optional["ObservabilityPlane"] = None,
+        predictor: Optional["PairPredictor"] = None,
     ):
         if max_resubmits < 0:
             raise ValueError("max_resubmits must be >= 0")
@@ -138,6 +142,10 @@ class ClusterBatchScheduler:
         self.relocate_threshold = relocate_threshold
         self.relocate_margin = relocate_margin
         self.max_resubmits = max_resubmits
+        if policy == "predictor" and predictor is None:
+            from repro.profiling import default_predictor
+            predictor = default_predictor()
+        self.predictor = predictor
         self.jobs: list[TrackedJob] = []
         self.queue: deque[TrackedJob] = deque()
         self.relocations = 0
@@ -166,14 +174,59 @@ class ClusterBatchScheduler:
     def node_score(self, node: ServerNode) -> float:
         return node.interference_score(self.score_weights)
 
-    def _placement_key(self, node: ServerNode):
+    def _lc_activity(self, node: ServerNode) -> float:
+        """LC activity on a node, for the predictor's LC pair term.
+
+        Blends how busy the LC service is (reserved pressure) with how
+        much it is currently suffering (the VPI EMA, normalised like the
+        score policy's vpi term): the predictor then steers LC-hostile
+        jobs away from nodes whose LC is both loaded and degraded,
+        weighted by the *pair-specific* LC score rather than a
+        node-global threshold.
+        """
+        snap = node.telemetry()
+        if snap is None:
+            return 0.0
+        w = self.score_weights
+        vpi_term = min(snap.lc_vpi_ema / w.vpi_ref, w.vpi_cap)
+        return snap.reserved_pressure + vpi_term
+
+    @staticmethod
+    def _resident_names(node: ServerNode) -> list[str]:
+        """Names of batch jobs currently running on a node."""
+        return [
+            j.spec.name
+            for j in node.nodemanager.running_jobs
+            if not j.finished
+        ]
+
+    def _predict_cost(self, node: ServerNode, spec: BatchJobSpec) -> float:
+        """Predicted interference cost of adding ``spec`` to ``node``."""
+        return self.predictor.node_cost(
+            spec.name,
+            self._resident_names(node),
+            lc_activity=self._lc_activity(node),
+        )
+
+    def _placement_key(self, node: ServerNode,
+                       spec: Optional[BatchJobSpec] = None):
+        if self.policy == "predictor" and spec is not None:
+            return (
+                self._predict_cost(node, spec),
+                node.batch_load(),
+                node.index,
+            )
         if self.policy == "score":
             return (self.node_score(node), node.batch_load(), node.index)
         return (node.batch_load(), node.index)
 
     # -- submission --------------------------------------------------------
 
-    def pick_node(self, exclude: Optional[ServerNode] = None) -> Optional[ServerNode]:
+    def pick_node(
+        self,
+        exclude: Optional[ServerNode] = None,
+        spec: Optional[BatchJobSpec] = None,
+    ) -> Optional[ServerNode]:
         """Best alive node for a new placement; None when no node is alive."""
         alive = [n for n in self.cluster.nodes if n.alive]
         if not alive:
@@ -181,7 +234,7 @@ class ClusterBatchScheduler:
         candidates = [n for n in alive if n is not exclude]
         if not candidates:
             candidates = alive
-        return min(candidates, key=self._placement_key)
+        return min(candidates, key=lambda n: self._placement_key(n, spec))
 
     def submit(self, spec: BatchJobSpec,
                node: Optional[ServerNode] = None) -> TrackedJob:
@@ -191,13 +244,13 @@ class ClusterBatchScheduler:
                 self._enqueue(tracked)
             self.jobs.append(tracked)
             return tracked
-        target = self.pick_node()
+        target = self.pick_node(spec=spec)
         if target is None:
             # the whole cluster is down: hold for the supervision loop.
             self._enqueue(tracked)
         elif (
             self._admission_active()
-            and self.node_score(target) > self.admit_threshold
+            and self._admission_cost(target, spec) > self.admit_threshold
         ):
             if self.max_queue is not None and len(self.queue) >= self.max_queue:
                 tracked.rejected = True
@@ -213,7 +266,16 @@ class ClusterBatchScheduler:
         return tracked
 
     def _admission_active(self) -> bool:
-        return self.policy == "score" and self.admit_threshold is not None
+        return (
+            self.policy in ("score", "predictor")
+            and self.admit_threshold is not None
+        )
+
+    def _admission_cost(self, node: ServerNode, spec: BatchJobSpec) -> float:
+        """The quantity ``admit_threshold`` gates, per policy."""
+        if self.policy == "predictor":
+            return self._predict_cost(node, spec)
+        return self.node_score(node)
 
     def _enqueue(self, tracked: TrackedJob) -> None:
         self.queue.append(tracked)
@@ -237,9 +299,27 @@ class ClusterBatchScheduler:
         tracked.last_cputime = self._cputime(tracked)
         self.admitted += 1
         if self._obs_cluster:
+            extra = {}
+            if self.policy == "predictor":
+                # full decision audit: the predicted cost and its inputs
+                # (resident set includes the job itself at this point, so
+                # recompute against the others).
+                residents = self._resident_names(node)
+                try:
+                    residents.remove(tracked.spec.name)
+                except ValueError:
+                    pass
+                extra = {
+                    "predicted_cost": self.predictor.node_cost(
+                        tracked.spec.name, residents,
+                        lc_activity=self._lc_activity(node),
+                    ),
+                    "n_resident": len(residents),
+                    "lc_activity": self._lc_activity(node),
+                }
             self._emit("job_place", node=node.name, job=tracked.spec.name,
                        policy=self.policy, score=self.node_score(node),
-                       resubmits=tracked.resubmits)
+                       resubmits=tracked.resubmits, **extra)
         return True
 
     # -- supervision ----------------------------------------------------------
@@ -340,12 +420,14 @@ class ClusterBatchScheduler:
     def _drain_queue(self) -> None:
         """Launch queued jobs, FIFO, while some node is cool enough."""
         while self.queue:
-            target = self.pick_node()
+            head = self.queue[0]
+            target = self.pick_node(spec=head.spec)
             if target is None:
                 return  # no alive node; hold everything
             if (
                 self._admission_active()
-                and self.node_score(target) > self.admit_threshold
+                and self._admission_cost(target, head.spec)
+                > self.admit_threshold
             ):
                 return
             tracked = self.queue.popleft()
@@ -361,7 +443,7 @@ class ClusterBatchScheduler:
             # finished (or got queued) between detection and action
             job.stalled_since = None
             return
-        target = target or self.pick_node(exclude=job.node)
+        target = target or self.pick_node(exclude=job.node, spec=job.spec)
         if target is None or target is job.node:
             job.stalled_since = None  # nowhere better to go; keep waiting
             return
@@ -373,10 +455,16 @@ class ClusterBatchScheduler:
         else:
             self.preemptive_relocations += 1
         if self._obs_cluster:
+            extra = {}
+            if self.policy == "predictor":
+                extra = {
+                    "from_cost": self._predict_cost(job.node, job.spec),
+                    "to_cost": self._predict_cost(target, job.spec),
+                }
             self._emit("job_relocate", node=job.node.name, kind=kind,
                        job=job.spec.name, to=target.name,
                        from_score=self.node_score(job.node),
-                       to_score=self.node_score(target))
+                       to_score=self.node_score(target), **extra)
         try:
             job.instance = target.nodemanager.launch_job(
                 job.spec, tasks_per_container=self.tasks_per_container
@@ -394,8 +482,13 @@ class ClusterBatchScheduler:
         job.stalled_since = None
 
     def _preemptive_relocation(self) -> None:
-        """Move one job off the hottest node before it stalls (score policy)."""
-        if self.policy != "score" or self.relocate_threshold is None:
+        """Move one job off the hottest node before it stalls."""
+        if self.relocate_threshold is None:
+            return
+        if self.policy == "predictor":
+            self._predictive_relocation()
+            return
+        if self.policy != "score":
             return
         alive = [n for n in self.cluster.nodes if n.alive]
         if len(alive) < 2:
@@ -420,6 +513,49 @@ class ClusterBatchScheduler:
             return
         # move the job with the least progress: the cheapest kill-and-restart
         victim = min(victims, key=lambda j: (self._cputime(j), j.submitted_at))
+        self._relocate(victim, kind="preemptive", target=cool)
+
+    def _predictive_relocation(self) -> None:
+        """Move the worst-paired job off the node where it suffers most.
+
+        Unlike the score policy's node-level view, the predictor knows
+        *which* job on a hot node is mismatched with its co-residents:
+        the victim is the job with the highest predicted pair cost, and
+        the move only happens when a destination exists where that cost
+        drops by more than ``relocate_margin``.
+        """
+        alive = [n for n in self.cluster.nodes if n.alive]
+        if len(alive) < 2:
+            return
+        # the (node, job, predicted-cost) triple with the worst pairing
+        worst = None
+        for node in alive:
+            lc = self._lc_activity(node)
+            residents = [
+                j for j in self.jobs
+                if j.node is node and j.instance is not None
+                and not j.instance.finished
+            ]
+            names = self._resident_names(node)
+            for job in residents:
+                others = list(names)
+                try:
+                    others.remove(job.spec.name)
+                except ValueError:
+                    continue  # containers already torn down this instant
+                cost = self.predictor.node_cost(
+                    job.spec.name, others, lc_activity=lc
+                )
+                if worst is None or cost > worst[2]:
+                    worst = (node, job, cost)
+        if worst is None or worst[2] < self.relocate_threshold:
+            return
+        hot, victim, hot_cost = worst
+        cool = self.pick_node(exclude=hot, spec=victim.spec)
+        if cool is None or cool is hot:
+            return
+        if self._predict_cost(cool, victim.spec) > hot_cost - self.relocate_margin:
+            return  # no destination improves the pairing enough to pay a kill
         self._relocate(victim, kind="preemptive", target=cool)
 
     # -- reporting -------------------------------------------------------------

@@ -62,6 +62,11 @@ def run_cluster_sweep(
     admit_threshold: float = 0.85,
     relocate_threshold: float = 0.95,
     relocate_margin: float = 0.35,
+    predict_admit_threshold: float = 0.70,
+    predict_relocate_threshold: float = 0.35,
+    predict_relocate_margin: float = 0.08,
+    predict_lc_weight: float = 2.0,
+    predict_probe_seed: int = 42,
     slo_multiplier: float = SLO_MULTIPLIER,
     score_weights: Optional[ScoreWeights] = None,
     coalesce_idle_ticks: int = 1,
@@ -108,17 +113,38 @@ def run_cluster_sweep(
     )
 
     weights = score_weights or ScoreWeights()
+    predictor = None
+    if policy == "predictor":
+        from repro.profiling import default_predictor
+
+        # the profiling stage is an offline calibration artifact: its
+        # seed is independent of the sweep seed, so one profile set
+        # steers every sweep (and the in-process probe run is cached).
+        predictor = default_predictor(
+            seed=predict_probe_seed, lc_weight=predict_lc_weight
+        )
+        admit, relocate, margin = (
+            predict_admit_threshold,
+            predict_relocate_threshold,
+            predict_relocate_margin,
+        )
+    else:
+        admit, relocate, margin = (
+            admit_threshold, relocate_threshold, relocate_margin
+        )
+    gated = policy in ("score", "predictor")
     scheduler = ClusterBatchScheduler(
         cluster,
         check_interval_us=check_interval_us,
         tasks_per_container=churn.tasks_per_container,
         policy=policy,
         score_weights=weights,
-        admit_threshold=admit_threshold if policy == "score" else None,
-        relocate_threshold=relocate_threshold if policy == "score" else None,
-        relocate_margin=relocate_margin,
+        admit_threshold=admit if gated else None,
+        relocate_threshold=relocate if gated else None,
+        relocate_margin=margin,
         max_resubmits=max_resubmits,
         obs=plane,
+        predictor=predictor,
     )
 
     root_rng = np.random.default_rng(seed)
@@ -204,6 +230,18 @@ def run_cluster_sweep(
             "final_score_max": float(np.max(final_scores)),
         },
     }
+    if policy == "predictor":
+        # predictor-only section: other policies' payloads stay
+        # byte-identical to pre-profiling sweeps.
+        payload["predictor"] = {
+            "probe_seed": int(predict_probe_seed),
+            "admit_threshold": float(predict_admit_threshold),
+            "relocate_threshold": float(predict_relocate_threshold),
+            "relocate_margin": float(predict_relocate_margin),
+            "lc_weight": float(predict_lc_weight),
+            "model": predictor.model.to_dict(),
+            "families": sorted(predictor.profiles),
+        }
     if plan is not None:
         # chaos-only section: with faults=None the payload above is
         # byte-identical to a plain sweep.

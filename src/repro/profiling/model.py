@@ -1,0 +1,163 @@
+"""Pair-compatibility model: symmetric features + non-negative least squares.
+
+The model predicts the *excess slowdown* two workloads inflict on each
+other when co-located on SMT siblings, from their individually-measured
+:class:`~repro.profiling.probe.WorkloadProfile`\\ s.  Design constraints,
+in order:
+
+1. **Deterministic everywhere.**  The fit is pure Python — normal
+   equations plus cyclic projected coordinate descent with a fixed
+   iteration count.  No LAPACK/BLAS, so fitted weights (and therefore
+   golden profile files) are byte-identical across platforms and numpy
+   builds.
+2. **Symmetric by construction.**  Every feature is symmetric under
+   swapping the pair, so ``score(a, b) == score(b, a)`` exactly — not to
+   within float error.
+3. **Monotone and bounded.**  Weights are constrained non-negative and
+   every feature is a product of non-negative profile fields, so the
+   predicted excess is non-decreasing in any pressure/sensitivity field
+   and the score ``excess / (1 + excess)`` lies in ``[0, 1)``.
+
+The feature map follows the SMTcheck/HPC-counter-predictor recipe: a
+workload's slowdown is driven by its *sensitivity* to a resource times
+its partner's *pressure* on that resource, summed over both directions
+and both resources (memory bandwidth, execution units), plus same-
+resource pressure products for the saturation regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.probe import WorkloadProfile
+
+#: coordinate-descent sweeps; the normal-equation system is tiny (5x5)
+#: and converges to well below float-repr precision long before this.
+_NNLS_SWEEPS = 200
+
+FEATURE_NAMES = (
+    "bias",
+    "mem_cross",   # a.pressure_mem*b.sens_mem + b.pressure_mem*a.sens_mem
+    "cpu_cross",   # a.pressure_cpu*b.sens_cpu + b.pressure_cpu*a.sens_cpu
+    "mem_product",  # a.pressure_mem * b.pressure_mem
+    "cpu_product",  # a.pressure_cpu * b.pressure_cpu
+)
+
+
+def pair_features(a: WorkloadProfile, b: WorkloadProfile) -> tuple:
+    """Symmetric, non-negative feature vector for the pair ``(a, b)``."""
+    return (
+        1.0,
+        a.pressure_mem * b.sens_mem + b.pressure_mem * a.sens_mem,
+        a.pressure_cpu * b.sens_cpu + b.pressure_cpu * a.sens_cpu,
+        a.pressure_mem * b.pressure_mem,
+        a.pressure_cpu * b.pressure_cpu,
+    )
+
+
+def nnls_fit(rows: list, targets: list, sweeps: int = _NNLS_SWEEPS) -> list:
+    """Non-negative least squares via projected cyclic coordinate descent.
+
+    Solves ``min_w ||X w - y||^2  s.t.  w >= 0`` on the normal equations
+    ``G = X^T X``, ``c = X^T y``.  Deterministic: fixed sweep count,
+    fixed coordinate order, plain Python floats.
+    """
+    if not rows:
+        raise ValueError("nnls_fit needs at least one row")
+    n_feat = len(rows[0])
+    gram = [[0.0] * n_feat for _ in range(n_feat)]
+    corr = [0.0] * n_feat
+    for row, y in zip(rows, targets):
+        for j in range(n_feat):
+            xj = row[j]
+            corr[j] += xj * y
+            gj = gram[j]
+            for k in range(n_feat):
+                gj[k] += xj * row[k]
+    w = [0.0] * n_feat
+    for _ in range(sweeps):
+        for j in range(n_feat):
+            gjj = gram[j][j]
+            if gjj <= 0.0:
+                w[j] = 0.0  # feature is identically zero in the data
+                continue
+            gj = gram[j]
+            resid = corr[j] - sum(
+                gj[k] * w[k] for k in range(n_feat) if k != j
+            )
+            w[j] = max(0.0, resid / gjj)
+    return w
+
+
+@dataclass(frozen=True)
+class CompatibilityModel:
+    """Fitted pair-interference predictor.
+
+    ``weights`` are all non-negative (see :func:`nnls_fit`), which is
+    what guarantees the symmetry/monotonicity/boundedness properties the
+    property tests pin down.
+    """
+
+    weights: tuple
+
+    def __post_init__(self):
+        if len(self.weights) != len(FEATURE_NAMES):
+            raise ValueError(
+                f"expected {len(FEATURE_NAMES)} weights, "
+                f"got {len(self.weights)}"
+            )
+        if any(w < 0.0 for w in self.weights):
+            raise ValueError("compatibility weights must be non-negative")
+
+    def predict_excess(self, a: WorkloadProfile, b: WorkloadProfile) -> float:
+        """Predicted mean excess slowdown of the co-located pair (>= 0)."""
+        return sum(
+            w * f for w, f in zip(self.weights, pair_features(a, b))
+        )
+
+    def score(self, a: WorkloadProfile, b: WorkloadProfile) -> float:
+        """Pair-incompatibility score in ``[0, 1)``: 0 = frictionless."""
+        e = self.predict_excess(a, b)
+        return e / (1.0 + e)
+
+    def to_dict(self) -> dict:
+        return {
+            "features": list(FEATURE_NAMES),
+            "weights": [float(w) for w in self.weights],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompatibilityModel":
+        feats = tuple(d.get("features", FEATURE_NAMES))
+        if feats != FEATURE_NAMES:
+            raise ValueError(f"unknown feature set: {feats}")
+        return cls(weights=tuple(float(w) for w in d["weights"]))
+
+
+def fit_model(profiles: dict, pairs: list) -> "CompatibilityModel":
+    """Fit from measured pair ground truth.
+
+    ``pairs`` is a list of ``(name_a, name_b, measured_excess)`` tuples;
+    ``profiles`` maps names to :class:`WorkloadProfile`.
+    """
+    rows = [
+        list(pair_features(profiles[a], profiles[b])) for a, b, _ in pairs
+    ]
+    targets = [y for _, _, y in pairs]
+    return CompatibilityModel(weights=tuple(nnls_fit(rows, targets)))
+
+
+def fit_quality(model: CompatibilityModel, profiles: dict,
+                pairs: list) -> dict:
+    """In-sample residual summary, recorded alongside every fit."""
+    errs = [
+        model.predict_excess(profiles[a], profiles[b]) - y
+        for a, b, y in pairs
+    ]
+    n = len(errs)
+    rmse = (sum(e * e for e in errs) / n) ** 0.5 if n else 0.0
+    return {
+        "n_pairs": n,
+        "rmse": rmse,
+        "max_abs_err": max((abs(e) for e in errs), default=0.0),
+    }

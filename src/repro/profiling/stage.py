@@ -1,0 +1,118 @@
+"""The profiling stage: probe the seed matrix, fit the model, score pairs.
+
+One call to :func:`run_profile_stage` produces the complete, canonical-
+JSON-serialisable payload the ``profile`` runner cell caches and the
+golden-profile tests pin byte for byte: per-workload contention
+profiles, the measured pair ground truth, the fitted compatibility
+model, and its in-sample fit quality.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.model import (
+    CompatibilityModel,
+    fit_model,
+    fit_quality,
+)
+from repro.profiling.probe import (
+    PRESSURE_DUTIES,
+    PROBE_ITERATIONS,
+    ProbeTarget,
+    WorkloadProfile,
+    measure_pair,
+    probe_target,
+    seed_matrix,
+    victim_calibration,
+)
+
+
+def run_profile_stage(
+    seed: int = 42,
+    targets: tuple = None,
+    iterations: int = PROBE_ITERATIONS,
+    duties: tuple = PRESSURE_DUTIES,
+) -> dict:
+    """Probe every target, measure every unordered pair, fit the model.
+
+    Deterministic: same inputs, byte-identical
+    :func:`~repro.analysis.export.canonical_dumps` output.
+    """
+    if targets is None:
+        targets = seed_matrix()
+    names = [t.name for t in targets]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate probe target names: {names}")
+
+    calib = victim_calibration(seed, iterations)
+    profiles: dict[str, WorkloadProfile] = {}
+    for t in targets:
+        profiles[t.name] = probe_target(
+            t, seed=seed, iterations=iterations, duties=duties,
+            _victim_solo=calib,
+        )
+
+    # ground truth over all unordered pairs, self-pairs included (a job
+    # can share a core with its own sibling thread / a second instance).
+    pairs = []
+    for i, a in enumerate(targets):
+        for b in targets[i:]:
+            y = measure_pair(
+                a, b, profiles[a.name].solo_us, profiles[b.name].solo_us,
+                seed=seed, iterations=iterations,
+            )
+            pairs.append((a.name, b.name, y))
+
+    model = fit_model(profiles, pairs)
+    quality = fit_quality(model, profiles, pairs)
+
+    return {
+        "seed": seed,
+        "probe": {
+            "iterations": iterations,
+            "duties": [float(d) for d in duties],
+            "victim_solo_us": {
+                "mem": float(calib[0]), "cpu": float(calib[1]),
+            },
+        },
+        "targets": [
+            {
+                "name": t.name,
+                "mem_lines": t.mem_lines,
+                "dram_frac": float(t.dram_frac),
+                "comp_cycles": float(t.comp_cycles),
+            }
+            for t in targets
+        ],
+        "profiles": {n: p.to_dict() for n, p in profiles.items()},
+        "pairs": [
+            {
+                "a": a,
+                "b": b,
+                "measured_excess": float(y),
+                "predicted_excess": float(
+                    model.predict_excess(profiles[a], profiles[b])
+                ),
+                "score": float(model.score(profiles[a], profiles[b])),
+            }
+            for a, b, y in pairs
+        ],
+        "model": model.to_dict(),
+        "fit": quality,
+    }
+
+
+def load_stage(payload: dict) -> tuple:
+    """Rehydrate ``(profiles, model)`` from a profile-stage payload."""
+    profiles = {
+        n: WorkloadProfile.from_dict(d)
+        for n, d in payload["profiles"].items()
+    }
+    model = CompatibilityModel.from_dict(payload["model"])
+    return profiles, model
+
+
+__all__ = [
+    "ProbeTarget",
+    "run_profile_stage",
+    "load_stage",
+]

@@ -197,6 +197,11 @@ def _expand_cluster(params: dict, seed: int) -> list[tuple[str, Cell]]:
             "admit_threshold",
             "relocate_threshold",
             "relocate_margin",
+            "predict_admit_threshold",
+            "predict_relocate_threshold",
+            "predict_relocate_margin",
+            "predict_lc_weight",
+            "predict_probe_seed",
             "slo_multiplier",
             "obs",
         )
@@ -299,6 +304,10 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         _agg_passthrough,
     ),
     "cluster": ExperimentSpec("cluster", _expand_cluster, _agg_cluster),
+    "profile": ExperimentSpec(
+        "profile", _single_cell("profile", ("iterations", "duties")),
+        _agg_passthrough,
+    ),
     "chaos": ExperimentSpec("chaos", _expand_chaos, _agg_chaos),
     "colocation": ExperimentSpec(
         "colocation",

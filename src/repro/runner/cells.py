@@ -206,6 +206,11 @@ def _cluster_sweep_cell(params: dict, seed: int) -> dict:
             "admit_threshold",
             "relocate_threshold",
             "relocate_margin",
+            "predict_admit_threshold",
+            "predict_relocate_threshold",
+            "predict_relocate_margin",
+            "predict_lc_weight",
+            "predict_probe_seed",
             "slo_multiplier",
             "faults",
             "max_resubmits",
@@ -216,12 +221,25 @@ def _cluster_sweep_cell(params: dict, seed: int) -> dict:
     return run_cluster_sweep(seed=seed, **kwargs)
 
 
+def _profile_cell(params: dict, seed: int) -> dict:
+    """The profiling stage as a cacheable cell: probe, fit, score."""
+    from repro.profiling import run_profile_stage
+
+    kwargs = {}
+    if "iterations" in params:
+        kwargs["iterations"] = int(params["iterations"])
+    if "duties" in params:
+        kwargs["duties"] = tuple(float(d) for d in params["duties"])
+    return run_profile_stage(seed=seed, **kwargs)
+
+
 CELL_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "colocation": _colocation_cell,
     "fig2": _fig2_cell,
     "hpe": _hpe_cell,
     "convergence": _convergence_cell,
     "cluster_sweep": _cluster_sweep_cell,
+    "profile": _profile_cell,
 }
 
 

@@ -201,11 +201,27 @@ class WheelEnvironment(Environment):
     # -- scheduling -------------------------------------------------------
 
     def _place(self, entry: list) -> None:
-        """File an entry by its bucket index (slow/shared path)."""
+        """File an entry by its bucket index (slow/shared path).
+
+        ``_schedule``/``_schedule_at`` inline this body: the schedule
+        path runs once per event and the extra call frame was measurable
+        on dispatch-bound workloads (manual ``rearm()`` loops).  Keep the
+        three copies in sync.
+        """
         idx = int(entry[0] / self._W)
         d = idx - self._k
         if d <= 0:
-            _insort(self._cur, entry, self._pos)
+            # Append fast path: a freshly scheduled entry carries the
+            # newest seq, so whenever its time is >= the drain list's
+            # last, it sorts strictly last and a plain append replaces
+            # the insort's memmove.  Slots behind the cursor are None,
+            # but the last slot is live unless the list is fully
+            # drained (pos == len), which the first test catches.
+            cur = self._cur
+            if len(cur) == self._pos or cur[-1] < entry:
+                cur.append(entry)
+            else:
+                _insort(cur, entry, self._pos)
         elif d < self._N:
             self._buckets[idx & self._mask].append(entry)
             self._nwheel += 1
@@ -216,9 +232,24 @@ class WheelEnvironment(Environment):
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0) -> None:
         self._seq = seq = self._seq + 1
-        entry = [self._now + delay, priority, seq, event]
+        t = self._now + delay
+        entry = [t, priority, seq, event]
         event._entry = entry
-        self._place(entry)
+        # inlined _place (hot path)
+        idx = int(t / self._W)
+        d = idx - self._k
+        if d <= 0:
+            cur = self._cur
+            if len(cur) == self._pos or cur[-1] < entry:
+                cur.append(entry)
+            else:
+                _insort(cur, entry, self._pos)
+        elif d < self._N:
+            self._buckets[idx & self._mask].append(entry)
+            self._nwheel += 1
+        else:
+            _heappush(self._overflow, entry)
+        self._n += 1
 
     def _schedule_at(self, event: Event, t: float,
                      priority: int = NORMAL) -> None:
@@ -229,7 +260,21 @@ class WheelEnvironment(Environment):
         self._seq = seq = self._seq + 1
         entry = [t, priority, seq, event]
         event._entry = entry
-        self._place(entry)
+        # inlined _place (hot path)
+        idx = int(t / self._W)
+        d = idx - self._k
+        if d <= 0:
+            cur = self._cur
+            if len(cur) == self._pos or cur[-1] < entry:
+                cur.append(entry)
+            else:
+                _insort(cur, entry, self._pos)
+        elif d < self._N:
+            self._buckets[idx & self._mask].append(entry)
+            self._nwheel += 1
+        else:
+            _heappush(self._overflow, entry)
+        self._n += 1
 
     def _note_cancel(self, entry: list) -> None:
         self._n -= 1
@@ -412,7 +457,10 @@ class WheelEnvironment(Environment):
                         idx = int(t2 / W)
                         d = idx - k
                         if d <= 0:
-                            insort(cur, e2, pos)
+                            if len(cur) == pos or cur[-1] < e2:
+                                cur.append(e2)
+                            else:
+                                insort(cur, e2, pos)
                         elif d < N:
                             buckets[idx & mask].append(e2)
                             self._nwheel += 1

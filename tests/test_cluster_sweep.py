@@ -58,7 +58,9 @@ def test_cluster_cell_kind_registered():
 def test_cluster_experiment_expands_per_policy():
     req = ExperimentRequest.make("cluster", SMALL, seed=5)
     cells = expand_request(req)
-    assert [role for role, _ in cells] == ["least-loaded", "score"]
+    assert [role for role, _ in cells] == [
+        "least-loaded", "score", "predictor",
+    ]
     for _role, cell in cells:
         assert cell.kind == "cluster_sweep"
         assert cell.param_dict["n_nodes"] == 2
@@ -68,10 +70,12 @@ def test_cluster_experiment_end_to_end_runner():
     req = ExperimentRequest.make("cluster", SMALL, seed=5)
     report = ExperimentRunner(parallel=1).run([req])
     agg = report.experiments[req.experiment_id]
-    assert set(agg["policies"]) == {"least-loaded", "score"}
-    delta = agg["score_vs_least_loaded"]
-    assert "p99_reduction_pct" in delta
-    assert "violation_reduction_pct" in delta
+    assert set(agg["policies"]) == {"least-loaded", "score", "predictor"}
+    for key in ("score_vs_least_loaded", "predictor_vs_least_loaded",
+                "predictor_vs_score"):
+        delta = agg[key]
+        assert "p99_reduction_pct" in delta
+        assert "violation_reduction_pct" in delta
     # the merged view must be canonically serialisable (cache/CI contract)
     report.merged_bytes()
 

@@ -1,0 +1,223 @@
+"""Property tests for the pair-compatibility model (hypothesis).
+
+The model's usefulness to the scheduler rests on three structural
+guarantees -- exact symmetry, monotonicity in contention pressure, and
+bounded scores -- that hold *by construction* (symmetric features,
+non-negative weights), not by luck of the fit.  These tests pin the
+construction down over arbitrary profiles and weights, plus the
+serialize -> load -> identical-scores round trip the ``profile`` cell
+and golden files rely on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling import (
+    CompatibilityModel,
+    PairPredictor,
+    WorkloadProfile,
+    fit_model,
+    nnls_fit,
+    pair_features,
+)
+from repro.profiling.model import FEATURE_NAMES
+
+# contention fields are excess slowdowns: non-negative, finite, and in
+# practice well under 10x; generous bounds keep the properties honest.
+_field = st.floats(min_value=0.0, max_value=50.0, allow_nan=False,
+                   allow_infinity=False)
+_weight = st.floats(min_value=0.0, max_value=10.0, allow_nan=False,
+                    allow_infinity=False)
+
+
+def _profile(name: str, sm, sc, pm, pc) -> WorkloadProfile:
+    return WorkloadProfile(
+        name=name, solo_us=50.0, sens_mem=sm, sens_cpu=sc,
+        pressure_mem=pm, pressure_cpu=pc,
+    )
+
+
+profiles = st.builds(
+    _profile, st.sampled_from(["a", "b", "c"]), _field, _field, _field,
+    _field,
+)
+models = st.builds(
+    lambda ws: CompatibilityModel(weights=tuple(ws)),
+    st.lists(_weight, min_size=len(FEATURE_NAMES),
+             max_size=len(FEATURE_NAMES)),
+)
+
+
+@given(models, profiles, profiles)
+@settings(max_examples=200, deadline=None)
+def test_score_is_exactly_symmetric(model, a, b):
+    """score(a, b) == score(b, a) bit for bit, not to within epsilon."""
+    assert model.score(a, b) == model.score(b, a)
+    assert model.predict_excess(a, b) == model.predict_excess(b, a)
+
+
+@given(models, profiles, profiles)
+@settings(max_examples=200, deadline=None)
+def test_score_is_bounded(model, a, b):
+    s = model.score(a, b)
+    assert 0.0 <= s < 1.0
+    assert model.predict_excess(a, b) >= 0.0
+    assert math.isfinite(s)
+
+
+@given(models, profiles, profiles,
+       st.sampled_from(["pressure_mem", "pressure_cpu", "sens_mem",
+                        "sens_cpu"]),
+       st.floats(min_value=0.0, max_value=20.0, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_excess_is_monotone_in_probe_pressure(model, a, b, field, bump):
+    """Raising any contention field of one side never lowers the
+    prediction: non-negative weights times non-negative monotone
+    features."""
+    base = model.predict_excess(a, b)
+    bumped = WorkloadProfile(
+        name=a.name, solo_us=a.solo_us,
+        sens_mem=a.sens_mem + (bump if field == "sens_mem" else 0.0),
+        sens_cpu=a.sens_cpu + (bump if field == "sens_cpu" else 0.0),
+        pressure_mem=a.pressure_mem + (
+            bump if field == "pressure_mem" else 0.0
+        ),
+        pressure_cpu=a.pressure_cpu + (
+            bump if field == "pressure_cpu" else 0.0
+        ),
+    )
+    assert model.predict_excess(bumped, b) >= base
+    assert model.score(bumped, b) >= model.score(a, b)
+
+
+@given(models, st.lists(profiles, min_size=2, max_size=5, unique_by=id))
+@settings(max_examples=100, deadline=None)
+def test_model_round_trip_scores_identical(model, profs):
+    """to_dict -> from_dict gives bit-identical scores for every pair."""
+    clone = CompatibilityModel.from_dict(model.to_dict())
+    assert clone.weights == model.weights
+    for a in profs:
+        for b in profs:
+            assert clone.score(a, b) == model.score(a, b)
+
+
+@given(st.lists(profiles, min_size=1, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_profile_round_trip_scores_identical(profs):
+    """Profile to_dict -> from_dict preserves scores bit for bit."""
+    model = CompatibilityModel(
+        weights=(0.1, 0.5, 0.5, 0.25, 0.25)
+    )
+    clones = [WorkloadProfile.from_dict(p.to_dict()) for p in profs]
+    for p, c in zip(profs, clones):
+        assert c == p
+        assert model.score(p, c) == model.score(p, p)
+
+
+def _sse(rows, targets, w):
+    return sum(
+        (sum(wi * xi for wi, xi in zip(w, row)) - y) ** 2
+        for row, y in zip(rows, targets)
+    )
+
+
+@given(st.lists(_weight, min_size=len(FEATURE_NAMES),
+                max_size=len(FEATURE_NAMES)),
+       st.lists(profiles, min_size=3, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_nnls_weights_nonnegative_and_never_worse_than_zero(true_w, profs):
+    """Whatever hypothesis throws at it (including near-collinear
+    feature columns where convergence is slow), the fit stays feasible
+    -- non-negative weights -- and coordinate descent from zero-init
+    never ends with a worse objective than the zero vector it started
+    from."""
+    rows, targets = [], []
+    for i, a in enumerate(profs):
+        for b in profs[i:]:
+            f = pair_features(a, b)
+            rows.append(list(f))
+            targets.append(sum(w * x for w, x in zip(true_w, f)))
+    w = nnls_fit(rows, targets)
+    assert all(x >= 0.0 for x in w)
+    scale = max(1.0, max(abs(t) for t in targets)) ** 2
+    assert _sse(rows, targets, w) <= _sse(
+        rows, targets, [0.0] * len(w)
+    ) + 1e-9 * scale
+
+
+def test_nnls_recovers_planted_weights():
+    """Given enough sweeps, planted non-negative weights are recovered
+    exactly on a diverse profile set (the cross/product features are
+    correlated by construction, so the default 200 sweeps land near the
+    optimum -- RMSE a few 1e-3 -- and full convergence takes more)."""
+    profs = [
+        _profile("a", 2.0, 0.1, 1.5, 0.2),
+        _profile("b", 0.2, 1.1, 0.1, 0.9),
+        _profile("c", 0.9, 0.5, 0.6, 0.5),
+        _profile("d", 0.1, 0.1, 0.05, 0.05),
+    ]
+    true_w = (0.05, 0.4, 0.7, 0.2, 0.3)
+    rows, targets = [], []
+    for i, a in enumerate(profs):
+        for b in profs[i:]:
+            f = pair_features(a, b)
+            rows.append(list(f))
+            targets.append(sum(w * x for w, x in zip(true_w, f)))
+    w = nnls_fit(rows, targets, sweeps=100_000)
+    assert all(x >= 0.0 for x in w)
+    for wi, ti in zip(w, true_w):
+        assert abs(wi - ti) <= 1e-6
+    # the shipped default lands close enough for scheduling purposes.
+    w200 = nnls_fit(rows, targets)
+    scale = max(abs(t) for t in targets)
+    for row, y in zip(rows, targets):
+        pred = sum(wi * xi for wi, xi in zip(w200, row))
+        assert abs(pred - y) <= 0.01 * scale
+
+
+def test_fit_model_end_to_end_round_trip():
+    """fit -> serialize -> load -> identical scores over the fit pairs."""
+    profs = {
+        "mem": _profile("mem", 2.0, 0.1, 1.5, 0.1),
+        "cpu": _profile("cpu", 0.1, 1.0, 0.1, 0.9),
+        "mix": _profile("mix", 0.8, 0.5, 0.7, 0.5),
+    }
+    pairs = [
+        (a, b, 0.3 * (profs[a].pressure_mem * profs[b].sens_mem
+                      + profs[b].pressure_mem * profs[a].sens_mem))
+        for i, a in enumerate(sorted(profs))
+        for b in sorted(profs)[i:]
+    ]
+    model = fit_model(profs, pairs)
+    clone = CompatibilityModel.from_dict(model.to_dict())
+    for a, b, _ in pairs:
+        assert clone.score(profs[a], profs[b]) == model.score(
+            profs[a], profs[b]
+        )
+
+
+def test_predictor_node_cost_monotone_in_residents_and_lc():
+    """More residents and more LC activity never cheapen a placement."""
+    profs = {
+        "kmeans": _profile("kmeans", 1.0, 0.3, 0.8, 0.3),
+        "terasort": _profile("terasort", 1.5, 0.2, 1.2, 0.2),
+        "lc": _profile("lc", 2.0, 0.1, 1.0, 0.0),
+    }
+    model = CompatibilityModel(weights=(0.0, 0.6, 0.4, 0.3, 0.2))
+    pred = PairPredictor(model, profs, lc_weight=2.0)
+    empty = pred.node_cost("kmeans-3", [])
+    one = pred.node_cost("kmeans-3", ["terasort-1"])
+    two = pred.node_cost("kmeans-3", ["terasort-1", "kmeans-9"])
+    assert empty == 0.0
+    assert one >= empty
+    assert two >= one
+    quiet = pred.node_cost("kmeans-3", ["terasort-1"], lc_activity=0.0)
+    busy = pred.node_cost("kmeans-3", ["terasort-1"], lc_activity=1.0)
+    assert busy > quiet
+    # family resolution + symmetry at the predictor layer
+    assert pred.score("kmeans-3", "terasort-7") == pred.score(
+        "terasort-1", "kmeans-0"
+    )
