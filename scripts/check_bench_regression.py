@@ -26,6 +26,11 @@ Checks, mirroring what the bench itself promises:
   recorded but NOT gated: at that population the heap's 6-level C
   sifts beat the wheel's pure-Python bucket bookkeeping by ~5-10% by
   design, and that trade-off is documented, not a regression;
+* the vectorized cluster data plane must deliver at least
+  ``min_cluster_rate`` times the scalar reference path's cluster
+  events/sec (default 2x) at 100 nodes -- both arms run fresh in the
+  current record, so this is a within-run floor, not a baseline ratio --
+  and the two planes' churned sweep reports must be byte-identical;
 * the profiling stage's wall-clock per probe run must not exceed
   ``max_profiling_ratio`` times the baseline's (default 2x, same noise
   allowance as the sweep wall): the micro-probe stage staying cheap is
@@ -64,7 +69,8 @@ def check(current: dict, baseline: dict, max_ratio: float,
           max_obs_disabled: float = 1.03,
           max_obs_enabled: float = 1.15,
           min_dispatch_ratio: float = 0.95,
-          max_profiling_ratio: float = 2.0) -> list[str]:
+          max_profiling_ratio: float = 2.0,
+          min_cluster_rate: float = 2.0) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -170,6 +176,41 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 "the calendar or coalescing changed experiment output"
             )
 
+    rate = current.get("cluster_rate")
+    if rate is None:
+        failures.append(
+            "bench record has no cluster_rate section (bench predates "
+            "the vectorized cluster data plane?)"
+        )
+    else:
+        ratio_v = rate.get("vectorized_vs_scalar") or 0.0
+        print(
+            f"cluster data plane ({rate['n_nodes']} nodes): scalar "
+            f"{rate['scalar']['events_per_sec']:,.0f} ev/s, vectorized "
+            f"{rate['vectorized']['events_per_sec']:,.0f} ev/s, "
+            f"ratio {ratio_v:.2f}x (floor {min_cluster_rate:.2f}x); "
+            f"sweep identical={rate['sweep']['identical_reports']}"
+        )
+        # both arms run fresh in the current record, so the floor is
+        # checked within-run (no baseline drift to normalise away).
+        if ratio_v < min_cluster_rate:
+            failures.append(
+                f"vectorized cluster data plane is only {ratio_v:.2f}x "
+                f"the scalar path's events/sec (floor "
+                f"{min_cluster_rate:.2f}x): the batched hot path regressed"
+            )
+        if not rate["sweep"]["identical_reports"]:
+            failures.append(
+                "cluster sweep reports differ between the scalar and "
+                "vectorized data planes: the batched path changed "
+                "experiment output"
+            )
+        if not rate.get("identical_event_counts", True):
+            failures.append(
+                "cluster_rate arms executed different event counts: the "
+                "bench harness itself diverged between planes"
+            )
+
     fo = current.get("fault_overhead")
     if fo is None:
         failures.append(
@@ -244,6 +285,9 @@ def main(argv=None) -> int:
     parser.add_argument("--max-profiling-ratio", type=float, default=2.0,
                         help="allowed slowdown of the profiling stage's "
                              "wall per probe run vs baseline (default 2.0)")
+    parser.add_argument("--min-cluster-rate", type=float, default=2.0,
+                        help="required vectorized-vs-scalar cluster "
+                             "data-plane events/sec ratio (default 2.0)")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
@@ -251,7 +295,7 @@ def main(argv=None) -> int:
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
                      args.max_fault_overhead, args.max_obs_disabled,
                      args.max_obs_enabled, args.min_dispatch_ratio,
-                     args.max_profiling_ratio)
+                     args.max_profiling_ratio, args.min_cluster_rate)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

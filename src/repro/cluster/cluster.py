@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 from repro.core import Holmes, HolmesConfig, TelemetrySnapshot
+from repro.cluster.dataplane import ClusterDataPlane, data_plane_mode
 from repro.cluster.score import DEFAULT_WEIGHTS, ScoreWeights, interference_score
 from repro.faults import FaultInjector, FaultPlan
 from repro.hw import HWConfig
@@ -122,16 +123,41 @@ class Cluster:
         start_daemons: bool = True,
         faults: Optional[FaultPlan] = None,
         obs: Optional["ObservabilityPlane"] = None,
+        data_plane: Optional[str] = None,
     ):
         if n_servers < 1:
             raise ValueError("a cluster needs at least one server")
         self.env = env or Environment()
         self.obs = obs
+        cfg = config or HWConfig(sockets=1, cores_per_socket=8)
+        # ``data_plane``: "vectorized" pools every node's counter, busy and
+        # EMA arrays into one ClusterDataPlane so per-tick reads and
+        # placement scans run as batched numpy ops; "scalar" keeps the
+        # per-node reference path.  Reports are byte-identical either way
+        # (tests/test_dataplane.py), so the mode is an env/keyword knob,
+        # not an experiment parameter.
+        mode = data_plane_mode(data_plane)
+        self.dataplane: Optional[ClusterDataPlane] = None
+        if holmes_config is not None and mode == "vectorized":
+            from repro.hw.events import ALL_EVENTS
+            from repro.hw.topology import Topology
+
+            topo = Topology(cfg)
+            self.dataplane = ClusterDataPlane(
+                n_servers, topo.n_lcpus, topo.n_cores, len(ALL_EVENTS)
+            )
+        plane = self.dataplane
         self.nodes: list[ServerNode] = []
         for i in range(n_servers):
-            cfg = config or HWConfig(sockets=1, cores_per_socket=8)
             node_cfg = HWConfig(**{**cfg.__dict__, "seed": cfg.seed + i})
-            system = System(env=self.env, config=node_cfg)
+            system = System(
+                env=self.env,
+                config=node_cfg,
+                counter_values=plane.counters[i] if plane is not None else None,
+                busy_values=plane.busy[i] if plane is not None else None,
+            )
+            if plane is not None:
+                system.server.data_plane = plane
             nm = NodeManager(system, seed=seed + i)
             node = ServerNode(f"server{i}", system, nm, index=i)
             scope = obs.for_node(node.name) if obs is not None else None
@@ -144,7 +170,7 @@ class Cluster:
             node.faults = injector
             if holmes_config is not None:
                 node.holmes = Holmes(system, holmes_config, faults=injector,
-                                     obs=scope)
+                                     obs=scope, plane=plane, node_index=i)
                 if start_daemons:
                     node.holmes.start()
             elif injector is not None:

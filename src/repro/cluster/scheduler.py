@@ -174,6 +174,26 @@ class ClusterBatchScheduler:
     def node_score(self, node: ServerNode) -> float:
         return node.interference_score(self.score_weights)
 
+    def _score_vector(self, nodes: list[ServerNode]):
+        """Batched interference scores indexed by ``node.index``, or None.
+
+        Available when the cluster runs the vectorized data plane; the
+        values are bitwise identical to per-node :meth:`node_score`
+        calls, so decisions (and emitted audit records) cannot diverge
+        between the two paths.
+        """
+        plane = self.cluster.dataplane
+        if plane is None:
+            return None
+        return plane.score_vector(nodes, self.score_weights)
+
+    def _lc_activity_vector(self, nodes: list[ServerNode]):
+        """Batched :meth:`_lc_activity` indexed by ``node.index``, or None."""
+        plane = self.cluster.dataplane
+        if plane is None:
+            return None
+        return plane.lc_activity_vector(nodes, self.score_weights)
+
     def _lc_activity(self, node: ServerNode) -> float:
         """LC activity on a node, for the predictor's LC pair term.
 
@@ -234,6 +254,32 @@ class ClusterBatchScheduler:
         candidates = [n for n in alive if n is not exclude]
         if not candidates:
             candidates = alive
+        # one batched pass over all candidates when the vectorized data
+        # plane is up; the tie-breaking tuple is unchanged.
+        if self.policy == "score":
+            scores = self._score_vector(candidates)
+            if scores is not None:
+                return min(
+                    candidates,
+                    key=lambda n: (
+                        float(scores[n.index]), n.batch_load(), n.index
+                    ),
+                )
+        elif self.policy == "predictor" and spec is not None:
+            lc_vec = self._lc_activity_vector(candidates)
+            if lc_vec is not None:
+                return min(
+                    candidates,
+                    key=lambda n: (
+                        self.predictor.node_cost(
+                            spec.name,
+                            self._resident_names(n),
+                            lc_activity=float(lc_vec[n.index]),
+                        ),
+                        n.batch_load(),
+                        n.index,
+                    ),
+                )
         return min(candidates, key=lambda n: self._placement_key(n, spec))
 
     def submit(self, spec: BatchJobSpec,
@@ -493,17 +539,23 @@ class ClusterBatchScheduler:
         alive = [n for n in self.cluster.nodes if n.alive]
         if len(alive) < 2:
             return
+        scores = self._score_vector(alive)
+        if scores is not None:
+            def score_of(n):
+                return float(scores[n.index])
+        else:
+            score_of = self.node_score
         hot = max(
             alive,
-            key=lambda n: (self.node_score(n), -n.index),
+            key=lambda n: (score_of(n), -n.index),
         )
-        hot_score = self.node_score(hot)
+        hot_score = score_of(hot)
         if hot_score < self.relocate_threshold:
             return
         cool = self.pick_node(exclude=hot)
         if cool is hot:
             return
-        if self.node_score(cool) > hot_score - self.relocate_margin:
+        if score_of(cool) > hot_score - self.relocate_margin:
             return  # every other node is nearly as hot; moving just churns
         victims = [
             j for j in self.jobs
@@ -527,10 +579,15 @@ class ClusterBatchScheduler:
         alive = [n for n in self.cluster.nodes if n.alive]
         if len(alive) < 2:
             return
+        lc_vec = self._lc_activity_vector(alive)
         # the (node, job, predicted-cost) triple with the worst pairing
         worst = None
         for node in alive:
-            lc = self._lc_activity(node)
+            lc = (
+                float(lc_vec[node.index])
+                if lc_vec is not None
+                else self._lc_activity(node)
+            )
             residents = [
                 j for j in self.jobs
                 if j.node is node and j.instance is not None

@@ -88,6 +88,8 @@ class Holmes:
         record_vpi_every: int = 20,
         faults: Optional["FaultInjector"] = None,
         obs: Optional["NodeObs"] = None,
+        plane=None,
+        node_index: int = 0,
     ):
         self.system = system
         self.env = system.env
@@ -114,8 +116,12 @@ class Holmes:
             faults.install(system)
             if obs is not None:
                 faults.attach_obs(obs)
+        # ``plane``/``node_index``: cluster-pooled telemetry storage and
+        # batched read hubs (repro.cluster.dataplane); None keeps the
+        # monitor on its private scalar arrays.
         self.monitor = MetricMonitor(system, self.config, faults=faults,
-                                     obs=obs)
+                                     obs=obs, plane=plane,
+                                     node_index=node_index)
         self.scheduler = HolmesScheduler(system, self.config, self.monitor,
                                          obs=obs)
         self.ticks = 0
@@ -491,7 +497,7 @@ class Holmes:
         if cgroups.on_create == self._on_activity:
             cgroups.on_create = None
 
-    # -- Section 6.6: overhead ----------------------------------------------------------
+    # -- Section 6.6: overhead ---------------------------------------------------------
 
     def estimated_overhead(self) -> dict:
         """CPU and memory overhead estimate of the daemon.

@@ -84,7 +84,8 @@ class MetricMonitor:
 
     def __init__(self, system: "System", config: HolmesConfig,
                  faults: "FaultInjector | None" = None,
-                 obs: "NodeObs | None" = None):
+                 obs: "NodeObs | None" = None,
+                 plane=None, node_index: int = 0):
         self.system = system
         self.config = config
         self._faults = faults
@@ -97,19 +98,39 @@ class MetricMonitor:
         from repro.hw.events import by_code
 
         self.metric_event = by_code(config.metric_event_code)
+        # ``plane`` (a repro.cluster.dataplane.ClusterDataPlane) switches
+        # the windowed reads to the cluster-wide batched hubs and backs
+        # the EMAs with the pool's row views.  The per-core aggregate is
+        # only precomputable in the batch when this monitor would
+        # aggregate the raw VPI unchanged (vpi mode, no counter faults
+        # that could rewrite the per-lcpu view first).
+        want_core = (
+            plane is not None
+            and config.metric_mode != "cps"
+            and (faults is None or not faults.has_counter_faults)
+        )
         self.vpi_reader = VPIReader(
             server,
             event=self.metric_event,
             scale=config.vpi_scale,
             min_instructions=config.min_instructions,
+            plane=plane,
+            node_index=node_index,
+            want_core=want_core,
         )
-        self.usage_tracker = UsageTracker(self.env, server)
+        self.usage_tracker = UsageTracker(
+            self.env, server,
+            hub=plane.usage_hub if plane is not None else None,
+            node_index=node_index,
+        )
         self.n_lcpus = server.topology.n_lcpus
         self.n_cores = server.topology.n_cores
-        self._usage_ema = np.zeros(self.n_lcpus)
-        #: smoothed per-lcpu VPI; the telemetry snapshot (cluster-level
-        #: placement) reads this, the per-tick algorithms use the raw VPI.
-        self._vpi_ema = np.zeros(self.n_lcpus)
+        if plane is not None:
+            self._usage_ema = plane.usage_ema[node_index]
+            self._vpi_ema = plane.vpi_ema[node_index]
+        else:
+            self._usage_ema = np.zeros(self.n_lcpus)
+            self._vpi_ema = np.zeros(self.n_lcpus)
         #: scratch buffer for the in-place EMA update (collect runs every
         #: 50 us; per-tick temporaries are the monitor's dominant cost).
         self._ema_tmp = np.zeros(self.n_lcpus)
@@ -182,9 +203,10 @@ class MetricMonitor:
 
         if self._faults is None or not self._faults.has_counter_faults:
             ok = True
-            raw_vpi, ldst, counter = self.vpi_reader.sample_full()
+            raw_vpi, ldst, counter, core_pre = self.vpi_reader.sample_full_core()
         else:
             ok, raw_vpi, ldst, counter = self._sample_vpi_faulty(now)
+            core_pre = None
         if ok:
             if self.config.metric_mode == "cps":
                 # the rejected Section 3.1 alternative: counter value per
@@ -192,7 +214,10 @@ class MetricMonitor:
                 vpi = counter / (dt / 1e6)
             else:
                 vpi = raw_vpi
-            core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
+            if core_pre is not None:
+                core_vpi = core_pre
+            else:
+                core_vpi = aggregate_per_core(vpi, ldst, self.n_cores)
 
             vpi_alpha = 1.0 - math.exp(-dt / self.config.vpi_ema_tau_us)
             np.subtract(vpi, self._vpi_ema, out=tmp)

@@ -255,7 +255,7 @@ class HolmesScheduler:
                     self._apply_cpuset(info)
                     self._log("migrate_to_nonsibling", info.name)
 
-    # -- Algorithm 1: launching ----------------------------------------------------------
+    # -- Algorithm 1: launching --------------------------------------------------------
 
     def _handle_launches(self, sample: MonitorSample) -> None:
         for info in sample.new_containers:

@@ -29,12 +29,35 @@ class VPIReader:
         event: HPE = STALLS_MEM_ANY,
         scale: float = 1.0,
         min_instructions: float = 50.0,
+        plane=None,
+        node_index: int = 0,
+        want_core: bool = False,
     ):
         self.server = server
         self.event = event
         self.scale = scale
         self.min_instructions = min_instructions
-        self._group = CounterGroup(server, [event, INSTR_LOAD, INSTR_STORE])
+        #: batched-read mode: a cluster-wide VPI hub
+        #: (repro.cluster.dataplane) computes every node's windowed VPI in
+        #: one numpy pass; this reader then only consumes its own row.
+        #: ``want_core`` additionally asks the hub for the batched
+        #: per-core aggregate (only valid when the caller would aggregate
+        #: the raw VPI unchanged).
+        self._hub = None
+        self._node = node_index
+        if plane is not None:
+            engine = server.counters
+            cols = tuple(
+                engine.event_index[e.code]
+                for e in (event, INSTR_LOAD, INSTR_STORE)
+            )
+            self._hub = plane.vpi_hub(
+                cols, scale, min_instructions, server.topology.n_cores
+            )
+            if self._hub is not None:
+                self._hub.register(node_index, want_core)
+        if self._hub is None:
+            self._group = CounterGroup(server, [event, INSTR_LOAD, INSTR_STORE])
 
     def sample(self) -> np.ndarray:
         """Per-lcpu VPI over the window since the last sample."""
@@ -53,6 +76,21 @@ class VPIReader:
         must never read as negative stalls or instructions (which would
         push VPI negative, or NaN through the core aggregation).
         """
+        vpi, ldst, counter, _ = self.sample_full_core()
+        return vpi, ldst, counter
+
+    def sample_full_core(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """:meth:`sample_full` plus a batch-precomputed per-core aggregate.
+
+        The fourth element is the instruction-weighted per-core VPI when
+        the batched hub computed it for this window, else None (scalar
+        path, cps mode, fault-corrupted samples): the monitor then runs
+        :func:`aggregate_per_core` itself.
+        """
+        if self._hub is not None:
+            return self._hub.consume(self._node, self.server.env.now)
         deltas = self._group.sample()
         counter = np.maximum(deltas[:, 0], 0.0)
         ldst = deltas[:, 1] + deltas[:, 2]
@@ -60,7 +98,7 @@ class VPIReader:
         vpi = np.zeros_like(counter)
         mask = ldst >= self.min_instructions
         vpi[mask] = counter[mask] / ldst[mask] * self.scale
-        return vpi, ldst, counter
+        return vpi, ldst, counter, None
 
     def resync(self) -> None:
         """Discard the window since the last read (re-baseline).
@@ -68,6 +106,9 @@ class VPIReader:
         Used when the daemon restarts after a stop: the stopped span must
         not appear as one giant window in the first sample.
         """
+        if self._hub is not None:
+            self._hub.rebaseline(self._node)
+            return
         self._group.sample()
 
 

@@ -84,7 +84,13 @@ class CounterEngine:
     #: indices into the per-lcpu slow-noise state (one per noisy event).
     _NOISE_SMA, _NOISE_CMA, _NOISE_SL3, _NOISE_CL3 = range(4)
 
-    def __init__(self, config: HWConfig, n_lcpus: int, rng: np.random.Generator):
+    def __init__(
+        self,
+        config: HWConfig,
+        n_lcpus: int,
+        rng: np.random.Generator,
+        values: np.ndarray | None = None,
+    ):
         self.config = config
         self.n_lcpus = n_lcpus
         self.rng = rng
@@ -92,8 +98,18 @@ class CounterEngine:
         self._codes = codes
         # dense [n_lcpus x n_events] array: snapshotting must be cheap, the
         # Holmes monitor reads counters every 50 us of simulated time.
+        # ``values`` lets a cluster-wide pool back this engine with one of
+        # its (n_lcpus, n_events) row views, so batched cross-node reads
+        # see accruals without copying (repro.cluster.dataplane).
         self._idx = {code: i for i, code in enumerate(codes)}
-        self._values = np.zeros((n_lcpus, len(codes)), dtype=np.float64)
+        if values is None:
+            values = np.zeros((n_lcpus, len(codes)), dtype=np.float64)
+        elif values.shape != (n_lcpus, len(codes)):
+            raise ValueError(
+                f"external counter storage must have shape "
+                f"{(n_lcpus, len(codes))}, got {values.shape}"
+            )
+        self._values = values
         # time-correlated noise: current factor + expiry per lcpu per event
         self._noise = np.ones((n_lcpus, 4), dtype=np.float64)
         self._noise_until = np.zeros((n_lcpus, 4), dtype=np.float64)

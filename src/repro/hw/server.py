@@ -36,13 +36,21 @@ _KIND_GRACE_US = 2.0
 class Server:
     """A 2-socket SMT server (see HWConfig for the default shape)."""
 
-    def __init__(self, env: Environment, config: HWConfig | None = None):
+    def __init__(
+        self,
+        env: Environment,
+        config: HWConfig | None = None,
+        counter_values: np.ndarray | None = None,
+        busy_values: np.ndarray | None = None,
+    ):
         self.env = env
         self.config = config or HWConfig()
         self.topology = Topology(self.config)
         self.rng = np.random.default_rng(self.config.seed)
         self.contention = ContentionModel(self.config)
-        self.counters = CounterEngine(self.config, self.topology.n_lcpus, self.rng)
+        self.counters = CounterEngine(
+            self.config, self.topology.n_lcpus, self.rng, values=counter_values
+        )
         self.disk = Disk(env, self.config, self.rng)
 
         #: optional zero-arg callback fired at every quantum start; the
@@ -50,13 +58,25 @@ class Server:
         #: coalesced (stretched) idle tick.  None = disabled, no cost.
         self.activity_hook = None
 
+        #: cluster data plane this server's counters are pooled into, when
+        #: the cluster runs the vectorized plane; every quantum accrual
+        #: bumps its generation so batched reads never see stale values.
+        self.data_plane = None
+
         n = self.topology.n_lcpus
         self._kinds: list[CpuKind] = [IDLE] * n
         #: end of the validity window of _kinds[lcpu] (quantum end time).
         self._kind_until = [0.0] * n
         self._streaming = [False] * n
         #: cumulative busy microseconds per logical CPU.
-        self.busy_us = np.zeros(n, dtype=np.float64)
+        if busy_values is None:
+            busy_values = np.zeros(n, dtype=np.float64)
+        elif busy_values.shape != (n,):
+            raise ValueError(
+                f"external busy storage must have shape {(n,)}, "
+                f"got {busy_values.shape}"
+            )
+        self.busy_us = busy_values
         #: per-physical-core DVFS setting as a fraction of nominal clock.
         self._core_freq = np.ones(self.topology.n_cores, dtype=np.float64)
 
@@ -158,9 +178,13 @@ class Server:
         lines_possible = max_us / per_line_us
         lines_done = min(lines_remaining, lines_possible)
         duration = lines_done * per_line_us
-        self.counters.account_mem(lcpu, lines_done, dram_frac, mult, store_frac, now=self.env.now)
+        self.counters.account_mem(lcpu, lines_done, dram_frac, mult, store_frac,
+                                  now=self.env.now)
         self.busy_us[lcpu] += duration
         self._record_window(lcpu, kind, duration)
+        plane = self.data_plane
+        if plane is not None:
+            plane.generation += 1
         return duration, lines_done
 
     def comp_quantum(
@@ -182,6 +206,9 @@ class Server:
         self.counters.account_compute(lcpu, cycles_done)
         self.busy_us[lcpu] += duration
         self._record_window(lcpu, kind, duration)
+        plane = self.data_plane
+        if plane is not None:
+            plane.generation += 1
         return duration, cycles_done
 
     # -- metrics ------------------------------------------------------------------

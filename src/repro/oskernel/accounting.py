@@ -19,15 +19,27 @@ class UsageTracker:
     logical CPU since the previous call.
     """
 
-    def __init__(self, env: "Environment", server: "Server"):
+    def __init__(self, env: "Environment", server: "Server",
+                 hub=None, node_index: int = 0):
         self.env = env
         self.server = server
-        self._last_busy = server.busy_snapshot()
+        #: batched-read mode: a cluster-wide usage hub
+        #: (repro.cluster.dataplane) computes every node's window in one
+        #: numpy pass; this tracker then only consumes its own row.
+        self._hub = hub
+        self._node = node_index
+        if hub is not None:
+            hub.register(node_index, env.now)
+            self._last_busy = None
+        else:
+            self._last_busy = server.busy_snapshot()
         self._last_time = env.now
 
     def sample(self) -> np.ndarray:
         """Busy fraction in [0, 1] per lcpu since the previous sample."""
         now = self.env.now
+        if self._hub is not None:
+            return self._hub.sample(self._node, now)
         busy = self.server.busy_snapshot()
         dt = now - self._last_time
         if dt <= 0.0:
@@ -48,6 +60,9 @@ class UsageTracker:
         Only valid when no busy time accrued since the last sample (the
         quiescent-coalescing case): the busy baseline is left untouched.
         """
+        if self._hub is not None:
+            self._hub.resync(self._node, t)
+            return
         self._last_time = t
 
     def rebaseline(self) -> None:
@@ -57,12 +72,17 @@ class UsageTracker:
         a restarted daemon uses it so the stopped span's busy time does
         not pollute its first window.
         """
+        if self._hub is not None:
+            self._hub.rebaseline(self._node, self.env.now)
+            return
         self._last_busy = self.server.busy_snapshot()
         self._last_time = self.env.now
 
     def peek(self) -> np.ndarray:
         """Like :meth:`sample` but without advancing the window."""
         now = self.env.now
+        if self._hub is not None:
+            return self._hub.peek(self._node, now)
         busy = self.server.busy_snapshot()
         dt = now - self._last_time
         if dt <= 0.0:

@@ -41,7 +41,8 @@ class OSProcess:
                 affinity = self.cgroup.effective_cpuset()
             else:
                 affinity = self.system.server.topology.all_lcpus()
-        t = SimThread(self.system, self, body, affinity, name=name, quantum_us=quantum_us)
+        t = SimThread(self.system, self, body, affinity, name=name,
+                      quantum_us=quantum_us)
         self.threads.append(t)
         self.system.threads[t.tid] = t
         return t

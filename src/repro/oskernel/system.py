@@ -28,11 +28,20 @@ class System:
         env: Optional[Environment] = None,
         config: Optional[HWConfig] = None,
         quantum_us: float = 50.0,
+        counter_values=None,
+        busy_values=None,
     ):
         if quantum_us <= 0:
             raise ValueError(f"quantum_us must be positive, got {quantum_us}")
         self.env = env or Environment()
-        self.server = Server(self.env, config)
+        # counter_values/busy_values: optional cluster-pool row views that
+        # back this machine's counter and busy arrays (repro.cluster.dataplane).
+        self.server = Server(
+            self.env,
+            config,
+            counter_values=counter_values,
+            busy_values=busy_values,
+        )
         self.quantum_us = quantum_us
         n = self.server.topology.n_lcpus
         #: one single-slot FIFO resource per logical CPU.

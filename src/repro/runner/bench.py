@@ -308,6 +308,127 @@ def bench_cluster(quick: bool = False, seed: int = 42) -> dict:
     }
 
 
+def bench_cluster_rate(quick: bool = False, seed: int = 42) -> dict:
+    """Cluster data-plane throughput at 100 nodes: vectorized vs scalar.
+
+    The data-plane "event" is one per-node unit of telemetry work: one
+    daemon tick (a monitor collect) or one node visited by a full
+    placement scan.  An idle 100-node cluster runs every node's Holmes
+    daemon at the cluster telemetry interval while a scanner performs one
+    full ``pick_node`` score scan per boundary -- the exact per-tick hot
+    path the vectorized plane batches, isolated from workload simulation
+    cost (which dominates the churned sweep and would dilute the ratio).
+    Arms are interleaved and min-of-``repeats`` so frequency drift hits
+    both planes equally; both arms execute the identical event sequence,
+    so events/sec ratios reduce to wall ratios.
+
+    A churned sweep then runs once per plane to prove the two produce
+    byte-identical reports (``identical_reports`` -- gated in
+    ``check_bench_regression`` alongside the >= 2x rate floor).
+    """
+    import os
+
+    from repro.analysis.export import canonical_dumps
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.dataplane import DATA_PLANE_ENV_VAR
+    from repro.cluster.scheduler import ClusterBatchScheduler
+    from repro.cluster.sweep import run_cluster_sweep
+    from repro.core import HolmesConfig
+
+    interval_us = 1_000.0
+    duration_us = 30_000.0 if quick else 80_000.0
+    repeats = 2 if quick else 3
+
+    def with_mode(mode: str, fn):
+        prev = os.environ.get(DATA_PLANE_ENV_VAR)
+        os.environ[DATA_PLANE_ENV_VAR] = mode
+        try:
+            return fn()
+        finally:
+            if prev is None:
+                os.environ.pop(DATA_PLANE_ENV_VAR, None)
+            else:
+                os.environ[DATA_PLANE_ENV_VAR] = prev
+
+    def one_rate() -> tuple[float, int]:
+        cluster = Cluster(
+            n_servers=CLUSTER_NODES,
+            seed=seed,
+            holmes_config=HolmesConfig(interval_us=interval_us),
+        )
+        scheduler = ClusterBatchScheduler(cluster, policy="score")
+        scans = [0]
+
+        def scanner():
+            while True:
+                yield cluster.env.timeout(interval_us)
+                scheduler.pick_node()
+                scans[0] += 1
+
+        cluster.env.process(scanner(), name="bench-scanner")
+        t0 = time.perf_counter()
+        cluster.run(until=duration_us)
+        wall = time.perf_counter() - t0
+        ticks = sum(node.holmes.ticks for node in cluster.nodes)
+        cluster.stop_daemons()
+        return wall, ticks + scans[0] * CLUSTER_NODES
+
+    walls: dict[str, list[float]] = {"scalar": [], "vectorized": []}
+    n_events: dict[str, int] = {}
+    for _ in range(repeats):
+        for mode in ("scalar", "vectorized"):
+            wall, events = with_mode(mode, one_rate)
+            walls[mode].append(wall)
+            n_events[mode] = events
+
+    def one_sweep() -> tuple[float, str]:
+        t0 = time.perf_counter()
+        report = run_cluster_sweep(
+            policy="score",
+            n_nodes=CLUSTER_NODES,
+            n_jobs=30 if quick else 60,
+            duration_us=duration_us,
+            seed=seed,
+        )
+        return time.perf_counter() - t0, canonical_dumps(report)
+
+    scalar_sweep_wall, scalar_bytes = with_mode("scalar", one_sweep)
+    vector_sweep_wall, vector_bytes = with_mode("vectorized", one_sweep)
+
+    record: dict = {
+        "n_nodes": CLUSTER_NODES,
+        "interval_us": interval_us,
+        "duration_us": duration_us,
+        "repeats": repeats,
+        "seed": seed,
+        "identical_event_counts": n_events["scalar"] == n_events["vectorized"],
+        "sweep": {
+            "n_jobs": 30 if quick else 60,
+            "scalar_wall_s": scalar_sweep_wall,
+            "vectorized_wall_s": vector_sweep_wall,
+            "speedup": (
+                scalar_sweep_wall / vector_sweep_wall
+                if vector_sweep_wall > 0
+                else None
+            ),
+            "identical_reports": scalar_bytes == vector_bytes,
+        },
+    }
+    for mode in ("scalar", "vectorized"):
+        wall = min(walls[mode])
+        record[mode] = {
+            "wall_s": wall,
+            "events": n_events[mode],
+            "events_per_sec": n_events[mode] / wall if wall > 0 else None,
+        }
+    scalar_rate = record["scalar"]["events_per_sec"] or 0.0
+    vector_rate = record["vectorized"]["events_per_sec"] or 0.0
+    record["vectorized_vs_scalar"] = (
+        vector_rate / scalar_rate if scalar_rate > 0 else None
+    )
+    return record
+
+
 def profile_event_loop(output: str | pathlib.Path,
                        quick: bool = False) -> str:
     """cProfile the timer-flood hot path for both kernels; write a text
@@ -580,6 +701,7 @@ def run_bench(
         record["event_loop"], record["kernel"] = bench_kernel(quick)
     if cluster:
         record["cluster"] = bench_cluster(quick, seed=seed)
+        record["cluster_rate"] = bench_cluster_rate(quick, seed=seed)
     if profile:
         record["profile_report"] = profile_event_loop(output, quick)
     path = pathlib.Path(output)

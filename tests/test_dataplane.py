@@ -1,0 +1,369 @@
+"""Tests for the vectorized cluster data plane (``repro.cluster.dataplane``).
+
+The plane is a pure performance change, so almost everything here is an
+identity check against the scalar reference path: byte-identical sweep
+reports across modes, calendars and runner pool sizes, and bitwise-equal
+batched counter/usage reads.  The rest is unit coverage of the mode knob,
+the pooled-array wiring, and the hub fallback paths.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import canonical_dumps
+from repro.cluster import Cluster
+from repro.cluster.dataplane import (
+    DATA_PLANE_ENV_VAR,
+    DEFAULT_DATA_PLANE,
+    ClusterDataPlane,
+    data_plane_mode,
+)
+from repro.cluster.score import DEFAULT_WEIGHTS, interference_score
+from repro.cluster.sweep import run_cluster_sweep
+from repro.core import HolmesConfig, TelemetrySnapshot
+from repro.core.vpi import VPIReader, aggregate_per_core
+from repro.hw import CounterEngine, HWConfig, Server, Topology
+from repro.hw.events import ALL_EVENTS
+from repro.oskernel.accounting import UsageTracker
+from repro.runner import ExperimentRequest, ExperimentRunner
+from repro.sim import Environment
+
+N_EVENTS = len(ALL_EVENTS)
+SMALL_HW = HWConfig(sockets=1, cores_per_socket=2)
+N_LCPUS = Topology(SMALL_HW).n_lcpus
+N_CORES = Topology(SMALL_HW).n_cores
+
+
+# -- mode resolution ---------------------------------------------------------
+
+
+def test_mode_defaults_to_vectorized(monkeypatch):
+    monkeypatch.delenv(DATA_PLANE_ENV_VAR, raising=False)
+    assert DEFAULT_DATA_PLANE == "vectorized"
+    assert data_plane_mode() == "vectorized"
+
+
+def test_mode_env_and_override(monkeypatch):
+    monkeypatch.setenv(DATA_PLANE_ENV_VAR, "scalar")
+    assert data_plane_mode() == "scalar"
+    # an explicit keyword beats the environment
+    assert data_plane_mode("vectorized") == "vectorized"
+
+
+def test_mode_rejects_unknown(monkeypatch):
+    with pytest.raises(ValueError):
+        data_plane_mode("simd")
+    monkeypatch.setenv(DATA_PLANE_ENV_VAR, "avx512")
+    with pytest.raises(ValueError):
+        data_plane_mode()
+
+
+# -- pooled-array wiring -----------------------------------------------------
+
+
+def test_cluster_pools_back_node_arrays():
+    cluster = Cluster(
+        n_servers=3,
+        config=SMALL_HW,
+        holmes_config=HolmesConfig(n_reserved=1),
+        start_daemons=False,
+    )
+    plane = cluster.dataplane
+    assert plane is not None
+    assert plane.counters.shape == (3, N_LCPUS, N_EVENTS)
+    for i, node in enumerate(cluster.nodes):
+        server = node.system.server
+        assert server.data_plane is plane
+        assert np.shares_memory(server.busy_us, plane.busy[i])
+        assert np.shares_memory(server.counters._values, plane.counters[i])
+    # accruals land in the pool with no copying, and only in their row
+    cluster.nodes[1].system.server.counters.account_compute(0, 1_000.0)
+    assert plane.counters[1].sum() > 0.0
+    assert plane.counters[0].sum() == 0.0
+    assert plane.counters[2].sum() == 0.0
+
+
+def test_scalar_mode_builds_no_plane():
+    cluster = Cluster(
+        n_servers=2,
+        config=SMALL_HW,
+        holmes_config=HolmesConfig(n_reserved=1),
+        start_daemons=False,
+        data_plane="scalar",
+    )
+    assert cluster.dataplane is None
+    for node in cluster.nodes:
+        assert node.system.server.data_plane is None
+
+
+def test_daemonless_cluster_builds_no_plane():
+    assert Cluster(n_servers=2, config=SMALL_HW).dataplane is None
+
+
+def test_counter_engine_rejects_misshaped_storage():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        CounterEngine(SMALL_HW, N_LCPUS, rng, values=np.zeros((3, N_EVENTS)))
+
+
+def test_vpi_hub_is_shared_until_params_mismatch():
+    plane = ClusterDataPlane(1, N_LCPUS, N_CORES, N_EVENTS)
+    hub = plane.vpi_hub((0, 1, 2), 1.0, 50.0, N_CORES)
+    assert hub is not None
+    assert plane.vpi_hub((0, 1, 2), 1.0, 50.0, N_CORES) is hub
+    # a heterogeneous registrant gets None and falls back to scalar reads
+    assert plane.vpi_hub((0, 1, 3), 1.0, 50.0, N_CORES) is None
+    assert plane.vpi_hub((0, 1, 2), 2.0, 50.0, N_CORES) is None
+
+
+# -- sweep report identity ---------------------------------------------------
+
+SMALL_SWEEP = dict(n_nodes=3, n_jobs=12, duration_us=120_000.0, seed=7)
+
+
+def _sweep_bytes(monkeypatch, mode, **kwargs):
+    monkeypatch.setenv(DATA_PLANE_ENV_VAR, mode)
+    return canonical_dumps(run_cluster_sweep(**{**SMALL_SWEEP, **kwargs}))
+
+
+@pytest.mark.parametrize("policy", ["score", "least-loaded"])
+def test_sweep_reports_identical_across_planes(monkeypatch, policy):
+    vec = _sweep_bytes(monkeypatch, "vectorized", policy=policy)
+    scl = _sweep_bytes(monkeypatch, "scalar", policy=policy)
+    assert vec == scl
+
+
+def test_observed_sweep_identical_across_planes(monkeypatch):
+    # the full event stream, decision audits and all, must not notice
+    # the data plane swap
+    vec = _sweep_bytes(monkeypatch, "vectorized", policy="score", obs="all")
+    scl = _sweep_bytes(monkeypatch, "scalar", policy="score", obs="all")
+    assert vec == scl
+
+
+@pytest.mark.parametrize("calendar", ["heap", "wheel"])
+def test_sweep_identical_across_planes_and_calendars(monkeypatch, calendar):
+    monkeypatch.setenv("REPRO_SIM_CALENDAR", calendar)
+    vec = _sweep_bytes(monkeypatch, "vectorized", policy="score")
+    scl = _sweep_bytes(monkeypatch, "scalar", policy="score")
+    assert vec == scl
+
+
+@pytest.mark.slow
+def test_predictor_sweep_identical_across_planes(monkeypatch):
+    vec = _sweep_bytes(monkeypatch, "vectorized", policy="predictor")
+    scl = _sweep_bytes(monkeypatch, "scalar", policy="predictor")
+    assert vec == scl
+
+
+@pytest.mark.slow
+def test_runner_reports_identical_across_planes_and_pools(monkeypatch):
+    params = {
+        "n_nodes": 4,
+        "n_jobs": 16,
+        "duration_us": 120_000.0,
+        "policies": ("least-loaded", "score"),
+    }
+    request = ExperimentRequest.make("cluster", params, 11)
+    reports = {}
+    for mode, parallel in (("vectorized", 2), ("scalar", 1)):
+        monkeypatch.setenv(DATA_PLANE_ENV_VAR, mode)
+        report = ExperimentRunner(parallel=parallel).run([request])
+        reports[mode] = canonical_dumps(report.merged())
+    assert reports["vectorized"] == reports["scalar"]
+
+
+# -- batched reads are bitwise equal to scalar reads -------------------------
+
+
+def _pooled_and_private_servers():
+    """Two servers over identical counter state: one pooled, one private."""
+    plane = ClusterDataPlane(1, N_LCPUS, N_CORES, N_EVENTS)
+    server_v = Server(
+        Environment(calendar="heap"),
+        config=SMALL_HW,
+        counter_values=plane.counters[0],
+        busy_values=plane.busy[0],
+    )
+    server_v.data_plane = plane
+    server_s = Server(Environment(calendar="heap"), config=SMALL_HW)
+    return plane, server_v, server_s
+
+
+counter_increments = st.lists(
+    st.lists(
+        st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=N_LCPUS * N_EVENTS,
+        max_size=N_LCPUS * N_EVENTS,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@settings(deadline=None, max_examples=25)
+@given(rounds=counter_increments)
+def test_vpi_hub_reads_bitwise_match_scalar_reader(rounds):
+    plane, server_v, server_s = _pooled_and_private_servers()
+    reader_v = VPIReader(server_v, plane=plane, node_index=0, want_core=True)
+    assert reader_v._hub is not None
+    reader_s = VPIReader(server_s)
+    for flat in rounds:
+        inc = np.array(flat, dtype=np.float64).reshape(N_LCPUS, N_EVENTS)
+        plane.counters[0] += inc
+        server_s.counters._values += inc
+        plane.generation += 1
+        vpi_v, ldst_v, counter_v, core_v = reader_v.sample_full_core()
+        vpi_s, ldst_s, counter_s, core_s = reader_s.sample_full_core()
+        assert core_s is None
+        assert np.array_equal(vpi_v, vpi_s)
+        assert np.array_equal(ldst_v, ldst_s)
+        assert np.array_equal(counter_v, counter_s)
+        assert np.array_equal(
+            core_v, aggregate_per_core(vpi_s, ldst_s, N_CORES)
+        )
+
+
+busy_windows = st.lists(
+    st.tuples(
+        st.floats(1.0, 1_000.0, allow_nan=False, allow_infinity=False),
+        st.lists(
+            st.floats(0.0, 2_000.0, allow_nan=False, allow_infinity=False),
+            min_size=N_LCPUS,
+            max_size=N_LCPUS,
+        ),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(deadline=None, max_examples=25)
+@given(rounds=busy_windows)
+def test_usage_hub_reads_bitwise_match_scalar_tracker(rounds):
+    plane, server_v, server_s = _pooled_and_private_servers()
+    clock = SimpleNamespace(now=0.0)
+    tracker_v = UsageTracker(clock, server_v, hub=plane.usage_hub)
+    tracker_s = UsageTracker(clock, server_s)
+    for dt, flat in rounds:
+        inc = np.array(flat, dtype=np.float64)
+        plane.busy[0] += inc
+        server_s.busy_us += inc
+        plane.generation += 1
+        clock.now += dt
+        assert np.array_equal(tracker_v.peek(), tracker_s.peek())
+        assert np.array_equal(tracker_v.sample(), tracker_s.sample())
+
+
+score_grids = st.lists(
+    st.floats(0.0, 200.0, allow_nan=False, allow_infinity=False),
+    min_size=5 * N_LCPUS,
+    max_size=5 * N_LCPUS,
+)
+
+
+def _fake_nodes(n, lc, reserved, dead):
+    nodes = []
+    for i in range(n):
+        sched = SimpleNamespace(lc_cpus=list(lc), reserved=list(reserved))
+        nodes.append(
+            SimpleNamespace(
+                index=i,
+                holmes=SimpleNamespace(scheduler=sched),
+                alive=i not in dead,
+                batch_load=lambda i=i: 0.25 * i,
+            )
+        )
+    return nodes
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    vpi_vals=score_grids,
+    usage_vals=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+        min_size=5 * N_LCPUS,
+        max_size=5 * N_LCPUS,
+    ),
+    dead=st.sets(st.integers(0, 4), max_size=2),
+)
+def test_score_vector_bitwise_matches_scalar_score(vpi_vals, usage_vals, dead):
+    plane = ClusterDataPlane(5, N_LCPUS, N_CORES, N_EVENTS)
+    plane.vpi_ema[:] = np.array(vpi_vals).reshape(5, N_LCPUS)
+    plane.usage_ema[:] = np.array(usage_vals).reshape(5, N_LCPUS)
+    lc, reserved = [0, 1], [0, 1]
+    non_reserved = [c for c in range(N_LCPUS) if c not in set(reserved)]
+    nodes = _fake_nodes(5, lc, reserved, dead)
+    vec = plane.score_vector(nodes, DEFAULT_WEIGHTS)
+    for node in nodes:
+        i = node.index
+        if node.alive:
+            snap = TelemetrySnapshot(
+                time=0.0,
+                lc_vpi_ema=float(np.mean(plane.vpi_ema[i][np.array(lc)])),
+                reserved_pressure=float(
+                    np.mean(plane.usage_ema[i][np.array(reserved)])
+                ),
+                batch_occupancy=float(
+                    np.mean(plane.usage_ema[i][np.array(non_reserved)])
+                ),
+                n_containers=0,
+                n_lc_cpus=len(lc),
+                expanded=0,
+                serving=True,
+            )
+            expected = interference_score(snap, DEFAULT_WEIGHTS)
+        else:
+            expected = interference_score(
+                None, DEFAULT_WEIGHTS, fallback_occupancy=node.batch_load()
+            )
+        assert vec[i] == expected
+
+
+# -- hub window semantics ----------------------------------------------------
+
+
+def test_usage_hub_off_cohort_row_recomputes_with_its_own_dt():
+    plane = ClusterDataPlane(2, N_LCPUS, N_CORES, N_EVENTS)
+    hub = plane.usage_hub
+    hub.register(0, 0.0)
+    hub.register(1, 0.0)
+    plane.busy += 40.0
+    plane.generation += 1
+    # node 1's daemon restarts mid-window: fresh baseline at t=50
+    hub.rebaseline(1, 50.0)
+    plane.busy += 10.0
+    plane.generation += 1
+    u0 = hub.sample(0, 100.0)  # cohort row: 50 busy over dt=100
+    u1 = hub.sample(1, 100.0)  # off-cohort row: 10 busy over dt=50
+    assert np.array_equal(u0, np.full(N_LCPUS, 0.5))
+    assert np.array_equal(u1, np.full(N_LCPUS, 0.2))
+
+
+def test_usage_hub_zero_window_reads_zero():
+    plane = ClusterDataPlane(1, N_LCPUS, N_CORES, N_EVENTS)
+    hub = plane.usage_hub
+    hub.register(0, 25.0)
+    plane.busy[0] += 5.0
+    plane.generation += 1
+    assert np.array_equal(hub.peek(0, 25.0), np.zeros(N_LCPUS))
+
+
+def test_generation_bump_invalidates_same_instant_batch():
+    plane = ClusterDataPlane(2, N_LCPUS, N_CORES, N_EVENTS)
+    hub = plane.usage_hub
+    hub.register(0, 0.0)
+    hub.register(1, 0.0)
+    plane.busy += 50.0
+    plane.generation += 1
+    u0 = hub.sample(0, 100.0)
+    # a workload event lands between the two nodes' same-instant reads
+    plane.busy[1] += 25.0
+    plane.generation += 1
+    u1 = hub.sample(1, 100.0)
+    assert np.array_equal(u0, np.full(N_LCPUS, 0.5))
+    assert np.array_equal(u1, np.full(N_LCPUS, 0.75))

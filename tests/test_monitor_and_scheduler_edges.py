@@ -164,7 +164,7 @@ def test_lc_allocation_follows_expansion():
         assert t.affinity == frozenset(holmes.lc_cpus)
 
 
-# -- export ------------------------------------------------------------------------------
+# -- export ----------------------------------------------------------------------------
 
 
 def test_export_roundtrip(tmp_path):

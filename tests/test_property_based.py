@@ -183,7 +183,7 @@ def test_lsm_never_loses_keys(puts, memtable_entries):
         assert a.max_key < b.min_key
 
 
-# -- B-tree ------------------------------------------------------------------------------
+# -- B-tree ----------------------------------------------------------------------------
 
 
 @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
@@ -198,7 +198,7 @@ def test_btree_put_get_roundtrip(keys):
         assert page.page_id == k // 8
 
 
-# -- YCSB distributions ---------------------------------------------------------------------
+# -- YCSB distributions ----------------------------------------------------------------
 
 
 @given(st.integers(min_value=2, max_value=100_000),
@@ -213,7 +213,7 @@ def test_zipfian_draws_in_range(n, seed):
         assert 0 <= s.next() < n
 
 
-# -- analysis -----------------------------------------------------------------------------------
+# -- analysis --------------------------------------------------------------------------
 
 
 @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2,
