@@ -31,6 +31,14 @@ Checks, mirroring what the bench itself promises:
   events/sec (default 2x) at 100 nodes -- both arms run fresh in the
   current record, so this is a within-run floor, not a baseline ratio --
   and the two planes' churned sweep reports must be byte-identical;
+* the async dispatch core must beat the static pool by at least
+  ``min_dispatch_core`` (default 1.3x) on the skewed cell mix --
+  within-run, like the cluster-rate floor -- whenever the record shows
+  at least two effective workers (a single-core runner serialises both
+  arms, so the ratio measures nothing there and only the identity
+  checks apply); the static and core arms' merged reports, and the
+  sharded 1,000-node sweep's merged reports across every executor
+  transport and pool size, must be byte-identical unconditionally;
 * the profiling stage's wall-clock per probe run must not exceed
   ``max_profiling_ratio`` times the baseline's (default 2x, same noise
   allowance as the sweep wall): the micro-probe stage staying cheap is
@@ -70,7 +78,8 @@ def check(current: dict, baseline: dict, max_ratio: float,
           max_obs_enabled: float = 1.15,
           min_dispatch_ratio: float = 0.95,
           max_profiling_ratio: float = 2.0,
-          min_cluster_rate: float = 2.0) -> list[str]:
+          min_cluster_rate: float = 2.0,
+          min_dispatch_core: float = 1.3) -> list[str]:
     failures = []
     if not current["sweep"]["identical_merged_results"]:
         failures.append(
@@ -211,6 +220,45 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 "bench harness itself diverged between planes"
             )
 
+    dc = current.get("dispatch_core")
+    if dc is None:
+        failures.append(
+            "bench record has no dispatch_core section (run without "
+            "--no-dispatch)"
+        )
+    else:
+        mix = dc["skewed_mix"]
+        workers = int(dc.get("effective_workers", 1))
+        speedup = mix.get("speedup") or 0.0
+        print(
+            f"dispatch core ({workers} workers, {mix['n_cheap']} short + "
+            f"1 long cell): static {mix['static_wall_s']:.2f}s, core "
+            f"{mix['core_wall_s']:.2f}s, speedup {speedup:.2f}x "
+            f"(floor {min_dispatch_core:.2f}x at >= 2 workers); "
+            f"mix identical={mix['identical_merged_results']}, sharded "
+            f"identical={dc['sharded_sweep']['identical_merged_results']}"
+        )
+        # within-run floor, like the cluster-rate gate -- but only
+        # meaningful with real concurrency: one core serialises both
+        # arms and the ratio measures the OS, not the dispatch policy.
+        if workers >= 2 and speedup < min_dispatch_core:
+            failures.append(
+                f"dispatch core is only {speedup:.2f}x the static pool "
+                f"on the skewed mix at {workers} workers (floor "
+                f"{min_dispatch_core:.2f}x): the LPT ready queue "
+                f"regressed"
+            )
+        if not mix["identical_merged_results"]:
+            failures.append(
+                "static-pool and dispatch-core merged results differ: "
+                "the dispatch core changed experiment output"
+            )
+        if not dc["sharded_sweep"]["identical_merged_results"]:
+            failures.append(
+                "sharded 1,000-node sweep merged results differ across "
+                "executors/pool sizes: a transport leaked into results"
+            )
+
     fo = current.get("fault_overhead")
     if fo is None:
         failures.append(
@@ -288,6 +336,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-cluster-rate", type=float, default=2.0,
                         help="required vectorized-vs-scalar cluster "
                              "data-plane events/sec ratio (default 2.0)")
+    parser.add_argument("--min-dispatch-core", type=float, default=1.3,
+                        help="required dispatch-core-vs-static-pool "
+                             "skewed-mix speedup when the record shows "
+                             ">= 2 effective workers (default 1.3)")
     args = parser.parse_args(argv)
 
     current = json.loads(pathlib.Path(args.current).read_text())
@@ -295,7 +347,8 @@ def main(argv=None) -> int:
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
                      args.max_fault_overhead, args.max_obs_disabled,
                      args.max_obs_enabled, args.min_dispatch_ratio,
-                     args.max_profiling_ratio, args.min_cluster_rate)
+                     args.max_profiling_ratio, args.min_cluster_rate,
+                     args.min_dispatch_core)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     if not failures:

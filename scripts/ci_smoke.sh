@@ -18,10 +18,10 @@ echo "== tier-1 tests (excluding slow) =="
 python -m pytest -x -q -m "not slow"
 
 echo "== 2-worker runner equivalence bench =="
-# kernel/cluster benches are covered by the bench-regression job; the
-# smoke run only needs the serial-vs-parallel equivalence check.
+# kernel/cluster/dispatch benches are covered by the bench-regression
+# job; the smoke run only needs the serial-vs-parallel equivalence check.
 python -m repro bench --parallel 2 --duration 0.03 \
-    --no-kernel --no-cluster \
+    --no-kernel --no-cluster --no-dispatch \
     --output "$(mktemp -d)/BENCH_smoke.json"
 
 echo "ci_smoke: OK"

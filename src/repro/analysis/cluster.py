@@ -175,3 +175,41 @@ def format_cluster_table(aggregate: dict) -> str:
                 f"{cand_name} vs {base_name}: " + ", ".join(parts)
             )
     return "\n".join(rendered)
+
+
+def format_sharded_cluster_table(aggregate: dict) -> str:
+    """Render the merged ``cluster_shard`` aggregate as a text table."""
+    headers = (
+        "policy", "nodes", "shards", "lc_mean_us", "worst_p99_us",
+        "slo_viol", "completed", "jobs/s",
+    )
+    lines = []
+    for name, row in aggregate.items():
+        lc = row["lc"]
+        lines.append((
+            name,
+            str(row["n_nodes"]),
+            str(row["shards"]),
+            f"{lc['mean_us']:.1f}" if lc["mean_us"] is not None else "-",
+            (
+                f"{lc['worst_shard_p99_us']:.1f}"
+                if lc["worst_shard_p99_us"] is not None
+                else "-"
+            ),
+            (
+                f"{100.0 * lc['slo_violation_ratio']:.2f}%"
+                if lc["slo_violation_ratio"] is not None
+                else "-"
+            ),
+            str(row["batch"]["completed"]),
+            f"{row['batch']['jobs_per_s']:.1f}",
+        ))
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in lines)) if lines
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    rendered = [fmt.format(*headers)]
+    rendered += [fmt.format(*row) for row in lines]
+    return "\n".join(rendered)

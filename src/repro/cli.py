@@ -186,10 +186,21 @@ def cmd_cluster(args) -> int:
     }
     if args.obs is not None:
         params["obs"] = args.obs
-    request = ExperimentRequest.make("cluster", params, args.seed)
+    sharded = args.shards > 0
+    if sharded:
+        params["shards"] = args.shards
+        request = ExperimentRequest.make("cluster_shard", params, args.seed)
+    else:
+        request = ExperimentRequest.make("cluster", params, args.seed)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
-    print(f"cluster sweep: {args.nodes} nodes, {args.jobs} jobs, "
+    runner = ExperimentRunner(
+        cache=cache,
+        parallel=args.parallel,
+        executor=args.executor,
+        dispatch=args.dispatch,
+    )
+    shard_note = f" in {args.shards} shards" if sharded else ""
+    print(f"cluster sweep: {args.nodes} nodes, {args.jobs} jobs{shard_note}, "
           f"policies: {', '.join(policies)} ...", file=sys.stderr)
     report = runner.run([request])
     aggregate = report.experiments[request.experiment_id]
@@ -199,7 +210,12 @@ def cmd_cluster(args) -> int:
     # canonical bytes: same seed and scale => byte-identical report file
     path.write_text(canonical_dumps(report.merged()) + "\n")
 
-    print(format_cluster_table(aggregate))
+    if sharded:
+        from repro.analysis.cluster import format_sharded_cluster_table
+
+        print(format_sharded_cluster_table(aggregate))
+    else:
+        print(format_cluster_table(aggregate))
     if args.obs is not None:
         from repro.analysis.cluster import format_node_health_table
 
@@ -299,6 +315,7 @@ def cmd_bench(args) -> int:
         quick=args.quick,
         kernel=not args.no_kernel,
         cluster=not args.no_cluster,
+        dispatch=not args.no_dispatch,
         profile=args.profile,
     )
     sweep = record["sweep"]
@@ -326,6 +343,18 @@ def cmd_bench(args) -> int:
              round(cl["wheel_coalesced_wall_s"], 2)],
             ["cluster reports identical", str(cl["identical_reports"])],
         ]
+    if "dispatch_core" in record:
+        dc = record["dispatch_core"]
+        mix = dc["skewed_mix"]
+        rows += [
+            ["dispatch workers", dc["effective_workers"]],
+            ["skewed mix static wall (s)", round(mix["static_wall_s"], 2)],
+            ["skewed mix core wall (s)", round(mix["core_wall_s"], 2)],
+            ["skewed mix speedup", round(mix["speedup"], 2)],
+            ["skewed mix identical", str(mix["identical_merged_results"])],
+            ["sharded sweep identical",
+             str(dc["sharded_sweep"]["identical_merged_results"])],
+        ]
     print(format_table(["metric", "value"], rows))
     if "profile_report" in record:
         print(f"profile report: {record['profile_report']}")
@@ -338,6 +367,16 @@ def cmd_bench(args) -> int:
         print("ERROR: cluster sweep reports differ across kernels or "
               "coalescing", file=sys.stderr)
         failed = True
+    if "dispatch_core" in record:
+        dc = record["dispatch_core"]
+        if not dc["skewed_mix"]["identical_merged_results"]:
+            print("ERROR: static-pool and dispatch-core merged results "
+                  "differ", file=sys.stderr)
+            failed = True
+        if not dc["sharded_sweep"]["identical_merged_results"]:
+            print("ERROR: sharded sweep merged results differ across "
+                  "executors", file=sys.stderr)
+            failed = True
     return 1 if failed else 0
 
 
@@ -601,6 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the kernel (heap vs wheel) microbenches")
     p.add_argument("--no-cluster", action="store_true",
                    help="skip the 100-node cluster sweep bench")
+    p.add_argument("--no-dispatch", action="store_true",
+                   help="skip the dispatch-core skewed-mix and sharded "
+                        "1,000-node executor benches")
     p.add_argument("--profile", action="store_true",
                    help="also write a cProfile report of the event-loop "
                         "hot path (both kernels) next to --output")
@@ -624,6 +666,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulated seconds (default 0.6)")
     p.add_argument("--parallel", type=int, default=2,
                    help="worker processes, one per policy cell (default 2)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="split each policy's sweep into N per-node-range "
+                        "shard cells merged deterministically "
+                        "(0 = unsharded, the default)")
+    p.add_argument("--executor", default=None,
+                   choices=["inprocess", "pool", "socket"],
+                   help="cell transport (default: pool when --parallel "
+                        "> 1, in-process otherwise)")
+    p.add_argument("--dispatch", default="core",
+                   choices=["core", "static"],
+                   help="dispatch strategy: cost-ordered dispatch core "
+                        "(default) or the legacy static pool")
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: no cache)")
     p.add_argument("--output", default="cluster_report.json")

@@ -180,10 +180,11 @@ class _VPIHub:
         self.scale = scale
         self.min_instructions = min_instructions
         self.n_cores = n_cores
-        #: compute the per-core aggregate in the batch (ANDed over every
-        #: registrant: a cps-mode or fault-corrupted monitor aggregates
-        #: its own, possibly rewritten, per-lcpu view instead).
-        self.want_core = True
+        #: per-node: whether the batch should serve this row's per-core
+        #: aggregate.  A cps-mode or fault-corrupted monitor aggregates
+        #: its own, possibly rewritten, per-lcpu view instead -- but it
+        #: opts out *alone*; its neighbours keep the batched aggregate.
+        self._want_core = np.ones(plane.counters.shape[0], dtype=bool)
         self._cols_arr = np.array(cols, dtype=np.intp)
         n_nodes = plane.counters.shape[0]
         n_lcpus = plane.counters.shape[1]
@@ -197,7 +198,7 @@ class _VPIHub:
 
     def register(self, node: int, want_core: bool) -> None:
         self._last[node] = self.plane.counters[node][:, self._cols_arr]
-        self.want_core = self.want_core and want_core
+        self._want_core[node] = want_core
 
     def _refresh(self, now: float) -> None:
         key = (now, self.plane.generation)
@@ -213,7 +214,10 @@ class _VPIHub:
         mask = ldst >= self.min_instructions
         vpi[mask] = counter[mask] / ldst[mask] * self.scale
         self._vpi, self._ldst, self._counter = vpi, ldst, counter
-        if self.want_core:
+        if self._want_core.any():
+            # computed for every row in one pass (cheaper than slicing
+            # out the opted-in rows); opted-out rows just never consume
+            # their row, so their own scalar fallback stays authoritative.
             nc = self.n_cores
             v0, v1 = vpi[:, :nc], vpi[:, nc:]
             w0, w1 = ldst[:, :nc], ldst[:, nc:]
@@ -227,7 +231,7 @@ class _VPIHub:
         """(vpi, ldst, counter, core_vpi | None) for one node's window."""
         self._refresh(now)
         self._last[node] = self._cur[node]
-        core = self._core[node] if self.want_core else None
+        core = self._core[node] if self._want_core[node] else None
         return self._vpi[node], self._ldst[node], self._counter[node], core
 
     def rebaseline(self, node: int) -> None:

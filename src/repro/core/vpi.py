@@ -125,10 +125,13 @@ def aggregate_per_core(values: np.ndarray, weights: np.ndarray,
         raise ValueError("values and weights must align")
     if values.size != 2 * n_cores:
         raise ValueError(f"expected {2 * n_cores} lcpus, got {values.size}")
+    # fully vectorized (no boolean-gather temporaries): elementwise
+    # multiply-add then a masked divide is bitwise identical to gathering
+    # the active cores first, and it is what the cps-mode / fault-path
+    # fallback runs every tick when it opts out of the batched hub.
     v0, v1 = values[:n_cores], values[n_cores:]
     w0, w1 = weights[:n_cores], weights[n_cores:]
     total = w0 + w1
     out = np.zeros(n_cores, dtype=np.float64)
-    mask = total > 0
-    out[mask] = (v0[mask] * w0[mask] + v1[mask] * w1[mask]) / total[mask]
+    np.divide(v0 * w0 + v1 * w1, total, out=out, where=total > 0)
     return out

@@ -10,8 +10,15 @@ The layers, bottom up:
 * :mod:`repro.runner.aggregate` — the experiment registry: expansion of
   user-level experiments into role-labelled cells and pure aggregation of
   payloads back into figure/table structures;
-* :mod:`repro.runner.runner` — the process-pool executor with
-  deterministic (byte-identical serial-vs-parallel) merging;
+* :mod:`repro.runner.executors` — pluggable transports behind one
+  pull-based protocol: in-process, process pool, and loopback-socket
+  worker subprocesses;
+* :mod:`repro.runner.dispatch` — the async dispatch core: a cost-ordered
+  shared ready-queue (longest-expected-first), streaming completion
+  folding, bounded speculative re-execution of stragglers;
+* :mod:`repro.runner.runner` — the runner tying dispatch, cache and
+  aggregation together with deterministic (byte-identical across
+  executors) merging;
 * :mod:`repro.runner.bench` — the ``repro bench`` harness emitting
   ``BENCH_runner.json``.
 """
@@ -24,7 +31,23 @@ from repro.runner.aggregate import (
     expand_request,
     aggregate_request,
 )
-from repro.runner.runner import CellExecutionError, ExperimentRunner, RunReport
+from repro.runner.dispatch import CostModel, DispatchCore
+from repro.runner.executors import (
+    EXECUTORS,
+    Completion,
+    ExecutorError,
+    InProcessExecutor,
+    PoolExecutor,
+    SocketExecutor,
+    Task,
+    make_executor,
+)
+from repro.runner.runner import (
+    DISPATCH_MODES,
+    CellExecutionError,
+    ExperimentRunner,
+    RunReport,
+)
 from repro.runner.bench import (
     bench_event_loop,
     bench_fault_overhead,
@@ -43,6 +66,17 @@ __all__ = [
     "ExperimentRequest",
     "expand_request",
     "aggregate_request",
+    "CostModel",
+    "DispatchCore",
+    "EXECUTORS",
+    "Completion",
+    "ExecutorError",
+    "InProcessExecutor",
+    "PoolExecutor",
+    "SocketExecutor",
+    "Task",
+    "make_executor",
+    "DISPATCH_MODES",
     "CellExecutionError",
     "ExperimentRunner",
     "RunReport",

@@ -11,7 +11,7 @@ byte-comparable regardless of how (or whether) the cells were fanned out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.runner.cells import (
     Cell,
@@ -219,6 +219,168 @@ def _agg_cluster(params: dict, by_role: dict[str, Any]) -> dict:
     return compare_policies(by_role)
 
 
+#: param keys forwarded untouched to every cluster_sweep shard cell.
+_SHARD_PASSTHROUGH = (
+    "duration_us",
+    "telemetry_interval_us",
+    "check_interval_us",
+    "admit_threshold",
+    "relocate_threshold",
+    "relocate_margin",
+    "predict_admit_threshold",
+    "predict_relocate_threshold",
+    "predict_relocate_margin",
+    "predict_lc_weight",
+    "predict_probe_seed",
+    "slo_multiplier",
+)
+
+
+def _shard_counts(total: int, shards: int) -> list[int]:
+    """Split ``total`` into ``shards`` near-equal deterministic pieces."""
+    base, extra = divmod(int(total), shards)
+    return [base + (1 if i < extra else 0) for i in range(shards)]
+
+
+def _expand_cluster_shard(params: dict, seed: int) -> list[tuple[str, Cell]]:
+    """Split one big cluster sweep into per-node-range shard cells.
+
+    A 1,000-node sweep over one policy becomes N independent
+    ``cluster_sweep`` cells of ~1000/N nodes each (node and job counts
+    split near-equally, first shards absorbing the remainder), with a
+    deterministic per-shard seed derived from the experiment seed.  The
+    shards are what makes the big sweep schedulable: instead of one
+    monolithic straggler, the dispatch core interleaves N cells across
+    whatever executor is attached.
+    """
+    from repro.cluster.scheduler import POLICIES
+
+    policies = params.get("policies", POLICIES)
+    if isinstance(policies, str):
+        policies = (policies,)
+    shards = int(params.get("shards", 8))
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    n_nodes = int(params.get("n_nodes", 64))
+    n_jobs = int(params.get("n_jobs", 400))
+    shards = min(shards, n_nodes)  # never a shard without a node
+    node_counts = _shard_counts(n_nodes, shards)
+    job_counts = _shard_counts(n_jobs, shards)
+    base = {k: params[k] for k in _SHARD_PASSTHROUGH if k in params}
+    cells = []
+    for policy in policies:
+        for i in range(shards):
+            cells.append((
+                f"{policy}:shard{i:03d}",
+                Cell.make(
+                    "cluster_sweep",
+                    {
+                        **base,
+                        "policy": policy,
+                        "n_nodes": node_counts[i],
+                        "n_jobs": job_counts[i],
+                    },
+                    seed * 1_000 + i,
+                ),
+            ))
+    return cells
+
+
+def _wmean(pairs: list[tuple[float, float]]) -> Optional[float]:
+    """Weighted mean over (value, weight); None when nothing weighs in."""
+    total = sum(w for _v, w in pairs)
+    if total <= 0.0:
+        return None
+    return sum(v * w for v, w in pairs) / total
+
+
+def _agg_cluster_shard(params: dict, by_role: dict[str, Any]) -> dict:
+    """Deterministically merge shard payloads back into one per-policy view.
+
+    Pure arithmetic in sorted-role order: counts sum, latency means and
+    SLO ratios combine weighted by query count, p99 reports the worst
+    shard (a conservative cluster-wide bound -- exact cross-shard
+    quantiles would need the raw samples the payloads deliberately do
+    not carry).  Because every input payload is deterministic and the
+    folds are ordered, the merged report is byte-identical no matter
+    which executor (or how many workers) computed the shards.
+    """
+    per_policy: dict[str, list[tuple[str, dict]]] = {}
+    for role in sorted(by_role):
+        policy, _, shard = role.partition(":shard")
+        per_policy.setdefault(policy, []).append((shard, by_role[role]))
+
+    out: dict[str, Any] = {}
+    for policy in sorted(per_policy):
+        shard_rows = []
+        lat_pairs, slo_pairs, score_pairs = [], [], []
+        queries = 0
+        p99s = []
+        batch_totals = {
+            "submitted": 0, "admitted": 0, "enqueued": 0, "rejected": 0,
+            "still_queued": 0, "completed": 0,
+        }
+        relocations = {"total": 0, "stall": 0, "preemptive": 0}
+        jobs_per_s = 0.0
+        n_nodes = n_jobs = 0
+        for shard, payload in per_policy[policy]:
+            lat = payload["lc"]["latency"]
+            count = int(lat["count"])
+            queries += count
+            if lat["mean"] is not None and count > 0:
+                lat_pairs.append((float(lat["mean"]), float(count)))
+                p99s.append(float(lat["quantiles"][99]))
+            ratio = payload["lc"]["slo_violation_ratio"]
+            if ratio is not None and count > 0:
+                slo_pairs.append((float(ratio), float(count)))
+            for key in batch_totals:
+                batch_totals[key] += int(payload["batch"][key])
+            for key in relocations:
+                relocations[key] += int(payload["batch"]["relocations"][key])
+            jobs_per_s += float(payload["batch"]["jobs_per_s"])
+            n_nodes += int(payload["n_nodes"])
+            n_jobs += int(payload["n_jobs"])
+            score_pairs.append((
+                float(payload["nodes"]["final_score_mean"]),
+                float(payload["n_nodes"]),
+            ))
+            shard_rows.append({
+                "shard": shard,
+                "seed": payload["seed"],
+                "n_nodes": payload["n_nodes"],
+                "n_jobs": payload["n_jobs"],
+                "mean_us": lat["mean"],
+                "p99_us": lat["quantiles"][99] if lat["quantiles"] else None,
+                "slo_violation_ratio": ratio,
+                "completed": payload["batch"]["completed"],
+            })
+        out[policy] = {
+            "n_nodes": n_nodes,
+            "n_jobs": n_jobs,
+            "shards": len(shard_rows),
+            "lc": {
+                "queries": queries,
+                "mean_us": _wmean(lat_pairs),
+                "worst_shard_p99_us": max(p99s) if p99s else None,
+                "slo_violation_ratio": _wmean(slo_pairs),
+            },
+            "batch": {
+                **batch_totals,
+                "jobs_per_s": jobs_per_s,
+                "relocations": relocations,
+            },
+            "nodes": {
+                "final_score_mean": _wmean(score_pairs),
+                "final_score_max": max(
+                    float(p["nodes"]["final_score_max"])
+                    for _s, p in per_policy[policy]
+                ),
+            },
+            "per_shard": shard_rows,
+        }
+    return out
+
+
 def _expand_chaos(params: dict, seed: int) -> list[tuple[str, Cell]]:
     """One faulted co-location run plus one faulted cluster sweep.
 
@@ -304,6 +466,9 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         _agg_passthrough,
     ),
     "cluster": ExperimentSpec("cluster", _expand_cluster, _agg_cluster),
+    "cluster_shard": ExperimentSpec(
+        "cluster_shard", _expand_cluster_shard, _agg_cluster_shard
+    ),
     "profile": ExperimentSpec(
         "profile", _single_cell("profile", ("iterations", "duties")),
         _agg_passthrough,

@@ -21,6 +21,14 @@ trajectory is tracked from PR to PR:
 * **sweep** -- serial vs parallel wall-clock of a 4-experiment
   co-location sweep through the runner (cache + process fan-out), with
   the serial/parallel byte-identity check.
+* **dispatch_core** -- the async dispatch core against the static pool
+  on a skewed cell mix (one long cell hidden at the end of a pile of
+  short ones: the head-of-line shape the longest-expected-first ready
+  queue exists for), plus a 1,000-node sharded cluster sweep run through
+  every executor transport and two pool sizes with a byte-identity
+  check across all merged reports.  The skewed-mix speedup is gated in
+  CI (>= 1.3x) whenever the record shows at least two effective
+  workers; the identity checks are gated unconditionally.
 * **fault_overhead** -- wall-clock of a telemetry-mode daemon run with
   and without the (empty) fault-injection hooks attached; the ratio is
   what the CI regression gate holds to <= 5%.
@@ -429,6 +437,147 @@ def bench_cluster_rate(quick: bool = False, seed: int = 42) -> dict:
     return record
 
 
+def bench_dispatch_core(parallel: int = 8, quick: bool = False,
+                        seed: int = 42) -> dict:
+    """The async dispatch core vs the static pool, plus executor identity.
+
+    Two measurements:
+
+    * **skewed_mix** -- a pile of short colocation cells with one long
+      cell appended *last*.  The static pool dispatches in input order,
+      so the long cell starts only after every short one has been handed
+      out and the tail of the run is one worker grinding alone; the
+      dispatch core's cost model puts the long cell first and back-fills
+      the short ones around it.  With ``W`` seconds of short work sized
+      at ``0.8 * (workers - 1) * heavy_wall``, the expected ratio is
+      ``1 + 0.8 * (workers - 1) / workers`` (1.4x at two workers, 1.6x
+      at four) against the CI floor of 1.3x.  Arms are interleaved and
+      min-of-``repeats``; both arms' merged reports must be
+      byte-identical.  The pool is clamped to ``os.cpu_count()``:
+      oversubscribed workers timeshare the long cell and measure the OS
+      scheduler, not the dispatch policy.  On a single-core box the
+      ratio is meaningless (everything serialises), so the record
+      carries ``effective_workers`` and the CI gate only applies the
+      floor when it is >= 2.  Speculation is off in both arms: a
+      speculative clone of the straggler would re-run the long cell
+      from scratch and add noise, not signal, at this scale.
+    * **sharded_sweep** -- a 1,000-node cluster sweep sharded into
+      per-node-range cells, run through ``InProcessExecutor``,
+      ``PoolExecutor`` at two sizes, and ``SocketExecutor``.  The merged
+      reports must be byte-identical across every arm: the transport
+      and the fan-out width must never leak into results.
+    """
+    import os
+
+    from repro.runner.aggregate import ExperimentRequest
+
+    eff = max(1, min(parallel, os.cpu_count() or 1))
+    heavy_us = 100_000.0 if quick else 200_000.0
+    cheap_us = 5_000.0
+    repeats = 2
+
+    def colo(duration_us: float, cell_seed: int) -> ExperimentRequest:
+        return ExperimentRequest.make(
+            "colocation",
+            {"service": "redis", "workload": "a", "setting": "holmes",
+             "duration_us": duration_us},
+            cell_seed,
+        )
+
+    def serial_wall(req: ExperimentRequest) -> float:
+        t0 = time.perf_counter()
+        ExperimentRunner(parallel=1).run([req])
+        return time.perf_counter() - t0
+
+    # calibrate the short/long cost ratio on this machine (fixed per-cell
+    # setup cost makes it flatter than the duration ratio); these serial
+    # runs also warm every import so neither timed arm pays them.
+    cheap_wall = serial_wall(colo(cheap_us, seed))
+    heavy_wall = serial_wall(colo(heavy_us, seed + 1))
+    ratio = heavy_wall / cheap_wall if cheap_wall > 0 else 1.0
+    n_cheap = max(eff, min(96, round(0.8 * max(eff - 1, 1) * ratio)))
+    requests = [colo(cheap_us, seed + 10 + i) for i in range(n_cheap)]
+    requests.append(colo(heavy_us, seed + 1))
+
+    def one_mix(dispatch: str) -> tuple[float, bytes]:
+        runner = ExperimentRunner(
+            parallel=eff,
+            dispatch=dispatch,
+            executor="pool" if dispatch == "core" else None,
+            speculate=0,
+        )
+        report = runner.run(requests)
+        return report.wall_s, report.merged_bytes()
+
+    walls: dict[str, list[float]] = {"static": [], "core": []}
+    blobs: dict[str, bytes] = {}
+    for _ in range(repeats):
+        for arm in ("static", "core"):
+            wall, blob = one_mix(arm)
+            walls[arm].append(wall)
+            blobs[arm] = blob
+    static_wall = min(walls["static"])
+    core_wall = min(walls["core"])
+
+    shard_req = [
+        ExperimentRequest.make(
+            "cluster_shard",
+            {"policies": ("score",), "shards": 8, "n_nodes": 1000,
+             "n_jobs": 150 if quick else 300,
+             "duration_us": 3_000.0 if quick else 8_000.0},
+            seed,
+        )
+    ]
+
+    def one_shard(executor: str, workers: int) -> tuple[float, bytes]:
+        runner = ExperimentRunner(parallel=workers, executor=executor,
+                                  speculate=0)
+        report = runner.run(shard_req)
+        return report.wall_s, report.merged_bytes()
+
+    shard_arms = []
+    shard_blobs = []
+    for executor, workers in (
+        ("inprocess", 1),
+        ("pool", 2),
+        ("pool", eff),
+        ("socket", 2),
+    ):
+        wall, blob = one_shard(executor, workers)
+        shard_arms.append(
+            {"executor": executor, "parallel": workers, "wall_s": wall}
+        )
+        shard_blobs.append(blob)
+
+    return {
+        "requested_parallel": parallel,
+        "effective_workers": eff,
+        "cpu_count": os.cpu_count(),
+        "skewed_mix": {
+            "n_cheap": n_cheap,
+            "cheap_duration_us": cheap_us,
+            "heavy_duration_us": heavy_us,
+            "cheap_wall_s": cheap_wall,
+            "heavy_wall_s": heavy_wall,
+            "repeats": repeats,
+            "static_wall_s": static_wall,
+            "core_wall_s": core_wall,
+            "speedup": static_wall / core_wall if core_wall > 0 else None,
+            "identical_merged_results": blobs["static"] == blobs["core"],
+        },
+        "sharded_sweep": {
+            "n_nodes": 1000,
+            "shards": 8,
+            "n_jobs": 150 if quick else 300,
+            "duration_us": 3_000.0 if quick else 8_000.0,
+            "arms": shard_arms,
+            "identical_merged_results": all(
+                blob == shard_blobs[0] for blob in shard_blobs
+            ),
+        },
+    }
+
+
 def profile_event_loop(output: str | pathlib.Path,
                        quick: bool = False) -> str:
     """cProfile the timer-flood hot path for both kernels; write a text
@@ -641,14 +790,16 @@ def run_bench(
     quick: bool = False,
     kernel: bool = True,
     cluster: bool = True,
+    dispatch: bool = True,
     profile: bool = False,
 ) -> dict:
     """Run the bench and write ``BENCH_runner.json``; returns the record.
 
-    ``kernel``/``cluster`` gate the corresponding measurement groups (the
-    CI smoke job runs with both off: it only needs the serial-vs-parallel
-    equivalence check).  ``profile`` additionally writes a cProfile
-    report of the event-loop hot path next to ``output``.
+    ``kernel``/``cluster``/``dispatch`` gate the corresponding
+    measurement groups (the CI smoke job runs with all three off: it
+    only needs the serial-vs-parallel equivalence check).  ``profile``
+    additionally writes a cProfile report of the event-loop hot path
+    next to ``output``.
     """
     requests = bench_sweep(duration_us, seed)
 
@@ -702,6 +853,8 @@ def run_bench(
     if cluster:
         record["cluster"] = bench_cluster(quick, seed=seed)
         record["cluster_rate"] = bench_cluster_rate(quick, seed=seed)
+    if dispatch:
+        record["dispatch_core"] = bench_dispatch_core(quick=quick, seed=seed)
     if profile:
         record["profile_report"] = profile_event_loop(output, quick)
     path = pathlib.Path(output)

@@ -7,22 +7,34 @@ computed by different code.  Entries embed a second hash over the payload
 itself; a stored entry whose payload no longer matches its recorded hash
 (truncated write, bit rot, hand editing) is treated as a miss and
 recomputed — corrupted results are detected, never trusted.
+
+The cache is write-through safe for concurrent writers sharing one
+directory: every ``put`` writes to a tmp name unique per (pid, in-process
+counter) and atomically renames it into place, so two processes storing
+the same cell concurrently race only on *which complete entry wins*,
+never on partial bytes.  Entries record the compute seconds that produced
+them; the dispatch core's cost model uses those timings to order future
+work longest-expected-first.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pathlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.analysis.export import canonical_dumps
 from repro.runner.cells import Cell
 
 #: memoised per process; hashing ~180 source files costs a few ms.
 _code_fingerprint: Optional[str] = None
+
+#: disambiguates tmp files written by one process's concurrent callers.
+_tmp_counter = itertools.count()
 
 
 def code_fingerprint() -> str:
@@ -86,8 +98,13 @@ class ResultCache:
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
-    def get(self, cell: Cell) -> Optional[dict]:
-        """Verified payload for ``cell``, or None (missing or corrupted)."""
+    def get_entry(self, cell: Cell) -> Optional[tuple[dict, float]]:
+        """Verified ``(payload, compute_s)`` for ``cell``, or None.
+
+        Missing entries count as misses; unparseable, truncated, or
+        hash-mismatched entries count as corrupted.  Either way the
+        caller recomputes — a bad entry is never trusted, never fatal.
+        """
         key = cell_key(cell)
         path = self.path_for(key)
         if not path.exists():
@@ -98,17 +115,47 @@ class ResultCache:
             payload = entry["payload"]
             stored_sha = entry["payload_sha256"]
             stored_key = entry["key"]
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            compute_s = float(entry.get("compute_s", 0.0))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
             self.stats.corrupted += 1
             return None
         if stored_key != key or payload_hash(payload) != stored_sha:
             self.stats.corrupted += 1
             return None
         self.stats.hits += 1
-        return payload
+        return payload, compute_s
 
-    def put(self, cell: Cell, payload: dict) -> pathlib.Path:
-        """Store a payload atomically (write-then-rename)."""
+    def get(self, cell: Cell) -> Optional[dict]:
+        """Verified payload for ``cell``, or None (missing or corrupted)."""
+        entry = self.get_entry(cell)
+        return None if entry is None else entry[0]
+
+    def get_many(self, cells: Iterable[Cell]) -> dict[str, tuple[dict, float]]:
+        """Batch lookup: cell_id -> (payload, compute_s) for every hit.
+
+        Misses and corrupted entries are simply absent from the result
+        (their stats are still counted individually).
+        """
+        found: dict[str, tuple[dict, float]] = {}
+        for cell in cells:
+            if cell.cell_id in found:
+                continue
+            entry = self.get_entry(cell)
+            if entry is not None:
+                found[cell.cell_id] = entry
+        return found
+
+    def put(
+        self, cell: Cell, payload: dict, compute_s: float = 0.0
+    ) -> pathlib.Path:
+        """Store a payload atomically (write-then-rename).
+
+        Safe for concurrent writers sharing this directory: the tmp name
+        is unique per (pid, counter), and ``rename`` is atomic, so a
+        reader sees either no entry or a complete one.  Two writers
+        racing on the same cell both write complete, equivalent entries;
+        whichever rename lands last wins.
+        """
         key = cell_key(cell)
         entry = {
             "key": key,
@@ -116,12 +163,26 @@ class ResultCache:
             "params": cell.param_dict,
             "seed": cell.seed,
             "code": code_fingerprint(),
+            "compute_s": float(compute_s),
             "payload_sha256": payload_hash(payload),
             "payload": payload,
         }
         path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        tmp.replace(path)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(_tmp_counter)}")
+        try:
+            tmp.write_text(json.dumps(entry, sort_keys=True))
+            tmp.replace(path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stats.writes += 1
         return path
+
+    def put_many(
+        self, items: Iterable[tuple[Cell, dict, float]]
+    ) -> list[pathlib.Path]:
+        """Store a batch of ``(cell, payload, compute_s)`` entries."""
+        return [
+            self.put(cell, payload, compute_s)
+            for cell, payload, compute_s in items
+        ]

@@ -1,0 +1,281 @@
+"""The async dispatch core: cost-ordered ready queue over any executor.
+
+The old runner submitted every cell to a static process pool up front
+and collected futures in submission order; a skewed mix (one 200-job
+cluster sweep next to dozens of cheap probes) left most of the pool
+idle behind the straggler.  :class:`DispatchCore` replaces that with a
+shared ready queue:
+
+* cells are ordered **longest-expected-first** by a :class:`CostModel`
+  seeded from cached timings (falling back to a static per-kind
+  heuristic over the cell's simulated duration and size), the classic
+  LPT schedule that keeps the straggler from starting last;
+* workers pull work as they free up -- the executor only ever holds
+  ``capacity`` tasks, so a fast worker that drains its cell immediately
+  takes the next one (work-stealing by construction, no per-worker
+  queues to go empty);
+* completions stream back and are folded (and cache-written) as they
+  arrive;
+* once the ready queue is empty, a **bounded speculative pass** clones
+  the last stragglers onto idle workers: first result wins, the loser
+  is cancelled best-effort.  Payloads are keyed by the cell, not by who
+  computed it, and cells are deterministic, so speculation can never
+  change a report byte.
+
+Failures take one unified path: a failed remote attempt (worker crash,
+poisoned pool, socket death past its requeue budget) is backfilled
+in the parent with the runner's bounded retry budget; only a cell that
+keeps failing there raises
+:class:`~repro.runner.runner.CellExecutionError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.runner.cells import DEFAULT_DURATION_US, Cell
+from repro.runner.executors import ExecutorError, Task
+
+
+class CostModel:
+    """Expected cell cost, for longest-expected-first ordering.
+
+    Three tiers, most-informed first:
+
+    * ``hints`` -- exact per-cell timings (seconds) from a previous run
+      (``RunReport.timings``) or from cache entries' recorded
+      ``compute_s``;
+    * per-kind calibration -- :meth:`observe` feeds (cell, seconds)
+      pairs (the runner reports cache hits' stored timings); the model
+      scales the static heuristic of same-kind cells by the observed
+      seconds-per-heuristic-unit ratio;
+    * the static heuristic -- simulated microseconds of work, scaled by
+      the cell kind's breadth (a cluster sweep simulates every node for
+      the duration; a co-location cell simulates one).
+
+    Estimates only need to *order* cells usefully; they are never
+    reported as predictions.
+    """
+
+    def __init__(self, hints: Optional[dict] = None):
+        self.hints = dict(hints or {})
+        self._kind_ratio: dict[str, tuple[float, int]] = {}
+
+    @staticmethod
+    def heuristic(cell: Cell) -> float:
+        """Static prior in simulated-microsecond-equivalents."""
+        params = cell.param_dict
+        duration = float(params.get("duration_us", DEFAULT_DURATION_US))
+        if cell.kind == "cluster_sweep":
+            n_nodes = int(params.get("n_nodes", 8))
+            n_jobs = int(params.get("n_jobs", 200))
+            return duration * max(n_nodes, 1) * (1.0 + n_jobs / 100.0)
+        if cell.kind == "profile":
+            # ~117 probe sims at the default matrix; dominated by count.
+            iterations = int(params.get("iterations", 24))
+            return 120 * iterations * 25_000.0
+        if cell.kind == "convergence":
+            return float(params.get("heracles_epoch_us", 15_000_000.0))
+        if cell.kind == "fig2":
+            return float(params.get("duration_us", 30_000.0)) * 16
+        if cell.kind == "hpe":
+            return float(params.get("duration_us", 60_000.0)) * 8
+        return duration
+
+    def observe(self, cell: Cell, seconds: float) -> None:
+        """Calibrate the kind's heuristic with one observed timing."""
+        if seconds <= 0.0:
+            return
+        h = self.heuristic(cell)
+        if h <= 0.0:
+            return
+        total, n = self._kind_ratio.get(cell.kind, (0.0, 0))
+        self._kind_ratio[cell.kind] = (total + seconds / h, n + 1)
+
+    def estimate(self, cell: Cell) -> float:
+        hinted = self.hints.get(cell.cell_id)
+        if hinted is not None and hinted > 0.0:
+            return float(hinted)
+        h = self.heuristic(cell)
+        calib = self._kind_ratio.get(cell.kind)
+        if calib is not None:
+            total, n = calib
+            return h * (total / n)
+        # uncalibrated heuristic units: scaled so they never dwarf or
+        # vanish next to hinted seconds (1e6 sim-us ~ O(seconds) wall).
+        return h / 1e6
+
+
+class _Slot:
+    """Dispatch state of one requested cell execution."""
+
+    __slots__ = ("index", "cell", "inflight", "cloned", "done", "last_error")
+
+    def __init__(self, index: int, cell: Cell):
+        self.index = index
+        self.cell = cell
+        self.inflight = 0
+        self.cloned = False
+        self.done = False
+        self.last_error: Optional[BaseException] = None
+
+
+class DispatchCore:
+    """Feed an executor from a cost-ordered ready queue, stream results.
+
+    ``run`` returns ``(payload, compute_seconds)`` pairs aligned with
+    the input cell list.  Duplicate cells (the legacy ``dedupe=False``
+    path) are independent slots and each executes once, exactly like
+    the static runner.
+
+    ``local_retry`` is the parent-side backfill: called with (cell,
+    last_error) when a remote attempt failed, it must either return a
+    ``(payload, seconds)`` pair (retrying as it sees fit) or raise.
+    ``on_result`` is invoked once per slot as its first result lands --
+    the runner writes the cache through it, so a killed sweep keeps
+    every completed cell.
+    """
+
+    def __init__(
+        self,
+        executor,
+        *,
+        cost_model: Optional[CostModel] = None,
+        local_retry: Optional[Callable] = None,
+        on_result: Optional[Callable] = None,
+        speculate: int = 0,
+    ):
+        self.executor = executor
+        self.cost_model = cost_model or CostModel()
+        self.local_retry = local_retry
+        self.on_result = on_result
+        self.speculate = max(0, int(speculate))
+
+    def run(self, cells: list[Cell]) -> list[tuple[dict, float]]:
+        if not cells:
+            return []
+        slots = [_Slot(i, cell) for i, cell in enumerate(cells)]
+        # longest-expected-first; ties broken by cell_id then slot index
+        # so the order is deterministic for any cost model.
+        ready = deque(
+            sorted(
+                slots,
+                key=lambda s: (
+                    -self.cost_model.estimate(s.cell),
+                    s.cell.cell_id,
+                    s.index,
+                ),
+            )
+        )
+        results: list = [None] * len(cells)
+        tasks: dict[int, _Slot] = {}  # live task_id -> slot
+        next_task_id = 0
+        speculated = 0
+        in_executor = 0
+        remaining = len(cells)
+
+        def launch(slot: _Slot) -> None:
+            nonlocal next_task_id, in_executor
+            task = Task(
+                next_task_id,
+                slot.cell.kind,
+                slot.cell.param_dict,
+                slot.cell.seed,
+            )
+            next_task_id += 1
+            tasks[task.task_id] = slot
+            slot.inflight += 1
+            in_executor += 1
+            self.executor.submit(task)
+
+        def finish(slot: _Slot, payload: dict, secs: float) -> None:
+            nonlocal remaining, in_executor
+            slot.done = True
+            remaining -= 1
+            results[slot.index] = (payload, secs)
+            if self.on_result is not None:
+                self.on_result(slot.cell, payload, secs)
+            # cancel any speculative sibling still queued or running; a
+            # successful cancel means no completion will ever arrive for
+            # that task, so the executor slot frees immediately.
+            for task_id, owner in list(tasks.items()):
+                if owner is slot:
+                    if self.executor.cancel(task_id):
+                        del tasks[task_id]
+                        slot.inflight -= 1
+                        in_executor -= 1
+
+        def backfill(slot: _Slot) -> None:
+            if self.local_retry is None:
+                raise slot.last_error
+            payload, secs = self.local_retry(slot.cell, slot.last_error)
+            finish(slot, payload, secs)
+
+        while remaining:
+            # fill every free executor slot from the ready queue.
+            while ready and in_executor < self.executor.capacity:
+                launch(ready.popleft())
+            # ready queue dry, workers idle: speculate on stragglers.
+            if (
+                not ready
+                and self.speculate > speculated
+                and in_executor < self.executor.capacity
+            ):
+                stragglers = sorted(
+                    (
+                        s
+                        for s in slots
+                        if not s.done and s.inflight == 1 and not s.cloned
+                    ),
+                    key=lambda s: (
+                        -self.cost_model.estimate(s.cell),
+                        s.cell.cell_id,
+                    ),
+                )
+                for slot in stragglers:
+                    if (
+                        self.speculate <= speculated
+                        or in_executor >= self.executor.capacity
+                    ):
+                        break
+                    slot.cloned = True
+                    speculated += 1
+                    launch(slot)
+            if in_executor == 0:
+                # every in-flight attempt failed; recover serially.
+                for slot in slots:
+                    if not slot.done and slot.inflight == 0:
+                        backfill(slot)
+                continue
+            try:
+                completions = self.executor.wait()
+            except ExecutorError as exc:
+                # the transport itself died (worker fleet gone, handshake
+                # never completed): recover every unfinished slot in the
+                # parent rather than losing the sweep.
+                tasks.clear()
+                for slot in slots:
+                    if not slot.done:
+                        if slot.last_error is None:
+                            slot.last_error = exc
+                        slot.inflight = 0
+                        backfill(slot)
+                break
+            for comp in completions:
+                slot = tasks.pop(comp.task_id, None)
+                if slot is None:
+                    continue  # cancelled clone that finished anyway
+                slot.inflight -= 1
+                in_executor -= 1
+                if slot.done:
+                    continue  # the sibling already won
+                if comp.ok:
+                    finish(slot, comp.payload, comp.compute_s)
+                else:
+                    slot.last_error = comp.error
+                    if slot.inflight == 0:
+                        # no sibling left to save the cell: backfill now
+                        # (streaming -- not after the whole sweep).
+                        backfill(slot)
+        return results

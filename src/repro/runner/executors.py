@@ -1,0 +1,556 @@
+"""Pluggable cell executors behind one pull-based protocol.
+
+The dispatch core (:mod:`repro.runner.dispatch`) never touches a pool or
+a socket directly; it talks to an :class:`Executor`:
+
+* :meth:`Executor.submit` hands over one :class:`Task` (a cell spec plus
+  a dispatch-assigned task id);
+* :meth:`Executor.wait` blocks until at least one submitted task has
+  finished and returns its :class:`Completion`\\ s -- streaming, in
+  completion order, never head-of-line blocked on the slowest task;
+* :meth:`Executor.cancel` is the best-effort kill switch speculation
+  uses on the losing clone.
+
+Three implementations:
+
+* :class:`InProcessExecutor` -- capacity 1, runs cells synchronously in
+  the parent.  The serial reference every other executor is
+  byte-compared against.
+* :class:`PoolExecutor` -- a ``ProcessPoolExecutor`` wrapper.  A worker
+  that dies poisons the whole stdlib pool; the wrapper converts the
+  wreckage into per-task error completions and rebuilds the pool, so
+  the dispatch core's retry path sees an ordinary failure instead of a
+  lost sweep.
+* :class:`SocketExecutor` -- worker subprocesses dialing back over
+  loopback TCP speaking the length-prefixed JSON protocol of
+  :mod:`repro.runner.worker`.  This is the stand-in for multi-host
+  remoting: per-worker handshake with a one-shot token, heartbeat
+  timeout, and reconnect-with-requeue when a worker dies mid-cell.
+
+Executors are transport, not policy: retries, ordering, speculation and
+caching all live in the dispatch core, so every transport inherits the
+same semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runner.worker import recv_frame, send_frame
+
+
+@dataclass(frozen=True)
+class Task:
+    """One dispatched cell execution (possibly a speculative clone)."""
+
+    task_id: int
+    #: picklable/JSON-able cell spec: (kind, param_dict, seed).
+    kind: str
+    params: dict
+    seed: int
+
+
+@dataclass
+class Completion:
+    """Outcome of one task: a payload or an exception, never both."""
+
+    task_id: int
+    payload: Optional[dict] = None
+    compute_s: float = 0.0
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ExecutorError(RuntimeError):
+    """The executor itself broke (not a cell failure): lost workers,
+    handshake timeout, protocol violation."""
+
+
+def _execute_task(task: Task) -> Completion:
+    """Run one task in the current process (shared by two executors)."""
+    from repro.runner.cells import Cell, execute_cell
+
+    t0 = time.perf_counter()
+    try:
+        payload = execute_cell(Cell.make(task.kind, task.params, task.seed))
+    except BaseException as exc:  # noqa: BLE001 - carried to the core
+        return Completion(task.task_id, error=exc)
+    return Completion(
+        task.task_id, payload=payload, compute_s=time.perf_counter() - t0
+    )
+
+
+class InProcessExecutor:
+    """Serial reference executor: one slot, runs cells in the parent."""
+
+    name = "inprocess"
+    capacity = 1
+
+    def __init__(self):
+        self._queue: deque[Task] = deque()
+
+    def submit(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def wait(self) -> list[Completion]:
+        if not self._queue:
+            raise ExecutorError("wait() with no submitted task")
+        return [_execute_task(self._queue.popleft())]
+
+    def cancel(self, task_id: int) -> bool:
+        for task in self._queue:
+            if task.task_id == task_id:
+                self._queue.remove(task)
+                return True
+        return False
+
+    def close(self) -> None:
+        self._queue.clear()
+
+
+def _pool_worker(spec: tuple) -> tuple[dict, float]:
+    """Module-level pool body (must be picklable)."""
+    from repro.runner.cells import Cell, execute_cell
+
+    kind, params, seed = spec
+    t0 = time.perf_counter()
+    payload = execute_cell(Cell.make(kind, params, seed))
+    return payload, time.perf_counter() - t0
+
+
+class PoolExecutor:
+    """Process-pool transport with broken-pool recovery.
+
+    ``wait`` streams completions as futures resolve.  When the pool
+    breaks (a worker hard-exited), every in-flight task is reported as a
+    failed completion and a fresh pool replaces the broken one -- the
+    dispatch core's normal retry path then recovers each cell instead of
+    the whole sweep dying.
+    """
+
+    name = "pool"
+
+    def __init__(self, parallel: int):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        self.capacity = parallel
+        self._pool = ProcessPoolExecutor(max_workers=parallel)
+        self._futures: dict = {}  # future -> task_id
+
+    def submit(self, task: Task) -> None:
+        fut = self._pool.submit(_pool_worker, (task.kind, task.params, task.seed))
+        self._futures[fut] = task.task_id
+
+    def wait(self) -> list[Completion]:
+        if not self._futures:
+            raise ExecutorError("wait() with no submitted task")
+        done, _ = futures_wait(self._futures, return_when=FIRST_COMPLETED)
+        out = []
+        broken = False
+        for fut in done:
+            task_id = self._futures.pop(fut)
+            try:
+                payload, secs = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - carried to the core
+                out.append(Completion(task_id, error=exc))
+                broken = broken or self._is_broken(exc)
+            else:
+                out.append(Completion(task_id, payload=payload, compute_s=secs))
+        if broken:
+            # the remaining futures are doomed too: drain them as
+            # failures and stand up a replacement pool for future work.
+            for fut, task_id in list(self._futures.items()):
+                try:
+                    payload, secs = fut.result()
+                    out.append(
+                        Completion(task_id, payload=payload, compute_s=secs)
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    out.append(Completion(task_id, error=exc))
+            self._futures.clear()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(max_workers=self.capacity)
+        # deterministic reporting order regardless of set iteration.
+        out.sort(key=lambda c: c.task_id)
+        return out
+
+    @staticmethod
+    def _is_broken(exc: BaseException) -> bool:
+        from concurrent.futures.process import BrokenProcessPool
+
+        return isinstance(exc, BrokenProcessPool)
+
+    def cancel(self, task_id: int) -> bool:
+        for fut, tid in list(self._futures.items()):
+            if tid == task_id and fut.cancel():
+                del self._futures[fut]
+                return True
+        return False
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._futures.clear()
+
+
+class _SocketWorker:
+    """Parent-side state of one worker subprocess."""
+
+    def __init__(self, proc: subprocess.Popen):
+        self.proc = proc
+        self.conn: Optional[socket.socket] = None
+        self.task: Optional[Task] = None
+        self.last_recv = time.monotonic()
+
+    @property
+    def idle(self) -> bool:
+        return self.conn is not None and self.task is None
+
+
+class SocketExecutor:
+    """Loopback-socket transport: the multi-host remoting stand-in.
+
+    Workers are subprocesses that dial back into a listener on
+    ``127.0.0.1`` and authenticate with a one-shot token.  Tasks are
+    assigned to idle workers as frames; a worker that dies mid-cell
+    (process exit, EOF, heartbeat silence beyond
+    ``heartbeat_timeout_s``) has its task requeued onto the next idle
+    worker and is replaced, up to ``max_respawns`` replacements.  A task
+    that kills ``requeue_budget + 1`` workers in a row is reported as a
+    failed completion instead of being requeued again -- a poisonous
+    cell must surface through the dispatch core's retry path, not
+    grind the worker fleet forever.
+    """
+
+    name = "socket"
+
+    #: liberal by default: CI containers schedule 1-core hosts in bursts.
+    HANDSHAKE_TIMEOUT_S = 120.0
+
+    def __init__(
+        self,
+        parallel: int,
+        heartbeat_timeout_s: float = 60.0,
+        max_respawns: int = 4,
+        requeue_budget: int = 1,
+    ):
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel}")
+        self.capacity = parallel
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._respawns_left = max_respawns
+        self._requeue_budget = requeue_budget
+        self._token = secrets.token_hex(16)
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.setblocking(False)
+        self._port = self._listener.getsockname()[1]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._pending: deque[Task] = deque()
+        self._requeues: dict[int, int] = {}  # task_id -> deaths survived
+        self._cancelled: set[int] = set()
+        self._bufs: dict[socket.socket, bytearray] = {}
+        self._workers: list[_SocketWorker] = []
+        self._started = time.monotonic()
+        for _ in range(parallel):
+            self._workers.append(_SocketWorker(self._spawn()))
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self) -> subprocess.Popen:
+        env = os.environ.copy()
+        # the worker must import repro no matter how the parent found it.
+        import repro
+
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        parts = [pkg_root] + [
+            p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+        ]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        # -c instead of -m: runpy would re-execute a module the worker's
+        # own package import already loaded, and warn about it.
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.runner import worker; "
+                "sys.exit(worker.main(sys.argv[1:]))",
+                "--connect",
+                f"127.0.0.1:{self._port}",
+                "--token",
+                self._token,
+            ],
+            env=env,
+            stdin=subprocess.DEVNULL,
+        )
+
+    def _bury(self, worker: _SocketWorker, out: list[Completion]) -> None:
+        """Handle a dead worker: requeue or fail its task, maybe respawn."""
+        if worker.conn is not None:
+            try:
+                self._selector.unregister(worker.conn)
+            except (KeyError, ValueError):
+                pass
+            self._bufs.pop(worker.conn, None)
+            worker.conn.close()
+            worker.conn = None
+        if worker.proc.poll() is None:
+            worker.proc.kill()
+        task, worker.task = worker.task, None
+        if task is not None:
+            deaths = self._requeues.get(task.task_id, 0) + 1
+            self._requeues[task.task_id] = deaths
+            if deaths > self._requeue_budget:
+                out.append(
+                    Completion(
+                        task.task_id,
+                        error=ExecutorError(
+                            f"task {task.task_id} lost {deaths} workers; "
+                            f"not requeuing again"
+                        ),
+                    )
+                )
+            else:
+                self._pending.appendleft(task)
+        self._workers.remove(worker)
+        if self._respawns_left > 0:
+            self._respawns_left -= 1
+            self._workers.append(_SocketWorker(self._spawn()))
+
+    # -- frame plumbing ----------------------------------------------------
+
+    def _worker_for(self, conn: socket.socket) -> Optional[_SocketWorker]:
+        for worker in self._workers:
+            if worker.conn is conn:
+                return worker
+        return None
+
+    def _accept(self) -> None:
+        try:
+            conn, _ = self._listener.accept()
+        except BlockingIOError:
+            return
+        conn.setblocking(True)
+        conn.settimeout(10.0)
+        try:
+            hello = recv_frame(conn)
+        except (OSError, ValueError):
+            conn.close()
+            return
+        if (
+            hello is None
+            or hello.get("type") != "hello"
+            or hello.get("token") != self._token
+        ):
+            conn.close()
+            return
+        pid = hello.get("pid")
+        for worker in self._workers:
+            if worker.conn is None and worker.proc.pid == pid:
+                conn.setblocking(False)
+                worker.conn = conn
+                worker.last_recv = time.monotonic()
+                self._bufs[conn] = bytearray()
+                self._selector.register(conn, selectors.EVENT_READ, worker)
+                return
+        conn.close()  # an impostor, or a worker already buried
+
+    def _drain(self, worker: _SocketWorker, out: list[Completion]) -> None:
+        """Read whatever the worker sent; EOF/reset buries it."""
+        conn = worker.conn
+        buf = self._bufs[conn]
+        try:
+            while True:
+                chunk = conn.recv(1 << 20)
+                if not chunk:
+                    self._bury(worker, out)
+                    return
+                buf.extend(chunk)
+        except BlockingIOError:
+            pass
+        except OSError:
+            self._bury(worker, out)
+            return
+        worker.last_recv = time.monotonic()
+        while len(buf) >= 4:
+            length = int.from_bytes(buf[:4], "big")
+            if len(buf) < 4 + length:
+                break
+            frame_bytes = bytes(buf[4 : 4 + length])
+            del buf[: 4 + length]
+            self._on_frame(worker, json.loads(frame_bytes.decode()), out)
+
+    def _on_frame(
+        self, worker: _SocketWorker, frame: dict, out: list[Completion]
+    ) -> None:
+        kind = frame.get("type")
+        if kind == "ping":
+            return
+        if kind not in ("result", "error"):
+            return
+        task_id = frame.get("task_id")
+        if worker.task is None or worker.task.task_id != task_id:
+            return  # stale reply for a task already requeued elsewhere
+        worker.task = None
+        self._requeues.pop(task_id, None)
+        if task_id in self._cancelled:
+            self._cancelled.discard(task_id)
+            return
+        if kind == "result":
+            out.append(
+                Completion(
+                    task_id,
+                    payload=frame["payload"],
+                    compute_s=float(frame.get("compute_s", 0.0)),
+                )
+            )
+        else:
+            out.append(
+                Completion(
+                    task_id,
+                    error=RuntimeError(
+                        f"socket worker failed: {frame.get('error')}"
+                    ),
+                )
+            )
+
+    def _assign(self) -> None:
+        for worker in self._workers:
+            if not self._pending:
+                return
+            if worker.idle:
+                task = self._pending.popleft()
+                try:
+                    send_frame(
+                        worker.conn,
+                        {
+                            "type": "task",
+                            "task_id": task.task_id,
+                            "kind": task.kind,
+                            "params": task.params,
+                            "seed": task.seed,
+                        },
+                    )
+                except OSError:
+                    self._pending.appendleft(task)
+                    self._bury(worker, [])
+                    continue
+                worker.task = task
+
+    def _reap(self, out: list[Completion]) -> None:
+        """Notice silently-exited processes and heartbeat flatlines."""
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.proc.poll() is not None and worker.conn is None:
+                self._bury(worker, out)
+            elif (
+                worker.conn is not None
+                and worker.task is not None
+                and now - worker.last_recv > self.heartbeat_timeout_s
+            ):
+                self._bury(worker, out)
+
+    # -- Executor protocol -------------------------------------------------
+
+    def submit(self, task: Task) -> None:
+        self._pending.append(task)
+        self._assign()
+
+    def _outstanding(self) -> int:
+        return len(self._pending) + sum(
+            1 for w in self._workers if w.task is not None
+        )
+
+    def wait(self) -> list[Completion]:
+        if self._outstanding() == 0:
+            raise ExecutorError("wait() with no submitted task")
+        out: list[Completion] = []
+        while not out:
+            if not self._workers:
+                raise ExecutorError(
+                    "all socket workers died and the respawn budget is spent"
+                )
+            if (
+                not any(w.conn is not None for w in self._workers)
+                and time.monotonic() - self._started
+                > self.HANDSHAKE_TIMEOUT_S
+            ):
+                raise ExecutorError(
+                    "no socket worker completed the handshake in "
+                    f"{self.HANDSHAKE_TIMEOUT_S:.0f}s"
+                )
+            for key, _ in self._selector.select(timeout=1.0):
+                if key.data is None:
+                    self._accept()
+                else:
+                    self._drain(key.data, out)
+            self._reap(out)
+            self._assign()
+        out.sort(key=lambda c: c.task_id)
+        return out
+
+    def cancel(self, task_id: int) -> bool:
+        for task in self._pending:
+            if task.task_id == task_id:
+                self._pending.remove(task)
+                return True
+        for worker in self._workers:
+            if worker.task is not None and worker.task.task_id == task_id:
+                # the worker is single-threaded and mid-cell: let it
+                # finish, drop the reply on arrival.
+                self._cancelled.add(task_id)
+                return False
+        return False
+
+    def close(self) -> None:
+        for worker in self._workers:
+            if worker.conn is not None:
+                try:
+                    send_frame(worker.conn, {"type": "shutdown"})
+                except OSError:
+                    pass
+                try:
+                    self._selector.unregister(worker.conn)
+                except (KeyError, ValueError):
+                    pass
+                worker.conn.close()
+        self._selector.close()
+        self._listener.close()
+        deadline = time.monotonic() + 5.0
+        for worker in self._workers:
+            timeout = max(0.0, deadline - time.monotonic())
+            try:
+                worker.proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+        self._workers.clear()
+        self._pending.clear()
+
+
+#: executor spec names accepted by the runner / CLI.
+EXECUTORS = ("inprocess", "pool", "socket")
+
+
+def make_executor(spec: str, parallel: int):
+    """Build an executor from its spec name (see :data:`EXECUTORS`)."""
+    if spec == "inprocess":
+        return InProcessExecutor()
+    if spec == "pool":
+        return PoolExecutor(parallel)
+    if spec == "socket":
+        return SocketExecutor(parallel)
+    raise ValueError(f"unknown executor {spec!r}: expected one of {EXECUTORS}")

@@ -3,21 +3,32 @@
 ``ExperimentRunner.run`` takes a sweep of :class:`ExperimentRequest`\\ s,
 expands each into cells, dedupes identical cells across experiments,
 satisfies what it can from the on-disk :class:`ResultCache`, computes the
-rest — serially or across a process pool — and folds cell payloads back
-into per-experiment aggregates.  The merge is deterministic: cells and
-experiments are keyed and ordered by their stable ids, so a sweep's
-merged output is byte-identical whether it ran on one process or sixteen,
-cold or warm.
+rest, and folds cell payloads back into per-experiment aggregates.  The
+merge is deterministic: cells and experiments are keyed and ordered by
+their stable ids, so a sweep's merged output is byte-identical whether it
+ran on one process or sixteen, cold or warm, and whichever executor
+carried the cells.
 
-``dedupe=False`` reproduces the legacy serial behaviour (every experiment
-recomputes its own cells, duplicates and all); the bench harness uses it
-as the baseline the runner is measured against.
+Execution is delegated to the async dispatch core
+(:mod:`repro.runner.dispatch`) over a pluggable executor
+(:mod:`repro.runner.executors`): cells are ordered
+longest-expected-first by a cost model seeded from cached timings,
+workers pull work as they free up, results stream back and are written
+through to the cache as they land, and failed remote attempts are
+backfilled in the parent with the bounded retry budget.
+
+``dispatch="static"`` keeps the legacy submit-everything-up-front
+process-pool path (with streaming crash backfill) as the baseline the
+dispatch core is benchmarked against.  ``dedupe=False`` reproduces the
+legacy serial behaviour (every experiment recomputes its own cells,
+duplicates and all); the bench harness uses it as the baseline the
+runner is measured against.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -29,6 +40,11 @@ from repro.runner.aggregate import (
 )
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, execute_cell
+from repro.runner.dispatch import CostModel, DispatchCore
+from repro.runner.executors import EXECUTORS, make_executor
+
+#: dispatch strategies accepted by the runner / CLI.
+DISPATCH_MODES = ("core", "static")
 
 
 def _execute_cell_worker(args: tuple) -> tuple[dict, float]:
@@ -77,7 +93,16 @@ class RunReport:
 
 
 class ExperimentRunner:
-    """Runs sweeps of experiments over a worker pool with a shared cache."""
+    """Runs sweeps of experiments over an executor with a shared cache.
+
+    ``executor`` picks the transport (``"inprocess"``, ``"pool"``,
+    ``"socket"``); None means pool when ``parallel > 1``, in-process
+    otherwise.  ``dispatch`` picks the strategy: ``"core"`` (the
+    cost-ordered dispatch core, default) or ``"static"`` (the legacy
+    submit-everything pool path, kept as the bench baseline).
+    ``cost_hints`` maps cell_id -> expected seconds (e.g. a previous
+    report's ``timings``) and seeds the cost model's ordering.
+    """
 
     def __init__(
         self,
@@ -86,6 +111,10 @@ class ExperimentRunner:
         dedupe: bool = True,
         cell_retries: int = 2,
         obs=None,
+        executor: Optional[str] = None,
+        dispatch: str = "core",
+        speculate: int = 1,
+        cost_hints: Optional[dict] = None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -93,10 +122,28 @@ class ExperimentRunner:
             raise ValueError(
                 f"cell_retries must be >= 0, got {cell_retries}"
             )
+        if executor is not None and executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}: expected one of {EXECUTORS}"
+            )
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch {dispatch!r}: "
+                f"expected one of {DISPATCH_MODES}"
+            )
+        if dispatch == "static" and executor not in (None, "pool"):
+            raise ValueError(
+                "static dispatch only runs over the process pool; "
+                f"got executor={executor!r}"
+            )
         self.cache = cache
         self.parallel = parallel
         self.dedupe = dedupe
         self.cell_retries = cell_retries
+        self.executor_spec = executor
+        self.dispatch = dispatch
+        self.speculate = max(0, int(speculate))
+        self.cost_hints = dict(cost_hints or {})
         #: runner-scope observability plane (wall-clock progress events;
         #: kept out of every byte-compared artifact).
         self.obs = obs
@@ -106,6 +153,8 @@ class ExperimentRunner:
         if self._obs_runner:
             self.obs.emit("runner", name, time.perf_counter() - t0,
                           node="runner", **args)
+
+    # -- legacy static path (the bench baseline) -------------------------
 
     def _run_one(self, cell: Cell, arg: tuple) -> tuple[dict, float]:
         """Execute one cell in-process, with a bounded retry budget."""
@@ -120,27 +169,76 @@ class ExperimentRunner:
     def _run_parallel(
         self, cells: list[Cell], args: list[tuple]
     ) -> list[tuple[dict, float]]:
-        """Fan cells over a process pool; backfill crashed slots serially.
+        """Fan cells over a static process pool; backfill crashes eagerly.
 
         A worker that dies (e.g. ``os._exit`` mid-cell) poisons the whole
         ``ProcessPoolExecutor`` -- every outstanding future raises
         ``BrokenProcessPool``.  Rather than losing the sweep, each failed
-        slot is recomputed in the parent with the normal retry budget;
+        slot is recomputed in the parent *as soon as its future resolves*
+        (streaming collection, no head-of-line wait for the full batch);
         only a cell that keeps failing there raises
         :class:`CellExecutionError`.
         """
         results: list = [None] * len(args)
-        failed: list[int] = []
         with ProcessPoolExecutor(max_workers=self.parallel) as pool:
-            futures = [pool.submit(_execute_cell_worker, a) for a in args]
-            for i, fut in enumerate(futures):
+            futures = {
+                pool.submit(_execute_cell_worker, a): i
+                for i, a in enumerate(args)
+            }
+            for fut in as_completed(futures):
+                i = futures[fut]
                 try:
                     results[i] = fut.result()
-                except Exception:  # noqa: BLE001 - backfilled below
-                    failed.append(i)
-        for i in failed:
-            results[i] = self._run_one(cells[i], args[i])
+                except Exception:  # noqa: BLE001 - backfilled in-parent
+                    results[i] = self._run_one(cells[i], args[i])
         return results
+
+    # -- dispatch-core path ----------------------------------------------
+
+    def _backfill(
+        self, cell: Cell, last: Optional[BaseException], attempts: int
+    ) -> tuple[dict, float]:
+        """Recompute a failed cell in the parent, bounded by ``attempts``."""
+        arg = (cell.kind, cell.param_dict, cell.seed)
+        for _attempt in range(attempts):
+            try:
+                return _execute_cell_worker(arg)
+            except Exception as exc:  # noqa: BLE001 - rethrown below
+                last = exc
+        raise CellExecutionError(cell.cell_id, last)
+
+    def _run_dispatch(
+        self,
+        to_run: list[Cell],
+        cost_model: CostModel,
+        on_result,
+    ) -> None:
+        """Run cells through the dispatch core over the chosen executor."""
+        spec = self.executor_spec or (
+            "pool" if self.parallel > 1 else "inprocess"
+        )
+        executor = make_executor(spec, self.parallel)
+        # in-process completions already consumed one parent attempt;
+        # remote failures get the full fresh budget in the parent.
+        retry_attempts = (
+            self.cell_retries if spec == "inprocess"
+            else 1 + self.cell_retries
+        )
+
+        def local_retry(cell, last_error):
+            return self._backfill(cell, last_error, retry_attempts)
+
+        core = DispatchCore(
+            executor,
+            cost_model=cost_model,
+            local_retry=local_retry,
+            on_result=on_result,
+            speculate=self.speculate if spec != "inprocess" else 0,
+        )
+        try:
+            core.run(to_run)
+        finally:
+            executor.close()
 
     def run(self, requests: list[ExperimentRequest]) -> RunReport:
         t0 = time.perf_counter()
@@ -156,13 +254,17 @@ class ExperimentRunner:
 
         payloads: dict[str, Any] = {}
         timings: dict[str, float] = {}
+        cost_model = CostModel(hints=self.cost_hints)
         if self.cache is not None:
-            for cell_id, cell in unique.items():
-                hit = self.cache.get(cell)
-                if hit is not None:
-                    payloads[cell_id] = hit
-                    timings[cell_id] = 0.0
-                    self._emit("cache_hit", t0, cell=cell_id)
+            for cell_id, (payload, secs) in self.cache.get_many(
+                unique.values()
+            ).items():
+                payloads[cell_id] = payload
+                timings[cell_id] = 0.0
+                # cached timings calibrate the cost model so the cells
+                # that do run are ordered longest-expected-first.
+                cost_model.observe(unique[cell_id], secs)
+                self._emit("cache_hit", t0, cell=cell_id)
 
         if self.dedupe:
             to_run = [
@@ -182,21 +284,30 @@ class ExperimentRunner:
         n_cell_runs = len(to_run)
         if to_run:
             self._emit("dispatch", t0, n_cells=len(to_run),
-                       parallel=self.parallel)
-            args = [(c.kind, c.param_dict, c.seed) for c in to_run]
-            if self.parallel > 1:
-                results = self._run_parallel(to_run, args)
-            else:
-                results = [
-                    self._run_one(c, a) for c, a in zip(to_run, args)
-                ]
-            for cell, (payload, secs) in zip(to_run, results):
+                       parallel=self.parallel, dispatch=self.dispatch)
+
+            def on_result(cell: Cell, payload: dict, secs: float) -> None:
+                # write-through: a result is cached the moment it lands,
+                # so an interrupted sweep keeps every finished cell.
                 payloads[cell.cell_id] = payload
                 timings[cell.cell_id] = timings.get(cell.cell_id, 0.0) + secs
                 if self.cache is not None:
-                    self.cache.put(cell, payload)
+                    self.cache.put(cell, payload, compute_s=secs)
                 self._emit("cell_done", t0, cell=cell.cell_id,
                            compute_s=secs)
+
+            if self.dispatch == "core":
+                self._run_dispatch(to_run, cost_model, on_result)
+            else:
+                args = [(c.kind, c.param_dict, c.seed) for c in to_run]
+                if self.parallel > 1:
+                    results = self._run_parallel(to_run, args)
+                else:
+                    results = [
+                        self._run_one(c, a) for c, a in zip(to_run, args)
+                    ]
+                for cell, (payload, secs) in zip(to_run, results):
+                    on_result(cell, payload, secs)
 
         # -- aggregate back into experiment-level results ----------------
         experiments: dict[str, Any] = {}

@@ -1,0 +1,153 @@
+"""Socket worker: the far side of the :class:`SocketExecutor` protocol.
+
+One worker is one subprocess started as ``python -m repro.runner.worker
+--connect HOST:PORT --token TOKEN``.  It dials back into the parent's
+loopback listener, authenticates with the one-shot token, and then sits
+in a task loop: receive a cell spec, compute it with
+:func:`repro.runner.cells.execute_cell`, send the payload back.  The
+parent never trusts a worker with anything but cell specs, and a worker
+never holds state between tasks -- killing one mid-cell loses nothing
+but the in-flight computation, which the parent requeues.
+
+Wire protocol
+-------------
+
+Length-prefixed JSON frames: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON (msgpack would shave bytes,
+but the payloads already are canonical-JSON material and the stdlib is
+dependency-free).  Frame types:
+
+* worker -> parent: ``hello`` (token, pid), ``ping`` (heartbeat, sent
+  whenever the task socket has been idle for a few seconds),
+  ``result`` (task_id, payload, compute_s), ``error`` (task_id, error).
+* parent -> worker: ``task`` (task_id, kind, params, seed),
+  ``shutdown``.
+
+JSON round-trips every payload float exactly (``repr``-based shortest
+form both ways), so a payload computed by a socket worker is
+byte-identical to the same cell computed in-process -- the property the
+cross-executor report ``cmp`` steps in CI pin.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import sys
+import time
+
+#: frame length prefix: 4-byte big-endian unsigned.
+_LEN = struct.Struct(">I")
+
+#: refuse absurd frames (a corrupted length prefix must not allocate GiB).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: seconds of recv idleness before a worker volunteers a heartbeat.
+PING_INTERVAL_S = 2.0
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Serialise ``obj`` and write one length-prefixed frame."""
+    data = json.dumps(obj, separators=(",", ":")).encode()
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or None on clean EOF."""
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame, or None on clean EOF before a length prefix."""
+    head = _recv_exact(sock, _LEN.size)
+    if head is None:
+        return None
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds protocol limit")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ConnectionError("peer closed mid-frame")
+    return json.loads(body.decode())
+
+
+def _canonical_params(params: dict) -> dict:
+    """Undo JSON's tuple->list coercion so cell bodies see pickled shapes."""
+    return {
+        k: tuple(v) if isinstance(v, list) else v for k, v in params.items()
+    }
+
+
+def _run_task(frame: dict) -> dict:
+    """Execute one cell spec; always returns a reply frame."""
+    from repro.runner.cells import Cell, execute_cell
+
+    task_id = frame["task_id"]
+    try:
+        cell = Cell.make(
+            frame["kind"], _canonical_params(frame["params"]), frame["seed"]
+        )
+        t0 = time.perf_counter()
+        payload = execute_cell(cell)
+        return {
+            "type": "result",
+            "task_id": task_id,
+            "payload": payload,
+            "compute_s": time.perf_counter() - t0,
+        }
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        return {"type": "error", "task_id": task_id, "error": repr(exc)}
+
+
+def serve(host: str, port: int, token: str) -> int:
+    """Connect back to the parent and run the task loop until shutdown."""
+    import os
+
+    sock = socket.create_connection((host, port), timeout=30.0)
+    try:
+        sock.settimeout(PING_INTERVAL_S)
+        send_frame(sock, {"type": "hello", "token": token, "pid": os.getpid()})
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except socket.timeout:
+                send_frame(sock, {"type": "ping"})
+                continue
+            if frame is None or frame.get("type") == "shutdown":
+                return 0
+            if frame.get("type") == "task":
+                # computation can take arbitrarily long; the reply frame
+                # itself doubles as the liveness signal for its duration.
+                sock.settimeout(None)
+                reply = _run_task(frame)
+                sock.settimeout(PING_INTERVAL_S)
+                send_frame(sock, reply)
+    finally:
+        sock.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--token", required=True)
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    try:
+        return serve(host, int(port), args.token)
+    except (ConnectionError, OSError):
+        # the parent vanished; there is nobody left to report to.
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""ResultCache under concurrent writers and hostile on-disk state.
+
+Two processes hammering the same cell into one cache directory must
+never produce a torn entry (every ``put`` is write-to-unique-tmp then
+atomic rename), and any way an entry can rot on disk — truncation,
+garbage bytes, an empty file, binary junk — must read back as a miss
+or corruption, never a crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.runner import Cell, ResultCache
+
+_CELL = dict(
+    kind="colocation",
+    params={
+        "service": "redis",
+        "workload": "a",
+        "setting": "alone",
+        "duration_us": 5_000.0,
+    },
+    seed=7,
+)
+
+_PAYLOAD = {"queries": 3, "latency": {"mean": 12.5}}
+
+
+def _make_cell() -> Cell:
+    return Cell.make(_CELL["kind"], _CELL["params"], _CELL["seed"])
+
+
+def _writer(root: str, barrier, n_puts: int) -> None:
+    cache = ResultCache(root)
+    cell = _make_cell()
+    barrier.wait()
+    for i in range(n_puts):
+        cache.put(cell, _PAYLOAD, compute_s=0.25 * (i + 1))
+
+
+@pytest.mark.slow
+def test_concurrent_writers_never_corrupt(tmp_path):
+    ctx = mp.get_context("spawn")  # no inherited state, true two-process race
+    barrier = ctx.Barrier(2)
+    procs = [
+        ctx.Process(target=_writer, args=(str(tmp_path), barrier, 25))
+        for _ in range(2)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    cache = ResultCache(tmp_path)
+    entry = cache.get_entry(_make_cell())
+    assert entry is not None, "racing writers must still leave a valid entry"
+    payload, compute_s = entry
+    assert payload == _PAYLOAD
+    assert compute_s > 0.0
+    assert cache.stats.hits == 1
+    assert cache.stats.corrupted == 0
+    # rename cleaned up every tmp file; nothing half-written survives
+    assert list(tmp_path.glob("*.tmp.*")) == []
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_truncated_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = _make_cell()
+    path = cache.put(cell, _PAYLOAD)
+    path.write_text(path.read_text()[:25])
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(cell) is None
+    assert fresh.stats.corrupted == 1
+
+
+def test_garbage_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = _make_cell()
+    path = cache.put(cell, _PAYLOAD)
+    for junk in (b"", b"\x00\xff\xfe garbage \x9c", b"[1, 2, 3]", b"null"):
+        path.write_bytes(junk)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(cell) is None, f"junk {junk!r} must read as a miss"
+        assert fresh.stats.hits == 0
+        assert fresh.stats.corrupted == 1
+
+
+def test_get_many_put_many_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path)
+    cells = [
+        Cell.make("colocation", {**_CELL["params"], "setting": s}, 7)
+        for s in ("alone", "holmes", "perfiso")
+    ]
+    cache.put_many(
+        (cell, {"tag": i}, 1.5 * (i + 1)) for i, cell in enumerate(cells)
+    )
+    assert cache.stats.writes == 3
+
+    fresh = ResultCache(tmp_path)
+    missing = Cell.make("colocation", {**_CELL["params"], "setting": "x"}, 7)
+    found = fresh.get_many(cells + [missing])
+    assert set(found) == {c.cell_id for c in cells}
+    for i, cell in enumerate(cells):
+        payload, compute_s = found[cell.cell_id]
+        assert payload == {"tag": i}
+        assert compute_s == pytest.approx(1.5 * (i + 1))
+    assert fresh.stats.hits == 3
+    assert fresh.stats.misses == 1
+
+
+def test_entries_without_compute_s_still_verify(tmp_path):
+    """Entries written before timings were recorded read back as 0.0s."""
+    import json
+
+    cache = ResultCache(tmp_path)
+    cell = _make_cell()
+    path = cache.put(cell, _PAYLOAD, compute_s=9.0)
+    entry = json.loads(path.read_text())
+    del entry["compute_s"]
+    path.write_text(json.dumps(entry, sort_keys=True))
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.get_entry(cell) == (_PAYLOAD, 0.0)

@@ -1,0 +1,144 @@
+"""Sharded cluster sweeps: expansion arithmetic and deterministic merge.
+
+The ``cluster_shard`` experiment splits one big sweep into independent
+per-node-range ``cluster_sweep`` cells.  These tests pin the split
+arithmetic (node/job counts partition exactly, seeds derive
+deterministically) and the merge (pure sorted-order folds over the
+shard payloads), plus end-to-end byte-identity of a small sharded sweep
+across executors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import ExperimentRequest, ExperimentRunner, expand_request
+from repro.runner.aggregate import _agg_cluster_shard, _shard_counts
+
+
+def _request(**overrides) -> ExperimentRequest:
+    params = {
+        "policies": ("score",),
+        "shards": 4,
+        "n_nodes": 10,
+        "n_jobs": 23,
+        "duration_us": 50_000.0,
+    }
+    params.update(overrides)
+    return ExperimentRequest.make("cluster_shard", params, seed=9)
+
+
+def test_shard_counts_partition_exactly():
+    assert _shard_counts(10, 4) == [3, 3, 2, 2]
+    assert _shard_counts(8, 4) == [2, 2, 2, 2]
+    assert _shard_counts(3, 3) == [1, 1, 1]
+    assert sum(_shard_counts(1000, 7)) == 1000
+
+
+def test_expansion_splits_nodes_jobs_and_seeds():
+    cells = expand_request(_request())
+    assert len(cells) == 4
+    assert [role for role, _c in cells] == [
+        f"score:shard{i:03d}" for i in range(4)
+    ]
+    params = [dict(c.param_dict) for _r, c in cells]
+    assert sum(p["n_nodes"] for p in params) == 10
+    assert sum(p["n_jobs"] for p in params) == 23
+    assert all(p["policy"] == "score" for p in params)
+    # seeds derive from the experiment seed, one per shard, all distinct
+    seeds = [c.seed for _r, c in cells]
+    assert seeds == [9_000, 9_001, 9_002, 9_003]
+
+
+def test_expansion_caps_shards_at_node_count():
+    cells = expand_request(_request(shards=16, n_nodes=3))
+    assert len(cells) == 3
+    assert all(c.param_dict["n_nodes"] == 1 for _r, c in cells)
+
+
+def test_expansion_rejects_nonpositive_shards():
+    with pytest.raises(ValueError):
+        expand_request(_request(shards=0))
+
+
+def _shard_payload(seed, n_nodes, n_jobs, mean, count, ratio, completed):
+    quantiles = (
+        [float(mean + q) for q in range(101)] if mean is not None else []
+    )
+    return {
+        "policy": "score",
+        "n_nodes": n_nodes,
+        "n_jobs": n_jobs,
+        "duration_us": 50_000.0,
+        "seed": seed,
+        "lc": {
+            "latency": {"count": count, "mean": mean, "quantiles": quantiles},
+            "slo_us": 100.0,
+            "slo_violation_ratio": ratio,
+            "per_node_p99_us": {"count": n_nodes},
+        },
+        "batch": {
+            "submitted": n_jobs,
+            "admitted": n_jobs - 1,
+            "enqueued": 1,
+            "rejected": 0,
+            "still_queued": n_jobs - completed - 1,
+            "completed": completed,
+            "jobs_per_s": float(completed) * 2.0,
+            "job_duration": {},
+            "queue_delay": {},
+            "relocations": {"total": 2, "stall": 1, "preemptive": 1},
+        },
+        "nodes": {
+            "final_score_mean": float(seed % 10),
+            "final_score_max": float(seed % 10) + 1.0,
+        },
+    }
+
+
+def test_merge_is_weighted_and_summed():
+    by_role = {
+        "score:shard000": _shard_payload(9000, 3, 12, 50.0, 100, 0.10, 6),
+        "score:shard001": _shard_payload(9001, 2, 11, 70.0, 300, 0.30, 5),
+    }
+    merged = _agg_cluster_shard({}, by_role)
+    score = merged["score"]
+    assert score["n_nodes"] == 5
+    assert score["n_jobs"] == 23
+    assert score["shards"] == 2
+    lc = score["lc"]
+    assert lc["queries"] == 400
+    # query-weighted means: (50*100 + 70*300)/400 and (0.1*100+0.3*300)/400
+    assert lc["mean_us"] == pytest.approx(65.0)
+    assert lc["slo_violation_ratio"] == pytest.approx(0.25)
+    assert lc["worst_shard_p99_us"] == pytest.approx(70.0 + 99)
+    batch = score["batch"]
+    assert batch["submitted"] == 23
+    assert batch["completed"] == 11
+    assert batch["jobs_per_s"] == pytest.approx(22.0)
+    assert batch["relocations"] == {"total": 4, "stall": 2, "preemptive": 2}
+    # node-weighted score mean: (0*3 + 1*2)/5
+    assert score["nodes"]["final_score_mean"] == pytest.approx(0.4)
+    assert score["nodes"]["final_score_max"] == pytest.approx(2.0)
+    assert [row["shard"] for row in score["per_shard"]] == ["000", "001"]
+
+
+def test_merge_with_zero_queries_is_none_not_nan():
+    by_role = {
+        "score:shard000": _shard_payload(9000, 2, 5, None, 0, None, 1),
+    }
+    payload = by_role["score:shard000"]
+    payload["lc"]["latency"]["quantiles"] = []
+    merged = _agg_cluster_shard({}, by_role)
+    lc = merged["score"]["lc"]
+    assert lc["mean_us"] is None
+    assert lc["slo_violation_ratio"] is None
+    assert lc["worst_shard_p99_us"] is None
+
+
+@pytest.mark.slow
+def test_sharded_sweep_bytes_identical_across_executors():
+    req = [_request(n_nodes=6, n_jobs=10, shards=3, duration_us=30_000.0)]
+    inproc = ExperimentRunner(parallel=1, executor="inprocess").run(req)
+    pool = ExperimentRunner(parallel=2, executor="pool").run(req)
+    assert inproc.merged_bytes() == pool.merged_bytes()

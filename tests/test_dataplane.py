@@ -228,6 +228,81 @@ def test_vpi_hub_reads_bitwise_match_scalar_reader(rounds):
         )
 
 
+@settings(deadline=None, max_examples=25)
+@given(rounds=counter_increments)
+def test_core_opt_out_is_per_node_not_cluster_wide(rounds):
+    """One cps-mode/faulty monitor must not degrade its neighbours.
+
+    Node 0 registers with ``want_core=False`` (the cps / counter-fault
+    case); node 1 keeps ``want_core=True``.  Node 1 must still be served
+    the batched per-core aggregate — bitwise equal to its own
+    :func:`aggregate_per_core` fallback — while node 0 gets None and
+    aggregates for itself.
+    """
+    plane = ClusterDataPlane(2, N_LCPUS, N_CORES, N_EVENTS)
+    servers = [
+        Server(
+            Environment(calendar="heap"),
+            config=SMALL_HW,
+            counter_values=plane.counters[i],
+            busy_values=plane.busy[i],
+        )
+        for i in range(2)
+    ]
+    opted_out = VPIReader(
+        servers[0], plane=plane, node_index=0, want_core=False
+    )
+    opted_in = VPIReader(
+        servers[1], plane=plane, node_index=1, want_core=True
+    )
+    assert opted_out._hub is opted_in._hub
+    for flat in rounds:
+        inc = np.array(flat, dtype=np.float64).reshape(N_LCPUS, N_EVENTS)
+        plane.counters[0] += inc
+        plane.counters[1] += 2.0 * inc
+        # generation bump alone invalidates the batch key; both nodes
+        # read at the same (time, generation) so they share one batch
+        plane.generation += 1
+        vpi0, ldst0, _c0, core0 = opted_out.sample_full_core()
+        vpi1, ldst1, _c1, core1 = opted_in.sample_full_core()
+        assert core0 is None
+        assert core1 is not None
+        assert np.array_equal(core1, aggregate_per_core(vpi1, ldst1, N_CORES))
+        # the opted-out node's own fallback still works off its row
+        assert aggregate_per_core(vpi0, ldst0, N_CORES).shape == (N_CORES,)
+
+
+def _aggregate_per_core_scalar_loop(values, weights, n_cores):
+    """Plain-python reference for the vectorized per-core aggregation."""
+    out = np.zeros(n_cores, dtype=np.float64)
+    for c in range(n_cores):
+        v0, v1 = values[c], values[n_cores + c]
+        w0, w1 = weights[c], weights[n_cores + c]
+        total = w0 + w1
+        if total > 0:
+            out[c] = (v0 * w0 + v1 * w1) / total
+    return out
+
+
+lcpu_vectors = st.lists(
+    st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False),
+    min_size=2 * N_CORES,
+    max_size=2 * N_CORES,
+)
+
+
+@settings(deadline=None, max_examples=50)
+@given(values=lcpu_vectors, weights=lcpu_vectors)
+def test_aggregate_per_core_bitwise_matches_scalar_loop(values, weights):
+    v = np.array(values, dtype=np.float64)
+    w = np.array(weights, dtype=np.float64)
+    vectorized = aggregate_per_core(v, w, N_CORES)
+    reference = _aggregate_per_core_scalar_loop(v, w, N_CORES)
+    assert np.array_equal(vectorized, reference, equal_nan=False)
+    # bitwise, not just value-equal
+    assert vectorized.tobytes() == reference.tobytes()
+
+
 busy_windows = st.lists(
     st.tuples(
         st.floats(1.0, 1_000.0, allow_nan=False, allow_infinity=False),

@@ -1,0 +1,283 @@
+"""The dispatch core and its executors: ordering, streaming, recovery.
+
+The contract under test: whatever the transport — in-process, a process
+pool, or socket worker subprocesses — and whatever goes wrong short of a
+persistent cell failure, ``DispatchCore.run`` returns payloads aligned
+with its input and byte-equal to the serial reference.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.runner import Cell
+from repro.runner.dispatch import CostModel, DispatchCore
+from repro.runner.executors import (
+    Completion,
+    ExecutorError,
+    InProcessExecutor,
+    PoolExecutor,
+    SocketExecutor,
+    Task,
+    make_executor,
+)
+
+_PARAMS = {"service": "redis", "workload": "a", "duration_us": 5_000.0}
+
+
+def _cells(n: int) -> list[Cell]:
+    return [
+        Cell.make("colocation", {**_PARAMS, "setting": "alone"}, seed)
+        for seed in range(n)
+    ]
+
+
+# -- cost model ----------------------------------------------------------------
+
+
+def test_cost_model_hints_override_heuristic():
+    cheap = Cell.make("colocation", {**_PARAMS, "setting": "alone"}, 1)
+    heavy = Cell.make(
+        "cluster_sweep",
+        {"n_nodes": 100, "n_jobs": 500, "duration_us": 1e6},
+        1,
+    )
+    model = CostModel()
+    assert model.estimate(heavy) > model.estimate(cheap)
+    # an explicit timing hint beats any heuristic
+    hinted = CostModel(hints={heavy.cell_id: 0.001, cheap.cell_id: 10.0})
+    assert hinted.estimate(cheap) > hinted.estimate(heavy)
+
+
+def test_cost_model_observation_calibrates_kind():
+    cell_a = Cell.make("colocation", {**_PARAMS, "setting": "alone"}, 1)
+    cell_b = Cell.make("colocation", {**_PARAMS, "setting": "holmes"}, 2)
+    model = CostModel()
+    base = model.estimate(cell_b)
+    # a slow observed run of the same kind scales same-kind estimates up
+    model.observe(cell_a, 100.0)
+    assert model.estimate(cell_b) > base
+
+
+def test_dispatch_orders_longest_expected_first():
+    cells = _cells(4)
+    hints = {c.cell_id: float(i + 1) for i, c in enumerate(cells)}
+    seen: list[int] = []
+
+    class Recorder(InProcessExecutor):
+        def submit(self, task: Task) -> None:
+            seen.append(task.seed)
+            super().submit(task)
+
+    DispatchCore(Recorder(), cost_model=CostModel(hints=hints)).run(cells)
+    assert seen == [3, 2, 1, 0], "most expensive cell must dispatch first"
+
+
+# -- alignment and duplicates --------------------------------------------------
+
+
+def test_results_align_with_input_order_and_duplicates():
+    cells = _cells(3)
+    doubled = cells + [cells[0]]  # dedupe=False-style duplicate occurrence
+    results = DispatchCore(InProcessExecutor()).run(doubled)
+    assert len(results) == 4
+    payloads = [p for p, _s in results]
+    assert payloads[0] == payloads[3]
+    serial = [p for p, _s in DispatchCore(InProcessExecutor()).run(cells)]
+    assert payloads[:3] == serial
+
+
+# -- failure recovery ----------------------------------------------------------
+
+
+class _FlakyExecutor(InProcessExecutor):
+    """Fails every task's first attempt with a synthetic remote error."""
+
+    def __init__(self):
+        super().__init__()
+        self.failed: set[int] = set()
+
+    def wait(self) -> list[Completion]:
+        task = self._queue[0]
+        if task.task_id not in self.failed:
+            self.failed.add(task.task_id)
+            self._queue.popleft()
+            return [
+                Completion(
+                    task.task_id,
+                    error=RuntimeError("synthetic remote crash"),
+                )
+            ]
+        return super().wait()
+
+
+def test_failed_remote_attempt_is_backfilled_streaming():
+    cells = _cells(3)
+    backfilled: list[str] = []
+
+    def local_retry(cell, last_error):
+        assert isinstance(last_error, RuntimeError)
+        backfilled.append(cell.cell_id)
+        from repro.runner.cells import execute_cell
+
+        return execute_cell(cell), 0.0
+
+    results = DispatchCore(
+        _FlakyExecutor(), local_retry=local_retry
+    ).run(cells)
+    assert len(backfilled) == 3
+    assert all(r is not None for r in results)
+
+
+class _BrokenExecutor(InProcessExecutor):
+    """Dies as a transport after accepting work."""
+
+    def wait(self) -> list[Completion]:
+        raise ExecutorError("transport lost")
+
+
+def test_dead_transport_recovers_in_parent():
+    cells = _cells(2)
+    recovered: list[str] = []
+
+    def local_retry(cell, last_error):
+        assert isinstance(last_error, ExecutorError)
+        recovered.append(cell.cell_id)
+        from repro.runner.cells import execute_cell
+
+        return execute_cell(cell), 0.0
+
+    results = DispatchCore(
+        _BrokenExecutor(), local_retry=local_retry
+    ).run(cells)
+    assert len(recovered) == 2
+    assert all(r is not None for r in results)
+
+
+def test_no_retry_callback_reraises():
+    with pytest.raises(ExecutorError):
+        DispatchCore(_BrokenExecutor()).run(_cells(1))
+
+
+# -- executors -----------------------------------------------------------------
+
+
+def test_make_executor_rejects_unknown_spec():
+    with pytest.raises(ValueError):
+        make_executor("carrier-pigeon", 2)
+
+
+def test_inprocess_wait_without_submit_raises():
+    with pytest.raises(ExecutorError):
+        InProcessExecutor().wait()
+
+
+def test_inprocess_cancel_removes_queued_task():
+    ex = InProcessExecutor()
+    cell = _cells(1)[0]
+    ex.submit(Task(0, cell.kind, cell.param_dict, cell.seed))
+    assert ex.cancel(0) is True
+    assert ex.cancel(0) is False
+
+
+@pytest.mark.slow
+def test_pool_executor_streams_completions():
+    cells = _cells(4)
+    ex = PoolExecutor(2)
+    try:
+        for i, c in enumerate(cells):
+            ex.submit(Task(i, c.kind, c.param_dict, c.seed))
+        got: list[Completion] = []
+        while len(got) < 4:
+            batch = ex.wait()
+            assert batch, "wait() must return at least one completion"
+            got.extend(batch)
+        assert sorted(c.task_id for c in got) == [0, 1, 2, 3]
+        assert all(c.ok for c in got)
+    finally:
+        ex.close()
+
+
+@pytest.mark.slow
+def test_socket_executor_round_trip_matches_inprocess():
+    cells = _cells(3)
+    serial = [p for p, _s in DispatchCore(InProcessExecutor()).run(cells)]
+    ex = SocketExecutor(2)
+    try:
+        remote = [p for p, _s in DispatchCore(ex).run(cells)]
+    finally:
+        ex.close()
+    assert remote == serial
+
+
+@pytest.mark.slow
+def test_socket_executor_survives_worker_kill():
+    """A worker killed mid-fleet is buried, respawned, its task requeued."""
+    cells = _cells(2)
+    ex = SocketExecutor(2, heartbeat_timeout_s=10.0)
+    try:
+        # kill one worker out from under the executor before dispatching
+        victim = ex._workers[0].proc
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+        results = DispatchCore(ex).run(cells)
+    finally:
+        ex.close()
+    assert all(r is not None for r in results)
+    serial = DispatchCore(InProcessExecutor()).run(cells)
+    assert [p for p, _s in results] == [p for p, _s in serial]
+
+
+# -- wire protocol -------------------------------------------------------------
+
+
+def test_frame_round_trip_and_limits():
+    import socket as socket_mod
+
+    from repro.runner.worker import MAX_FRAME_BYTES, recv_frame, send_frame
+
+    a, b = socket_mod.socketpair()
+    try:
+        send_frame(a, {"type": "task", "params": {"x": 1.5, "y": [1, 2]}})
+        frame = recv_frame(b)
+        assert frame == {"type": "task", "params": {"x": 1.5, "y": [1, 2]}}
+
+        # a clean close reads as None (end of stream)...
+        a.close()
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+    # ...but a mid-frame close is a protocol error
+    a, b = socket_mod.socketpair()
+    try:
+        a.sendall(b"\x00\x00\x00\x10partial")
+        a.close()
+        with pytest.raises(ConnectionError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+    # an absurd length prefix is refused before any allocation
+    a, b = socket_mod.socketpair()
+    try:
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ValueError):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_worker_canonical_params_restores_tuples():
+    from repro.runner.worker import _canonical_params
+
+    params = {"e_values": [50.0, 70.0], "service": "redis", "n": 3}
+    fixed = _canonical_params(params)
+    assert fixed["e_values"] == (50.0, 70.0)
+    assert fixed["service"] == "redis"
+    assert fixed["n"] == 3
