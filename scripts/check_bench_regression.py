@@ -46,6 +46,10 @@ Checks, mirroring what the bench itself promises:
 * the fault-injection hook points, measured with an *empty* fault plan
   attached, must cost at most ``max_fault_overhead`` times the plain
   run (default 1.05x: the chaos engine is free when unused);
+* the runner's resilience layer (empty transport chaos plan wrapped
+  around the executor, explicit retry policy, fsynced sweep journal)
+  must cost at most ``max_resilience_overhead`` times the plain sweep
+  (default 1.05x: resilience is near-free when nothing fails);
 * the observability plane must cost at most ``max_obs_disabled`` times
   the plain run when attached with every category gated off (default
   1.03x: observability is free when unused) and at most
@@ -74,6 +78,7 @@ def normalised_serial_wall(record: dict) -> float:
 def check(current: dict, baseline: dict, max_ratio: float,
           min_wheel_ratio: float,
           max_fault_overhead: float = 1.05,
+          max_resilience_overhead: float = 1.05,
           max_obs_disabled: float = 1.03,
           max_obs_enabled: float = 1.15,
           min_dispatch_ratio: float = 0.95,
@@ -279,6 +284,27 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 f"{max_fault_overhead:.2f}x)"
             )
 
+    ro = current.get("resilience_overhead")
+    if ro is None:
+        failures.append(
+            "bench record has no resilience_overhead section (bench "
+            "predates the runner resilience layer?)"
+        )
+    else:
+        ro_ratio = ro["overhead_ratio"] or float("inf")
+        print(
+            f"resilience layer ({ro['n_cells']} cells, empty chaos plan "
+            f"+ journal): plain {ro['plain_wall_s']:.3f}s, resilient "
+            f"{ro['resilient_wall_s']:.3f}s, ratio {ro_ratio:.3f}x "
+            f"(limit {max_resilience_overhead:.2f}x)"
+        )
+        if ro_ratio > max_resilience_overhead:
+            failures.append(
+                f"the resilience layer costs {ro_ratio:.3f}x the plain "
+                f"sweep with no fault configured (limit "
+                f"{max_resilience_overhead:.2f}x)"
+            )
+
     oo = current.get("obs_overhead")
     if oo is None:
         failures.append(
@@ -321,6 +347,11 @@ def main(argv=None) -> int:
     parser.add_argument("--max-fault-overhead", type=float, default=1.05,
                         help="allowed fault-hook overhead with an empty "
                              "fault plan (default 1.05 = 5%%)")
+    parser.add_argument("--max-resilience-overhead", type=float,
+                        default=1.05,
+                        help="allowed overhead of the runner resilience "
+                             "layer with an empty chaos plan and a live "
+                             "journal (default 1.05 = 5%%)")
     parser.add_argument("--max-obs-disabled", type=float, default=1.03,
                         help="allowed obs-hook overhead with every "
                              "category disabled (default 1.03 = 3%%)")
@@ -345,7 +376,8 @@ def main(argv=None) -> int:
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
-                     args.max_fault_overhead, args.max_obs_disabled,
+                     args.max_fault_overhead, args.max_resilience_overhead,
+                     args.max_obs_disabled,
                      args.max_obs_enabled, args.min_dispatch_ratio,
                      args.max_profiling_ratio, args.min_cluster_rate,
                      args.min_dispatch_core)

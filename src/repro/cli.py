@@ -28,6 +28,47 @@ def _scale(args):
     return ExperimentScale(duration_us=args.duration * 1e6, seed=args.seed)
 
 
+def _resilience_kwargs(args):
+    """ExperimentRunner kwargs from the shared resilience flags.
+
+    ``--retries`` builds a RetryPolicy (overriding the default budgets),
+    ``--chaos-plan`` reads a canonical-JSON transport fault plan, and
+    ``--journal``/``--resume`` wire the crash-safe sweep journal.
+    """
+    kwargs = {}
+    if getattr(args, "retries", None) is not None:
+        from repro.runner import RetryPolicy
+
+        kwargs["retry_policy"] = RetryPolicy.from_cell_retries(args.retries)
+    chaos_path = getattr(args, "chaos_plan", None)
+    if chaos_path:
+        with open(chaos_path) as fh:
+            kwargs["chaos_plan"] = fh.read()
+    if getattr(args, "journal", None):
+        kwargs["journal"] = args.journal
+    if getattr(args, "resume", False):
+        kwargs["resume"] = True
+    return kwargs
+
+
+def _add_resilience_args(p) -> None:
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="per-cell retry budget (max attempts = N + 1; "
+                        "default: the runner's cell_retries default)")
+    p.add_argument("--chaos-plan", default=None, metavar="PATH",
+                   help="canonical-JSON transport fault plan injected "
+                        "into the executor (worker kills, refused "
+                        "connects, truncated/garbage frames, heartbeat "
+                        "stalls); recovery must not change report bytes")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="append-only sweep journal (crash-safe audit "
+                        "record; required for --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a killed sweep from --journal plus the "
+                        "result cache, re-executing only unfinished "
+                        "cells")
+
+
 def cmd_list(args) -> int:
     from repro.experiments.fig7_10_latency import FIGURE_OF, WORKLOADS_OF
     from repro.workloads.kv import SERVICE_CLASSES
@@ -198,6 +239,7 @@ def cmd_cluster(args) -> int:
         parallel=args.parallel,
         executor=args.executor,
         dispatch=args.dispatch,
+        **_resilience_kwargs(args),
     )
     shard_note = f" in {args.shards} shards" if sharded else ""
     print(f"cluster sweep: {args.nodes} nodes, {args.jobs} jobs{shard_note}, "
@@ -563,7 +605,8 @@ def cmd_run_all(args) -> int:
     ]
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    runner = ExperimentRunner(cache=cache, parallel=args.parallel)
+    runner = ExperimentRunner(cache=cache, parallel=args.parallel,
+                              **_resilience_kwargs(args))
     print(f"running {len(requests)} experiments "
           f"(--parallel {args.parallel}) ...", file=sys.stderr)
     report = runner.run(requests)
@@ -685,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observability spec ('all', 'none', or a comma "
                         "list); adds node-health and obs sections to the "
                         "report (default: off)")
+    _add_resilience_args(p)
 
     p = sub.add_parser(
         "profile",
@@ -799,6 +843,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=".repro-cache",
                    help="shared result cache (default .repro-cache)")
     p.add_argument("--output", default="runner_report.json")
+    _add_resilience_args(p)
 
     return parser
 

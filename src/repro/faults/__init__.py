@@ -19,12 +19,22 @@ from repro.faults.drivers import (
     start_node_drivers,
 )
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, standard_chaos_plan
+from repro.faults.plan import (
+    FAULT_KINDS,
+    TRANSPORT_KINDS,
+    FaultChannel,
+    FaultPlan,
+    FaultSpec,
+    standard_chaos_plan,
+    transport_chaos_plan,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "TRANSPORT_KINDS",
     "ClusterContainerCrashDriver",
     "ContainerCrashDriver",
+    "FaultChannel",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -32,4 +42,5 @@ __all__ = [
     "start_cluster_drivers",
     "start_node_drivers",
     "standard_chaos_plan",
+    "transport_chaos_plan",
 ]

@@ -28,6 +28,15 @@ FAULT_KINDS = (
     # timed drivers (simulation processes, repro.faults.drivers):
     "container_crash",     # kill a random running batch job
     "node_fail_stop",      # fail-stop a node, recover after duration_us
+    # runner-transport chaos (consumed by repro.runner.resilience and the
+    # socket worker loop; these act on the *runner's own* transport, not
+    # on the simulation):
+    "worker_kill",         # worker exits hard (SIGKILL-equivalent) mid-task
+    "connect_refuse",      # worker exits before dialing the parent back
+    "frame_truncate",      # worker dies mid-frame (partial reply on the wire)
+    "frame_garbage",       # worker sends a non-JSON frame (protocol violation)
+    "heartbeat_stall",     # worker goes silent for duration_us of wall time
+    "worker_slow",         # worker delays its reply by duration_us of wall time
 )
 
 _RATE_KINDS = frozenset(
@@ -35,6 +44,14 @@ _RATE_KINDS = frozenset(
      "cgroup_error")
 )
 _DRIVER_KINDS = frozenset(("container_crash", "node_fail_stop"))
+#: transport kinds: ``rate`` is the per-opportunity probability (per task
+#: for most kinds, per spawn for ``connect_refuse``); ``count`` caps how
+#: many times the fault fires per worker (0 = unlimited) and, with
+#: ``rate == 0``, means "fire deterministically at the Nth opportunity".
+TRANSPORT_KINDS = frozenset(
+    ("worker_kill", "connect_refuse", "frame_truncate", "frame_garbage",
+     "heartbeat_stall", "worker_slow")
+)
 
 
 @dataclass(frozen=True)
@@ -68,8 +85,18 @@ class FaultSpec:
             raise ValueError("start_us must be >= 0")
         if self.end_us is not None and self.end_us <= self.start_us:
             raise ValueError("end_us must be > start_us")
-        if self.kind in _RATE_KINDS and not 0.0 <= self.rate <= 1.0:
+        if (
+            self.kind in _RATE_KINDS or self.kind in TRANSPORT_KINDS
+        ) and not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"{self.kind}: rate must be in [0, 1]")
+        if (
+            self.kind in TRANSPORT_KINDS
+            and self.rate == 0.0
+            and self.count == 0
+        ):
+            raise ValueError(
+                f"{self.kind}: needs rate > 0 or count > 0 (Nth opportunity)"
+            )
         if self.kind in _DRIVER_KINDS and self.period_us <= 0:
             raise ValueError(f"{self.kind}: period_us must be positive")
         if self.duration_us < 0:
@@ -183,4 +210,96 @@ def standard_chaos_plan(
             duration_us=node_downtime_us,
             count=node_failures,
         )
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+class FaultChannel:
+    """One fault kind's decision stream: specs plus a dedicated RNG.
+
+    Shared by the parent-side :class:`~repro.runner.resilience.ChaosExecutor`
+    and the socket worker's in-process hook, so "fire at the Nth
+    opportunity" and "fire with probability ``rate``, at most ``count``
+    times" mean the same thing on both sides of the transport.  Every
+    spec with a positive rate consumes exactly one RNG draw per
+    opportunity -- even once capped -- so the decision sequence is a
+    pure function of the opportunity index.
+    """
+
+    def __init__(self, kind: str, specs: tuple[FaultSpec, ...], rng):
+        self.kind = kind
+        self.specs = specs
+        self.rng = rng
+        self.opportunities = 0
+        self.fired = [0] * len(specs)
+
+    @classmethod
+    def of(cls, plan: FaultPlan, kind: str, scope: str) -> "FaultChannel":
+        """The ``{scope}/{kind}`` channel of ``plan``."""
+        return cls(kind, plan.by_kind(kind), plan.rng(f"{scope}/{kind}"))
+
+    def draw(self) -> Optional[FaultSpec]:
+        """One opportunity: the spec that fires, or None."""
+        self.opportunities += 1
+        hit: Optional[FaultSpec] = None
+        for i, spec in enumerate(self.specs):
+            if spec.rate > 0.0:
+                u = float(self.rng.random())
+                capped = spec.count > 0 and self.fired[i] >= spec.count
+                if u < spec.rate and not capped and hit is None:
+                    self.fired[i] += 1
+                    hit = spec
+            elif spec.count == self.opportunities and self.fired[i] == 0:
+                # rate == 0: fire deterministically at the Nth opportunity
+                self.fired[i] += 1
+                if hit is None:
+                    hit = spec
+        return hit
+
+
+def transport_chaos_plan(
+    seed: int = 0,
+    kill_rate: float = 0.0,
+    kill_at_task: int = 0,
+    connect_refuse_rate: float = 0.0,
+    truncate_rate: float = 0.0,
+    garbage_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    stall_duration_us: float = 3_000_000.0,
+    slow_rate: float = 0.0,
+    slow_duration_us: float = 50_000.0,
+    fault_cap: int = 2,
+) -> FaultPlan:
+    """The runner-transport preset: one spec per enabled fault source.
+
+    ``fault_cap`` bounds how many times each probabilistic fault fires
+    per worker so a canned CI plan cannot exhaust respawn budgets;
+    ``kill_at_task`` arms a deterministic kill at the Nth task instead
+    of (or on top of) the probabilistic one.  Durations are *wall*
+    microseconds: transport faults happen in real worker processes, not
+    in simulated time.
+    """
+    specs: list[FaultSpec] = []
+
+    def add(kind: str, **kw) -> None:
+        kw.setdefault("count", fault_cap)
+        specs.append(FaultSpec(kind=kind, **kw))
+
+    if kill_rate > 0:
+        add("worker_kill", rate=kill_rate)
+    if kill_at_task > 0:
+        add("worker_kill", rate=0.0, count=kill_at_task)
+    if connect_refuse_rate > 0:
+        add("connect_refuse", rate=connect_refuse_rate, count=1)
+    if truncate_rate > 0:
+        add("frame_truncate", rate=truncate_rate)
+    if garbage_rate > 0:
+        add("frame_garbage", rate=garbage_rate)
+    if stall_rate > 0:
+        add(
+            "heartbeat_stall",
+            rate=stall_rate,
+            duration_us=stall_duration_us,
+        )
+    if slow_rate > 0:
+        add("worker_slow", rate=slow_rate, duration_us=slow_duration_us)
     return FaultPlan(seed=seed, specs=tuple(specs))

@@ -16,6 +16,10 @@ The layers, bottom up:
 * :mod:`repro.runner.dispatch` — the async dispatch core: a cost-ordered
   shared ready-queue (longest-expected-first), streaming completion
   folding, bounded speculative re-execution of stragglers;
+* :mod:`repro.runner.resilience` — the resilience layer: one
+  :class:`RetryPolicy` for every recovery path, the fault-injecting
+  :class:`ChaosExecutor` wrapper, and the crash-safe
+  :class:`SweepJournal` behind ``--resume``;
 * :mod:`repro.runner.runner` — the runner tying dispatch, cache and
   aggregation together with deterministic (byte-identical across
   executors) merging;
@@ -42,6 +46,12 @@ from repro.runner.executors import (
     Task,
     make_executor,
 )
+from repro.runner.resilience import (
+    ChaosExecutor,
+    ChaosFault,
+    RetryPolicy,
+    SweepJournal,
+)
 from repro.runner.runner import (
     DISPATCH_MODES,
     CellExecutionError,
@@ -51,6 +61,7 @@ from repro.runner.runner import (
 from repro.runner.bench import (
     bench_event_loop,
     bench_fault_overhead,
+    bench_resilience_overhead,
     bench_sweep,
     run_bench,
 )
@@ -76,12 +87,17 @@ __all__ = [
     "SocketExecutor",
     "Task",
     "make_executor",
+    "ChaosExecutor",
+    "ChaosFault",
+    "RetryPolicy",
+    "SweepJournal",
     "DISPATCH_MODES",
     "CellExecutionError",
     "ExperimentRunner",
     "RunReport",
     "bench_event_loop",
     "bench_fault_overhead",
+    "bench_resilience_overhead",
     "bench_sweep",
     "run_bench",
 ]

@@ -473,6 +473,14 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "profile", _single_cell("profile", ("iterations", "duties")),
         _agg_passthrough,
     ),
+    "sleep": ExperimentSpec(
+        # resilience-probe experiment: registered here (not in a test)
+        # so socket workers -- fresh interpreters importing the cell
+        # registry -- can execute sleep cells too.
+        "sleep",
+        _single_cell("sleep", ("wall_s", "mode", "tag", "parent_pid")),
+        _agg_passthrough,
+    ),
     "chaos": ExperimentSpec("chaos", _expand_chaos, _agg_chaos),
     "colocation": ExperimentSpec(
         "colocation",

@@ -32,6 +32,10 @@ trajectory is tracked from PR to PR:
 * **fault_overhead** -- wall-clock of a telemetry-mode daemon run with
   and without the (empty) fault-injection hooks attached; the ratio is
   what the CI regression gate holds to <= 5%.
+* **resilience_overhead** -- wall-clock of a pool-executor sweep with
+  and without the resilience layer attached (empty transport chaos
+  plan, explicit retry policy, fsynced sweep journal); the gate holds
+  the ratio to <= 5%: resilience is near-free when nothing fails.
 * **obs_overhead** -- wall-clock of the same run with the observability
   plane absent, attached-but-disabled, and fully enabled; the gate
   holds disabled/plain to <= 3% and enabled/plain to <= 15%.
@@ -655,6 +659,83 @@ def bench_fault_overhead(duration_us: float = 50_000.0, repeats: int = 5,
     }
 
 
+def bench_resilience_overhead(quick: bool = False, seed: int = 42,
+                              parallel: int = 2) -> dict:
+    """Cost of the resilience layer when nothing ever fails.
+
+    Two identical pool-executor sweeps over short co-location cells:
+    *plain* (no chaos wrapper, no journal, the default retry wiring) and
+    *resilient* (an explicit :class:`RetryPolicy`, an *empty* transport
+    chaos plan wrapped around the executor -- every per-task decision
+    channel drawn, nothing ever fires -- and the crash-safe journal
+    fsyncing one record per plan/done event).  Both arms compute the
+    same cells, so the wall ratio isolates what the resilience plumbing
+    costs a healthy sweep; the ``check_bench_regression`` gate holds it
+    to <= 1.05x.  Arms are interleaved and min-of-``repeats`` so
+    frequency drift hits both equally.
+    """
+    import os
+    import tempfile as _tempfile
+
+    from repro.faults import FaultPlan
+    from repro.runner.aggregate import ExperimentRequest
+    from repro.runner.resilience import RetryPolicy
+
+    # full mode runs longer cells so the fixed per-record fsync cost is
+    # amortised the way a real sweep amortises it; quick mode keeps the
+    # CI gate cheap.
+    duration_us = 4_000.0 if quick else 8_000.0
+    n_cells = 6 if quick else 10
+    repeats = 2 if quick else 3
+    requests = [
+        ExperimentRequest.make(
+            "colocation",
+            {"service": "redis", "workload": "a", "setting": "holmes",
+             "duration_us": duration_us},
+            seed + i,
+        )
+        for i in range(n_cells)
+    ]
+    # an empty plan still routes every submit through the chaos wrapper's
+    # decision channels: the measured cost is the hook points, not faults.
+    empty_plan = FaultPlan(seed=0, specs=()).to_json()
+
+    def one(resilient: bool, journal_path: str) -> float:
+        kwargs = {}
+        if resilient:
+            kwargs = dict(
+                retry_policy=RetryPolicy(),
+                chaos_plan=empty_plan,
+                journal=journal_path,
+            )
+        runner = ExperimentRunner(parallel=parallel, executor="pool",
+                                  **kwargs)
+        t0 = time.perf_counter()
+        runner.run(requests)
+        return time.perf_counter() - t0
+
+    walls: dict[bool, list[float]] = {False: [], True: []}
+    with _tempfile.TemporaryDirectory(prefix="repro-resilience-") as tmp:
+        journal_path = os.path.join(tmp, "journal.jsonl")
+        # warm both arms once (imports, pool spawn) outside the timing.
+        one(False, journal_path)
+        one(True, journal_path)
+        for _ in range(repeats):
+            for resilient in (False, True):
+                walls[resilient].append(one(resilient, journal_path))
+    plain = min(walls[False])
+    resilient = min(walls[True])
+    return {
+        "duration_us": duration_us,
+        "n_cells": n_cells,
+        "parallel": parallel,
+        "repeats": repeats,
+        "plain_wall_s": plain,
+        "resilient_wall_s": resilient,
+        "overhead_ratio": resilient / plain if plain > 0 else None,
+    }
+
+
 def bench_obs_overhead(duration_us: float = 50_000.0, repeats: int = 5,
                        seed: int = 42) -> dict:
     """Cost of the observability plane on the Holmes hot loop.
@@ -846,6 +927,9 @@ def run_bench(
         duration_us=20_000.0 if quick else 50_000.0,
         repeats=3 if quick else 5,
         seed=seed,
+    )
+    record["resilience_overhead"] = bench_resilience_overhead(
+        quick=quick, seed=seed
     )
     record["profiling"] = bench_profiling(quick=quick, seed=seed)
     if kernel:

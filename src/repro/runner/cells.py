@@ -233,6 +233,33 @@ def _profile_cell(params: dict, seed: int) -> dict:
     return run_profile_stage(seed=seed, **kwargs)
 
 
+def _sleep_cell(params: dict, seed: int) -> dict:
+    """Resilience-probe cell: burn ``wall_s`` of wall time, deterministically.
+
+    The payload is a pure function of (params, seed) -- the sleep never
+    leaks into it -- so chaos/resume identity checks hold while tests
+    control exactly how long a cell occupies a worker.  ``mode="exit"``
+    hard-kills the hosting process *unless* it is the process named by
+    ``parent_pid``: a reproducible poisonous cell that murders every
+    worker it lands on but computes fine in the parent backfill.
+    """
+    import os
+    import time as _time
+
+    wall_s = float(params.get("wall_s", 0.0))
+    mode = params.get("mode", "ok")
+    if mode == "exit" and os.getpid() != int(params.get("parent_pid", -1)):
+        os._exit(17)
+    if wall_s > 0.0:
+        _time.sleep(wall_s)
+    return {
+        "wall_s": wall_s,
+        "mode": mode,
+        "tag": params.get("tag", ""),
+        "seed": int(seed),
+    }
+
+
 CELL_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "colocation": _colocation_cell,
     "fig2": _fig2_cell,
@@ -240,6 +267,7 @@ CELL_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "convergence": _convergence_cell,
     "cluster_sweep": _cluster_sweep_cell,
     "profile": _profile_cell,
+    "sleep": _sleep_cell,
 }
 
 

@@ -134,7 +134,10 @@ class DispatchCore:
     ``(payload, seconds)`` pair (retrying as it sees fit) or raise.
     ``on_result`` is invoked once per slot as its first result lands --
     the runner writes the cache through it, so a killed sweep keeps
-    every completed cell.
+    every completed cell.  ``on_event`` observes the core's own recovery
+    decisions (``backfill``, ``speculate``, ``transport_lost``) with
+    audit fields; the runner forwards them to the obs plane and the
+    sweep journal.
     """
 
     def __init__(
@@ -144,13 +147,19 @@ class DispatchCore:
         cost_model: Optional[CostModel] = None,
         local_retry: Optional[Callable] = None,
         on_result: Optional[Callable] = None,
+        on_event: Optional[Callable] = None,
         speculate: int = 0,
     ):
         self.executor = executor
         self.cost_model = cost_model or CostModel()
         self.local_retry = local_retry
         self.on_result = on_result
+        self.on_event = on_event
         self.speculate = max(0, int(speculate))
+
+    def _emit(self, name: str, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(name, **fields)
 
     def run(self, cells: list[Cell]) -> list[tuple[dict, float]]:
         if not cells:
@@ -209,6 +218,11 @@ class DispatchCore:
         def backfill(slot: _Slot) -> None:
             if self.local_retry is None:
                 raise slot.last_error
+            self._emit(
+                "backfill",
+                cell=slot.cell.cell_id,
+                error=repr(slot.last_error),
+            )
             payload, secs = self.local_retry(slot.cell, slot.last_error)
             finish(slot, payload, secs)
 
@@ -241,6 +255,7 @@ class DispatchCore:
                         break
                     slot.cloned = True
                     speculated += 1
+                    self._emit("speculate", cell=slot.cell.cell_id)
                     launch(slot)
             if in_executor == 0:
                 # every in-flight attempt failed; recover serially.
@@ -254,6 +269,11 @@ class DispatchCore:
                 # the transport itself died (worker fleet gone, handshake
                 # never completed): recover every unfinished slot in the
                 # parent rather than losing the sweep.
+                self._emit(
+                    "transport_lost",
+                    unfinished=sum(1 for s in slots if not s.done),
+                    error=repr(exc),
+                )
                 tasks.clear()
                 for slot in slots:
                     if not slot.done:

@@ -29,7 +29,12 @@ Three implementations:
 
 Executors are transport, not policy: retries, ordering, speculation and
 caching all live in the dispatch core, so every transport inherits the
-same semantics.
+same semantics.  The transport *budgets* (worker respawns, per-task
+requeues, pool rebuilds) come from one
+:class:`~repro.runner.resilience.RetryPolicy`, and every recovery
+decision -- bury, respawn, requeue, rebuild -- is reported through an
+optional ``on_event`` callback with full audit fields, which the runner
+forwards to the observability plane and the sweep journal.
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.runner.worker import recv_frame, send_frame
 
@@ -95,7 +100,18 @@ def _execute_task(task: Task) -> Completion:
     )
 
 
-class InProcessExecutor:
+class _ExecutorContext:
+    """Context-manager mixin: ``with make_executor(...) as ex`` closes it."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class InProcessExecutor(_ExecutorContext):
     """Serial reference executor: one slot, runs cells in the parent."""
 
     name = "inprocess"
@@ -133,30 +149,68 @@ def _pool_worker(spec: tuple) -> tuple[dict, float]:
     return payload, time.perf_counter() - t0
 
 
-class PoolExecutor:
-    """Process-pool transport with broken-pool recovery.
+class PoolExecutor(_ExecutorContext):
+    """Process-pool transport with budgeted broken-pool recovery.
 
     ``wait`` streams completions as futures resolve.  When the pool
     breaks (a worker hard-exited), every in-flight task is reported as a
     failed completion and a fresh pool replaces the broken one -- the
     dispatch core's normal retry path then recovers each cell instead of
-    the whole sweep dying.
+    the whole sweep dying.  Rebuilds are bounded by the retry policy's
+    ``rebuild_budget``: once spent, the executor declares itself dead --
+    submitted tasks come back as error completions, and ``wait`` with
+    nothing left to report raises :class:`ExecutorError`, which the
+    dispatch core answers by backfilling every unfinished cell in the
+    parent.
     """
 
     name = "pool"
 
-    def __init__(self, parallel: int):
+    def __init__(
+        self,
+        parallel: int,
+        retry_policy=None,
+        on_event: Optional[Callable[..., None]] = None,
+    ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
         self.capacity = parallel
+        self.on_event = on_event
+        self._rebuilds_left = (
+            retry_policy.rebuild_budget if retry_policy is not None else 2
+        )
+        self._dead = False
+        self._lost: list[Completion] = []  # submits after pool death
         self._pool = ProcessPoolExecutor(max_workers=parallel)
         self._futures: dict = {}  # future -> task_id
 
+    def _emit(self, name: str, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(name, **fields)
+
     def submit(self, task: Task) -> None:
+        if self._dead:
+            # submit must not raise (the dispatch core calls it
+            # unguarded); report the loss as an ordinary completion.
+            self._lost.append(
+                Completion(
+                    task.task_id,
+                    error=ExecutorError(
+                        "process pool is dead (rebuild budget spent)"
+                    ),
+                )
+            )
+            return
         fut = self._pool.submit(_pool_worker, (task.kind, task.params, task.seed))
         self._futures[fut] = task.task_id
 
     def wait(self) -> list[Completion]:
+        if self._lost:
+            out, self._lost = self._lost, []
+            out.sort(key=lambda c: c.task_id)
+            return out
+        if self._dead:
+            raise ExecutorError("process pool is dead (rebuild budget spent)")
         if not self._futures:
             raise ExecutorError("wait() with no submitted task")
         done, _ = futures_wait(self._futures, return_when=FIRST_COMPLETED)
@@ -184,7 +238,17 @@ class PoolExecutor:
                     out.append(Completion(task_id, error=exc))
             self._futures.clear()
             self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = ProcessPoolExecutor(max_workers=self.capacity)
+            if self._rebuilds_left > 0:
+                self._rebuilds_left -= 1
+                self._pool = ProcessPoolExecutor(max_workers=self.capacity)
+                self._emit(
+                    "pool_rebuild",
+                    drained=len(out),
+                    rebuilds_left=self._rebuilds_left,
+                )
+            else:
+                self._dead = True
+                self._emit("pool_dead", drained=len(out))
         # deterministic reporting order regardless of set iteration.
         out.sort(key=lambda c: c.task_id)
         return out
@@ -196,6 +260,10 @@ class PoolExecutor:
         return isinstance(exc, BrokenProcessPool)
 
     def cancel(self, task_id: int) -> bool:
+        for comp in self._lost:
+            if comp.task_id == task_id:
+                self._lost.remove(comp)
+                return True
         for fut, tid in list(self._futures.items()):
             if tid == task_id and fut.cancel():
                 del self._futures[fut]
@@ -205,6 +273,7 @@ class PoolExecutor:
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._futures.clear()
+        self._lost.clear()
 
 
 class _SocketWorker:
@@ -221,19 +290,26 @@ class _SocketWorker:
         return self.conn is not None and self.task is None
 
 
-class SocketExecutor:
+class SocketExecutor(_ExecutorContext):
     """Loopback-socket transport: the multi-host remoting stand-in.
 
     Workers are subprocesses that dial back into a listener on
     ``127.0.0.1`` and authenticate with a one-shot token.  Tasks are
     assigned to idle workers as frames; a worker that dies mid-cell
-    (process exit, EOF, heartbeat silence beyond
+    (process exit, EOF, protocol violation, heartbeat silence beyond
     ``heartbeat_timeout_s``) has its task requeued onto the next idle
     worker and is replaced, up to ``max_respawns`` replacements.  A task
     that kills ``requeue_budget + 1`` workers in a row is reported as a
     failed completion instead of being requeued again -- a poisonous
     cell must surface through the dispatch core's retry path, not
     grind the worker fleet forever.
+
+    ``retry_policy`` (a :class:`~repro.runner.resilience.RetryPolicy`)
+    overrides both budgets; ``chaos_plan`` (a
+    :class:`~repro.faults.plan.FaultPlan` with transport specs) is
+    forwarded to every worker, which injects the faults itself so the
+    *real* bury/requeue/respawn paths run; ``on_event`` receives one
+    call per recovery decision with full audit fields.
     """
 
     name = "socket"
@@ -247,13 +323,26 @@ class SocketExecutor:
         heartbeat_timeout_s: float = 60.0,
         max_respawns: int = 4,
         requeue_budget: int = 1,
+        retry_policy=None,
+        chaos_plan=None,
+        on_event: Optional[Callable[..., None]] = None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
+        if retry_policy is not None:
+            max_respawns = retry_policy.respawn_budget
+            requeue_budget = retry_policy.requeue_budget
         self.capacity = parallel
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.on_event = on_event
         self._respawns_left = max_respawns
         self._requeue_budget = requeue_budget
+        self._chaos_json: Optional[str] = None
+        if chaos_plan is not None:
+            from repro.faults.plan import FaultPlan
+
+            self._chaos_json = FaultPlan.coerce(chaos_plan).to_json()
+        self._spawned = 0
         self._token = secrets.token_hex(16)
         self._listener = socket.create_server(("127.0.0.1", 0))
         self._listener.setblocking(False)
@@ -266,8 +355,22 @@ class SocketExecutor:
         self._bufs: dict[socket.socket, bytearray] = {}
         self._workers: list[_SocketWorker] = []
         self._started = time.monotonic()
-        for _ in range(parallel):
-            self._workers.append(_SocketWorker(self._spawn()))
+        try:
+            for _ in range(parallel):
+                self._workers.append(_SocketWorker(self._spawn()))
+        except BaseException:
+            # partial construction must not leak the listener, the
+            # selector, or any worker subprocess already started.
+            for worker in self._workers:
+                worker.proc.kill()
+            self._workers.clear()
+            self._selector.close()
+            self._listener.close()
+            raise
+
+    def _emit(self, name: str, **fields) -> None:
+        if self.on_event is not None:
+            self.on_event(name, **fields)
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -283,22 +386,35 @@ class SocketExecutor:
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
         # -c instead of -m: runpy would re-execute a module the worker's
         # own package import already loaded, and warn about it.
-        return subprocess.Popen(
-            [
-                sys.executable,
-                "-c",
-                "import sys; from repro.runner import worker; "
-                "sys.exit(worker.main(sys.argv[1:]))",
-                "--connect",
-                f"127.0.0.1:{self._port}",
-                "--token",
-                self._token,
-            ],
-            env=env,
-            stdin=subprocess.DEVNULL,
-        )
+        argv = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.runner import worker; "
+            "sys.exit(worker.main(sys.argv[1:]))",
+            "--connect",
+            f"127.0.0.1:{self._port}",
+            "--token",
+            self._token,
+        ]
+        if self._chaos_json is not None:
+            # every spawn gets a fresh worker index, so a respawned
+            # worker draws from new fault channels instead of replaying
+            # its predecessor's death.
+            argv += [
+                "--faults",
+                self._chaos_json,
+                "--worker-index",
+                str(self._spawned),
+            ]
+        self._spawned += 1
+        return subprocess.Popen(argv, env=env, stdin=subprocess.DEVNULL)
 
-    def _bury(self, worker: _SocketWorker, out: list[Completion]) -> None:
+    def _bury(
+        self,
+        worker: _SocketWorker,
+        out: list[Completion],
+        reason: str = "death",
+    ) -> None:
         """Handle a dead worker: requeue or fail its task, maybe respawn."""
         if worker.conn is not None:
             try:
@@ -311,25 +427,58 @@ class SocketExecutor:
         if worker.proc.poll() is None:
             worker.proc.kill()
         task, worker.task = worker.task, None
+        self._emit(
+            "bury",
+            pid=worker.proc.pid,
+            reason=reason,
+            task_id=None if task is None else task.task_id,
+        )
         if task is not None:
-            deaths = self._requeues.get(task.task_id, 0) + 1
-            self._requeues[task.task_id] = deaths
-            if deaths > self._requeue_budget:
+            if task.task_id in self._cancelled:
+                # the sibling already won; nobody wants this task
+                # recomputed, but the cancel contract promises a
+                # completion, so surface the loss instead of requeueing.
+                self._cancelled.discard(task.task_id)
+                self._requeues.pop(task.task_id, None)
                 out.append(
                     Completion(
                         task.task_id,
                         error=ExecutorError(
-                            f"task {task.task_id} lost {deaths} workers; "
-                            f"not requeuing again"
+                            f"cancelled task {task.task_id} lost its worker"
                         ),
                     )
                 )
             else:
-                self._pending.appendleft(task)
+                deaths = self._requeues.get(task.task_id, 0) + 1
+                self._requeues[task.task_id] = deaths
+                if deaths > self._requeue_budget:
+                    # budget spent: fail the task and drop its stale
+                    # bookkeeping so a retried clone starts fresh.
+                    self._requeues.pop(task.task_id, None)
+                    self._emit(
+                        "requeue_exhausted",
+                        task_id=task.task_id,
+                        deaths=deaths,
+                    )
+                    out.append(
+                        Completion(
+                            task.task_id,
+                            error=ExecutorError(
+                                f"task {task.task_id} lost {deaths} workers; "
+                                f"not requeuing again"
+                            ),
+                        )
+                    )
+                else:
+                    self._emit(
+                        "requeue", task_id=task.task_id, deaths=deaths
+                    )
+                    self._pending.appendleft(task)
         self._workers.remove(worker)
         if self._respawns_left > 0:
             self._respawns_left -= 1
             self._workers.append(_SocketWorker(self._spawn()))
+            self._emit("respawn", respawns_left=self._respawns_left)
 
     # -- frame plumbing ----------------------------------------------------
 
@@ -392,7 +541,14 @@ class SocketExecutor:
                 break
             frame_bytes = bytes(buf[4 : 4 + length])
             del buf[: 4 + length]
-            self._on_frame(worker, json.loads(frame_bytes.decode()), out)
+            try:
+                frame = json.loads(frame_bytes.decode())
+            except (ValueError, UnicodeDecodeError):
+                # a garbage frame is a protocol violation, not a parent
+                # crash: bury the worker and let requeue/respawn recover.
+                self._bury(worker, out, reason="protocol")
+                return
+            self._on_frame(worker, frame, out)
 
     def _on_frame(
         self, worker: _SocketWorker, frame: dict, out: list[Completion]
@@ -407,9 +563,11 @@ class SocketExecutor:
             return  # stale reply for a task already requeued elsewhere
         worker.task = None
         self._requeues.pop(task_id, None)
-        if task_id in self._cancelled:
-            self._cancelled.discard(task_id)
-            return
+        # a cancelled task's reply is surfaced, not swallowed: cancel()
+        # returned False for it, promising the dispatch core a completion
+        # it can use to release the executor slot.  (The core ignores the
+        # payload -- the sibling already won.)
+        self._cancelled.discard(task_id)
         if kind == "result":
             out.append(
                 Completion(
@@ -447,7 +605,7 @@ class SocketExecutor:
                     )
                 except OSError:
                     self._pending.appendleft(task)
-                    self._bury(worker, [])
+                    self._bury(worker, [], reason="send_failed")
                     continue
                 worker.task = task
 
@@ -456,13 +614,13 @@ class SocketExecutor:
         now = time.monotonic()
         for worker in list(self._workers):
             if worker.proc.poll() is not None and worker.conn is None:
-                self._bury(worker, out)
+                self._bury(worker, out, reason="exited")
             elif (
                 worker.conn is not None
                 and worker.task is not None
                 and now - worker.last_recv > self.heartbeat_timeout_s
             ):
-                self._bury(worker, out)
+                self._bury(worker, out, reason="heartbeat")
 
     # -- Executor protocol -------------------------------------------------
 
@@ -507,6 +665,9 @@ class SocketExecutor:
         for task in self._pending:
             if task.task_id == task_id:
                 self._pending.remove(task)
+                # drop death bookkeeping too: a cancelled task must not
+                # bequeath a requeue count to an unrelated later clone.
+                self._requeues.pop(task_id, None)
                 return True
         for worker in self._workers:
             if worker.task is not None and worker.task.task_id == task_id:
@@ -539,18 +700,47 @@ class SocketExecutor:
                 worker.proc.kill()
         self._workers.clear()
         self._pending.clear()
+        self._requeues.clear()
+        self._cancelled.clear()
 
 
 #: executor spec names accepted by the runner / CLI.
 EXECUTORS = ("inprocess", "pool", "socket")
 
 
-def make_executor(spec: str, parallel: int):
-    """Build an executor from its spec name (see :data:`EXECUTORS`)."""
-    if spec == "inprocess":
-        return InProcessExecutor()
-    if spec == "pool":
-        return PoolExecutor(parallel)
+def make_executor(
+    spec: str,
+    parallel: int,
+    retry_policy=None,
+    chaos_plan=None,
+    on_event: Optional[Callable[..., None]] = None,
+):
+    """Build an executor from its spec name (see :data:`EXECUTORS`).
+
+    ``retry_policy`` supplies the transport budgets; ``chaos_plan`` (a
+    :class:`~repro.faults.plan.FaultPlan` of transport specs) arms fault
+    injection -- worker-side for the socket transport, via the
+    :class:`~repro.runner.resilience.ChaosExecutor` wrapper for the
+    others; ``on_event`` observes every recovery decision.
+    """
     if spec == "socket":
-        return SocketExecutor(parallel)
-    raise ValueError(f"unknown executor {spec!r}: expected one of {EXECUTORS}")
+        return SocketExecutor(
+            parallel,
+            retry_policy=retry_policy,
+            chaos_plan=chaos_plan,
+            on_event=on_event,
+        )
+    if spec == "inprocess":
+        inner = InProcessExecutor()
+    elif spec == "pool":
+        inner = PoolExecutor(parallel, retry_policy, on_event=on_event)
+    else:
+        raise ValueError(
+            f"unknown executor {spec!r}: expected one of {EXECUTORS}"
+        )
+    if chaos_plan is not None:
+        # imported here: resilience imports this module at load time.
+        from repro.runner.resilience import ChaosExecutor
+
+        return ChaosExecutor(inner, chaos_plan, on_event=on_event)
+    return inner

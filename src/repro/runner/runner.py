@@ -23,10 +23,19 @@ dispatch core is benchmarked against.  ``dedupe=False`` reproduces the
 legacy serial behaviour (every experiment recomputes its own cells,
 duplicates and all); the bench harness uses it as the baseline the
 runner is measured against.
+
+Resilience (:mod:`repro.runner.resilience`) threads through here: one
+:class:`RetryPolicy` drives the parent retry loop *and* the transport
+budgets, ``journal=`` records the sweep as append-only JSONL next to
+the cache (``resume=True`` restarts a killed sweep from journal +
+cache, re-executing only unfinished cells), and ``chaos_plan=`` injects
+deterministic transport faults -- which never change a report byte,
+because recovery recomputes the same deterministic cells.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -41,7 +50,8 @@ from repro.runner.aggregate import (
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, execute_cell
 from repro.runner.dispatch import CostModel, DispatchCore
-from repro.runner.executors import EXECUTORS, make_executor
+from repro.runner.executors import EXECUTORS, ExecutorError, make_executor
+from repro.runner.resilience import ChaosFault, RetryPolicy, SweepJournal
 
 #: dispatch strategies accepted by the runner / CLI.
 DISPATCH_MODES = ("core", "static")
@@ -102,6 +112,16 @@ class ExperimentRunner:
     submit-everything pool path, kept as the bench baseline).
     ``cost_hints`` maps cell_id -> expected seconds (e.g. a previous
     report's ``timings``) and seeds the cost model's ordering.
+
+    ``retry_policy`` overrides the legacy ``cell_retries`` knob with a
+    full :class:`~repro.runner.resilience.RetryPolicy` (attempts,
+    backoff, poisonous-error classification, transport budgets);
+    ``journal`` (a path or a
+    :class:`~repro.runner.resilience.SweepJournal`) records the sweep
+    as crash-safe JSONL; ``resume=True`` restarts a killed sweep over
+    that journal plus the cache, re-executing only unfinished cells;
+    ``chaos_plan`` injects deterministic transport faults (dispatch
+    core only).
     """
 
     def __init__(
@@ -115,6 +135,10 @@ class ExperimentRunner:
         dispatch: str = "core",
         speculate: int = 1,
         cost_hints: Optional[dict] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal=None,
+        resume: bool = False,
+        chaos_plan=None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -136,6 +160,17 @@ class ExperimentRunner:
                 "static dispatch only runs over the process pool; "
                 f"got executor={executor!r}"
             )
+        if chaos_plan is not None and dispatch != "core":
+            raise ValueError(
+                "chaos_plan needs the dispatch core (dispatch='core')"
+            )
+        if resume and journal is None:
+            raise ValueError("resume=True needs a journal to resume from")
+        if resume and cache is None:
+            raise ValueError(
+                "resume=True needs the result cache (it holds the "
+                "payloads of already-finished cells)"
+            )
         self.cache = cache
         self.parallel = parallel
         self.dedupe = dedupe
@@ -144,6 +179,15 @@ class ExperimentRunner:
         self.dispatch = dispatch
         self.speculate = max(0, int(speculate))
         self.cost_hints = dict(cost_hints or {})
+        self.retry_policy = retry_policy or RetryPolicy.from_cell_retries(
+            cell_retries
+        )
+        self.journal = journal
+        self.resume = resume
+        self.chaos_plan = chaos_plan
+        #: the journal of the currently-running sweep (set inside run()).
+        self._journal: Optional[SweepJournal] = None
+        self._run_t0 = 0.0
         #: runner-scope observability plane (wall-clock progress events;
         #: kept out of every byte-compared artifact).
         self.obs = obs
@@ -154,17 +198,15 @@ class ExperimentRunner:
             self.obs.emit("runner", name, time.perf_counter() - t0,
                           node="runner", **args)
 
+    def _journal_rec(self, record: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(record)
+
     # -- legacy static path (the bench baseline) -------------------------
 
     def _run_one(self, cell: Cell, arg: tuple) -> tuple[dict, float]:
-        """Execute one cell in-process, with a bounded retry budget."""
-        last: Optional[BaseException] = None
-        for _attempt in range(1 + self.cell_retries):
-            try:
-                return _execute_cell_worker(arg)
-            except Exception as exc:  # noqa: BLE001 - rethrown below
-                last = exc
-        raise CellExecutionError(cell.cell_id, last)
+        """Execute one cell in-process, with the policy's retry budget."""
+        return self._backfill(cell, None, self.retry_policy.max_attempts)
 
     def _run_parallel(
         self, cells: list[Cell], args: list[tuple]
@@ -198,13 +240,41 @@ class ExperimentRunner:
     def _backfill(
         self, cell: Cell, last: Optional[BaseException], attempts: int
     ) -> tuple[dict, float]:
-        """Recompute a failed cell in the parent, bounded by ``attempts``."""
+        """Recompute a failed cell in the parent, bounded by ``attempts``.
+
+        The retry policy classifies each failure (a poisonous error
+        fails immediately -- no retry can help) and spaces attempts with
+        deterministic jittered backoff keyed on the cell id, so two runs
+        of the same sweep back off identically.
+        """
         arg = (cell.kind, cell.param_dict, cell.seed)
-        for _attempt in range(attempts):
+        policy = self.retry_policy
+        for attempt in range(1, attempts + 1):
             try:
                 return _execute_cell_worker(arg)
             except Exception as exc:  # noqa: BLE001 - rethrown below
                 last = exc
+                if policy.is_poisonous(exc):
+                    break
+                if attempt < attempts:
+                    backoff = policy.backoff_s(cell.cell_id, attempt)
+                    self._journal_rec({
+                        "rec": "retry",
+                        "cell": cell.cell_id,
+                        "attempt": attempt,
+                        "error": repr(exc),
+                        "backoff_s": backoff,
+                    })
+                    self._emit("retry", self._run_t0,
+                               cell=cell.cell_id, attempt=attempt,
+                               backoff_s=backoff)
+                    if backoff > 0.0:
+                        time.sleep(backoff)
+        self._journal_rec({
+            "rec": "failed",
+            "cell": cell.cell_id,
+            "error": repr(last),
+        })
         raise CellExecutionError(cell.cell_id, last)
 
     def _run_dispatch(
@@ -217,31 +287,64 @@ class ExperimentRunner:
         spec = self.executor_spec or (
             "pool" if self.parallel > 1 else "inprocess"
         )
-        executor = make_executor(spec, self.parallel)
-        # in-process completions already consumed one parent attempt;
-        # remote failures get the full fresh budget in the parent.
-        retry_attempts = (
-            self.cell_retries if spec == "inprocess"
-            else 1 + self.cell_retries
-        )
+
+        def recover_event(name: str, **fields) -> None:
+            # one audit trail, two sinks: the obs plane (wall-clock
+            # timeline) and the sweep journal (crash-safe record).
+            self._emit(name, self._run_t0, **fields)
+            self._journal_rec({"rec": "recover", "event": name, **fields})
 
         def local_retry(cell, last_error):
-            return self._backfill(cell, last_error, retry_attempts)
+            # an in-process cell failure already consumed one parent
+            # attempt; transport losses and injected chaos did not --
+            # the cell itself never genuinely failed.
+            attempts = self.retry_policy.max_attempts
+            if spec == "inprocess" and not isinstance(
+                last_error, (ChaosFault, ExecutorError)
+            ):
+                attempts -= 1
+            return self._backfill(cell, last_error, attempts)
 
-        core = DispatchCore(
-            executor,
-            cost_model=cost_model,
-            local_retry=local_retry,
-            on_result=on_result,
-            speculate=self.speculate if spec != "inprocess" else 0,
-        )
-        try:
+        with make_executor(
+            spec,
+            self.parallel,
+            retry_policy=self.retry_policy,
+            chaos_plan=self.chaos_plan,
+            on_event=recover_event,
+        ) as executor:
+            core = DispatchCore(
+                executor,
+                cost_model=cost_model,
+                local_retry=local_retry,
+                on_result=on_result,
+                on_event=recover_event,
+                speculate=self.speculate if spec != "inprocess" else 0,
+            )
             core.run(to_run)
-        finally:
-            executor.close()
 
     def run(self, requests: list[ExperimentRequest]) -> RunReport:
         t0 = time.perf_counter()
+        self._run_t0 = t0
+        journal = self.journal
+        owns_journal = False
+        if isinstance(journal, (str, os.PathLike)):
+            journal = SweepJournal(journal, resume=self.resume)
+            owns_journal = True
+        prior = journal.stats() if journal and self.resume else None
+        self._journal = journal
+        try:
+            return self._run(requests, t0, prior)
+        finally:
+            self._journal = None
+            if owns_journal:
+                journal.close()
+
+    def _run(
+        self,
+        requests: list[ExperimentRequest],
+        t0: float,
+        prior,
+    ) -> RunReport:
         expansions = [(req, expand_request(req)) for req in requests]
 
         # -- collect the cells to execute --------------------------------
@@ -282,6 +385,32 @@ class ExperimentRunner:
             ]
 
         n_cell_runs = len(to_run)
+        if self._journal is not None:
+            self._journal_rec({
+                "rec": "start",
+                "executor": self.executor_spec or (
+                    "pool" if self.parallel > 1 else "inprocess"
+                ),
+                "dispatch": self.dispatch,
+                "parallel": self.parallel,
+                "n_cells": len(unique),
+            })
+            for cell_id in sorted(unique):
+                self._journal_rec({"rec": "plan", "cell": cell_id})
+            for cell_id in sorted(payloads):
+                self._journal_rec({"rec": "cached", "cell": cell_id})
+            if prior is not None:
+                # the audit line that makes --resume provable: how many
+                # planned cells the previous (killed) run already
+                # finished, now restored from journal + cache.
+                self._journal_rec({
+                    "rec": "resume",
+                    "recovered": sum(
+                        1 for c in prior.done if c in payloads
+                    ),
+                    "prior_done": len(prior.done),
+                    "prior_planned": len(prior.planned),
+                })
         if to_run:
             self._emit("dispatch", t0, n_cells=len(to_run),
                        parallel=self.parallel, dispatch=self.dispatch)
@@ -293,6 +422,11 @@ class ExperimentRunner:
                 timings[cell.cell_id] = timings.get(cell.cell_id, 0.0) + secs
                 if self.cache is not None:
                     self.cache.put(cell, payload, compute_s=secs)
+                self._journal_rec({
+                    "rec": "done",
+                    "cell": cell.cell_id,
+                    "compute_s": secs,
+                })
                 self._emit("cell_done", t0, cell=cell.cell_id,
                            compute_s=secs)
 
@@ -308,6 +442,8 @@ class ExperimentRunner:
                     ]
                 for cell, (payload, secs) in zip(to_run, results):
                     on_result(cell, payload, secs)
+
+        self._journal_rec({"rec": "end", "n_runs": n_cell_runs})
 
         # -- aggregate back into experiment-level results ----------------
         experiments: dict[str, Any] = {}

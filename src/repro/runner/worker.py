@@ -18,7 +18,8 @@ but the payloads already are canonical-JSON material and the stdlib is
 dependency-free).  Frame types:
 
 * worker -> parent: ``hello`` (token, pid), ``ping`` (heartbeat, sent
-  whenever the task socket has been idle for a few seconds),
+  every couple of seconds by a daemon thread -- *also while a cell is
+  computing*, so a long cell never reads as a flatline),
   ``result`` (task_id, payload, compute_s), ``error`` (task_id, error).
 * parent -> worker: ``task`` (task_id, kind, params, seed),
   ``shutdown``.
@@ -27,14 +28,30 @@ JSON round-trips every payload float exactly (``repr``-based shortest
 form both ways), so a payload computed by a socket worker is
 byte-identical to the same cell computed in-process -- the property the
 cross-executor report ``cmp`` steps in CI pin.
+
+Chaos hook
+----------
+
+``--faults`` hands the worker the transport specs of a
+:class:`~repro.faults.plan.FaultPlan` (canonical JSON).  Faults are
+drawn from per-worker per-kind RNG channels (``worker{N}/{kind}``), so
+a chaos run replays bit-identically: hard exits mid-task
+(``worker_kill``), refusing to dial back (``connect_refuse``), dying
+mid-reply-frame (``frame_truncate``), sending a non-JSON frame
+(``frame_garbage``), going heartbeat-silent (``heartbeat_stall``), and
+delaying replies (``worker_slow``).  Injection happens *here*, in the
+real worker process, so the parent's bury/requeue/respawn machinery is
+exercised end to end rather than simulated.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import socket
 import struct
 import sys
+import threading
 import time
 
 #: frame length prefix: 4-byte big-endian unsigned.
@@ -43,7 +60,7 @@ _LEN = struct.Struct(">I")
 #: refuse absurd frames (a corrupted length prefix must not allocate GiB).
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
-#: seconds of recv idleness before a worker volunteers a heartbeat.
+#: seconds between heartbeat pings from the pinger thread.
 PING_INTERVAL_S = 2.0
 
 
@@ -107,30 +124,138 @@ def _run_task(frame: dict) -> dict:
         return {"type": "error", "task_id": task_id, "error": repr(exc)}
 
 
-def serve(host: str, port: int, token: str) -> int:
+class _Pinger:
+    """Daemon thread that heartbeats the parent every PING_INTERVAL_S.
+
+    Pings flow during computation too -- the fix for the false-bury bug
+    where a cell longer than the parent's ``heartbeat_timeout_s`` read
+    as a dead worker.  All frame writes (pings here, replies in the main
+    loop) share ``lock`` so frames never interleave on the wire.
+    ``stall_until`` (monotonic seconds) silences the thread -- the
+    ``heartbeat_stall`` fault uses it to look exactly like a flatlined
+    worker.
+    """
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock):
+        self._sock = sock
+        self.lock = lock
+        self.stall_until = 0.0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(PING_INTERVAL_S):
+            if time.monotonic() < self.stall_until:
+                continue
+            try:
+                with self.lock:
+                    send_frame(self._sock, {"type": "ping"})
+            except OSError:
+                return  # the parent is gone; the main loop will notice
+
+
+class _WorkerChaos:
+    """Worker-side fault injection driven by per-worker RNG channels."""
+
+    _KINDS = (
+        "worker_kill",
+        "frame_truncate",
+        "frame_garbage",
+        "heartbeat_stall",
+        "worker_slow",
+    )
+
+    def __init__(self, plan, worker_index: int):
+        from repro.faults.plan import FaultChannel
+
+        scope = f"worker{worker_index}"
+        self._connect = FaultChannel.of(plan, "connect_refuse", scope)
+        self._channels = {
+            kind: FaultChannel.of(plan, kind, scope) for kind in self._KINDS
+        }
+
+    def refuse_connect(self) -> bool:
+        return self._connect.draw() is not None
+
+    def on_task(self) -> dict:
+        """Draw every per-task channel once; return the actions to take."""
+        actions: dict = {}
+        for kind in self._KINDS:
+            spec = self._channels[kind].draw()
+            if spec is not None:
+                actions[kind] = spec
+        return actions
+
+
+def _send_truncated(sock: socket.socket, reply: dict) -> None:
+    """Send a deliberately torn frame: prefix plus half the body."""
+    data = json.dumps(reply, separators=(",", ":")).encode()
+    sock.sendall(_LEN.pack(len(data)) + data[: max(1, len(data) // 2)])
+
+
+def serve(
+    host: str,
+    port: int,
+    token: str,
+    faults: dict | None = None,
+    worker_index: int = 0,
+) -> int:
     """Connect back to the parent and run the task loop until shutdown."""
-    import os
+    chaos = None
+    if faults:
+        from repro.faults.plan import FaultPlan
+
+        chaos = _WorkerChaos(FaultPlan.coerce(faults), worker_index)
+        if chaos.refuse_connect():
+            # injected connect refusal: die before dialing back, the way
+            # a worker landing on a dead host would.  The parent reaps
+            # the silent exit and respawns.
+            return 3
 
     sock = socket.create_connection((host, port), timeout=30.0)
+    send_lock = threading.Lock()
+    pinger = _Pinger(sock, send_lock)
     try:
-        sock.settimeout(PING_INTERVAL_S)
-        send_frame(sock, {"type": "hello", "token": token, "pid": os.getpid()})
+        with send_lock:
+            send_frame(
+                sock, {"type": "hello", "token": token, "pid": os.getpid()}
+            )
+        pinger.start()
         while True:
-            try:
-                frame = recv_frame(sock)
-            except socket.timeout:
-                send_frame(sock, {"type": "ping"})
-                continue
+            frame = recv_frame(sock)
             if frame is None or frame.get("type") == "shutdown":
                 return 0
-            if frame.get("type") == "task":
-                # computation can take arbitrarily long; the reply frame
-                # itself doubles as the liveness signal for its duration.
-                sock.settimeout(None)
-                reply = _run_task(frame)
-                sock.settimeout(PING_INTERVAL_S)
+            if frame.get("type") != "task":
+                continue
+            actions = chaos.on_task() if chaos is not None else {}
+            if "worker_kill" in actions:
+                # a hard exit mid-cell: no reply, no cleanup, exactly
+                # what SIGKILL looks like from the parent's side.
+                os._exit(9)
+            if "heartbeat_stall" in actions:
+                stall_s = actions["heartbeat_stall"].duration_us / 1e6
+                pinger.stall_until = time.monotonic() + stall_s
+                time.sleep(stall_s)
+            reply = _run_task(frame)
+            if "worker_slow" in actions:
+                time.sleep(actions["worker_slow"].duration_us / 1e6)
+            with send_lock:
+                if "frame_truncate" in actions:
+                    _send_truncated(sock, reply)
+                    os._exit(9)  # die mid-frame: the parent sees torn EOF
+                if "frame_garbage" in actions:
+                    garbage = b"\xff not json \xff"
+                    sock.sendall(_LEN.pack(len(garbage)) + garbage)
+                    continue  # the parent buries us for the violation
                 send_frame(sock, reply)
     finally:
+        pinger.stop()
         sock.close()
 
 
@@ -140,10 +265,23 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--connect", required=True, metavar="HOST:PORT")
     parser.add_argument("--token", required=True)
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="canonical-JSON FaultPlan with transport specs",
+    )
+    parser.add_argument("--worker-index", type=int, default=0)
     args = parser.parse_args(argv)
     host, _, port = args.connect.rpartition(":")
+    faults = json.loads(args.faults) if args.faults else None
     try:
-        return serve(host, int(port), args.token)
+        return serve(
+            host,
+            int(port),
+            args.token,
+            faults=faults,
+            worker_index=args.worker_index,
+        )
     except (ConnectionError, OSError):
         # the parent vanished; there is nobody left to report to.
         return 1

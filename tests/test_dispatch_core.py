@@ -232,6 +232,105 @@ def test_socket_executor_survives_worker_kill():
     assert [p for p, _s in results] == [p for p, _s in serial]
 
 
+@pytest.mark.slow
+def test_poisonous_cell_exhausts_requeue_budget_without_stalling_fleet():
+    """A cell that kills every worker it lands on is failed after its
+    requeue budget while other cells keep completing, and its stale
+    bookkeeping does not outlive the failure."""
+    ok_cells = [
+        Cell.make("sleep", {"wall_s": 0.0, "tag": f"ok{i}"}, i)
+        for i in range(3)
+    ]
+    poison = Cell.make(
+        "sleep",
+        {"mode": "exit", "parent_pid": os.getpid(), "wall_s": 0.0},
+        99,
+    )
+    cells = [poison] + ok_cells
+    events: list[tuple[str, dict]] = []
+    backfilled: list[str] = []
+
+    def local_retry(cell, last_error):
+        assert isinstance(last_error, ExecutorError)
+        backfilled.append(cell.cell_id)
+        from repro.runner.cells import execute_cell
+
+        # the parent's pid matches parent_pid, so the cell computes fine
+        return execute_cell(cell), 0.0
+
+    ex = SocketExecutor(
+        2,
+        heartbeat_timeout_s=30.0,
+        max_respawns=4,
+        requeue_budget=1,
+        on_event=lambda name, **fields: events.append((name, fields)),
+    )
+    try:
+        results = DispatchCore(ex, local_retry=local_retry).run(cells)
+        assert ex._requeues == {}, "budget exhaustion must drop bookkeeping"
+        assert ex._respawns_left == 2, "exactly two workers died"
+    finally:
+        ex.close()
+    assert all(r is not None for r in results)
+    assert backfilled == [poison.cell_id]
+    names = [name for name, _fields in events]
+    assert names.count("requeue") == 1
+    assert names.count("requeue_exhausted") == 1
+    assert names.count("respawn") == 2
+
+
+@pytest.mark.slow
+def test_long_compute_does_not_trip_heartbeat_bury():
+    """Heartbeats come from a worker-side daemon thread, so a cell that
+    computes for longer than the heartbeat timeout must complete instead
+    of being buried as a flatline (the false-bury regression)."""
+    cell = Cell.make("sleep", {"wall_s": 3.5}, 7)
+    ex = SocketExecutor(1, heartbeat_timeout_s=2.5, max_respawns=4)
+    try:
+        results = DispatchCore(ex).run([cell])
+        assert ex._respawns_left == 4, "no worker may be buried"
+    finally:
+        ex.close()
+    assert results[0][0]["wall_s"] == 3.5
+
+
+def test_socket_executor_init_failure_leaks_nothing(monkeypatch):
+    """A spawn failure mid-__init__ must kill already-started workers and
+    release the listener instead of leaking them from a half-built
+    executor."""
+    spawned: list = []
+    real_spawn = SocketExecutor._spawn
+
+    def flaky_spawn(self):
+        if spawned:
+            raise OSError("spawn refused")
+        proc = real_spawn(self)
+        spawned.append(proc)
+        return proc
+
+    monkeypatch.setattr(SocketExecutor, "_spawn", flaky_spawn)
+    with pytest.raises(OSError, match="spawn refused"):
+        SocketExecutor(2)
+    assert len(spawned) == 1
+    spawned[0].wait(timeout=30)
+    assert spawned[0].poll() is not None, "leaked worker subprocess"
+
+
+@pytest.mark.slow
+def test_socket_cancel_drops_requeue_bookkeeping():
+    """Cancelling a pending task clears its death count: a later clone
+    with the same task id must start with a fresh requeue budget."""
+    ex = SocketExecutor(1)
+    try:
+        cell = _cells(1)[0]
+        ex.submit(Task(0, cell.kind, cell.param_dict, cell.seed))
+        ex._requeues[0] = 1  # as if a worker already died on this task
+        assert ex.cancel(0) is True
+        assert ex._requeues == {}
+    finally:
+        ex.close()
+
+
 # -- wire protocol -------------------------------------------------------------
 
 
