@@ -53,7 +53,12 @@ Checks, mirroring what the bench itself promises:
 * the observability plane must cost at most ``max_obs_disabled`` times
   the plain run when attached with every category gated off (default
   1.03x: observability is free when unused) and at most
-  ``max_obs_enabled`` times when fully enabled (default 1.15x).
+  ``max_obs_enabled`` times when fully enabled (default 1.15x);
+* the runner telemetry plane (wall-clock spans across dispatch,
+  executors, and socket workers), attached but disabled, must cost at
+  most ``max_runner_obs_overhead`` times the plain sweep (default
+  1.05x: tracing is zero-cost when off; the enabled ratio is printed
+  for the record but not gated).
 
 Exit status is nonzero on any failure, so the workflow step fails.
 """
@@ -81,6 +86,7 @@ def check(current: dict, baseline: dict, max_ratio: float,
           max_resilience_overhead: float = 1.05,
           max_obs_disabled: float = 1.03,
           max_obs_enabled: float = 1.15,
+          max_runner_obs_overhead: float = 1.05,
           min_dispatch_ratio: float = 0.95,
           max_profiling_ratio: float = 2.0,
           min_cluster_rate: float = 2.0,
@@ -332,6 +338,31 @@ def check(current: dict, baseline: dict, max_ratio: float,
                 f"{en_ratio:.3f}x the plain run (limit "
                 f"{max_obs_enabled:.2f}x)"
             )
+
+    runner_oo = current.get("runner_obs_overhead")
+    if runner_oo is None:
+        failures.append(
+            "bench record has no runner_obs_overhead section (bench "
+            "predates the runner telemetry plane?)"
+        )
+    else:
+        dis_ratio = runner_oo["disabled_ratio"] or float("inf")
+        en_ratio = runner_oo["enabled_ratio"] or float("inf")
+        print(
+            f"runner telemetry ({runner_oo['n_cells']} cells): plain "
+            f"{runner_oo['plain_wall_s']:.3f}s, disabled "
+            f"{runner_oo['disabled_wall_s']:.3f}s ({dis_ratio:.3f}x, "
+            f"limit {max_runner_obs_overhead:.2f}x), enabled "
+            f"{runner_oo['enabled_wall_s']:.3f}s ({en_ratio:.3f}x, "
+            f"not gated)"
+        )
+        if dis_ratio > max_runner_obs_overhead:
+            failures.append(
+                f"the disabled runner telemetry plane costs "
+                f"{dis_ratio:.3f}x the plain sweep (limit "
+                f"{max_runner_obs_overhead:.2f}x): tracing must be "
+                f"zero-cost when off"
+            )
     return failures
 
 
@@ -358,6 +389,11 @@ def main(argv=None) -> int:
     parser.add_argument("--max-obs-enabled", type=float, default=1.15,
                         help="allowed overhead of the fully-enabled obs "
                              "plane (default 1.15 = 15%%)")
+    parser.add_argument("--max-runner-obs-overhead", type=float,
+                        default=1.05,
+                        help="allowed overhead of the attached-but-"
+                             "disabled runner telemetry plane "
+                             "(default 1.05 = 5%%)")
     parser.add_argument("--min-dispatch-ratio", type=float, default=0.95,
                         help="required wheel-vs-heap generator-dispatch "
                              "throughput ratio (default 0.95)")
@@ -378,7 +414,8 @@ def main(argv=None) -> int:
     failures = check(current, baseline, args.max_ratio, args.min_wheel_ratio,
                      args.max_fault_overhead, args.max_resilience_overhead,
                      args.max_obs_disabled,
-                     args.max_obs_enabled, args.min_dispatch_ratio,
+                     args.max_obs_enabled, args.max_runner_obs_overhead,
+                     args.min_dispatch_ratio,
                      args.max_profiling_ratio, args.min_cluster_rate,
                      args.min_dispatch_core)
     for f in failures:

@@ -69,6 +69,49 @@ def _add_resilience_args(p) -> None:
                         "cells")
 
 
+def _telemetry_kwargs(args):
+    """ExperimentRunner kwargs (and the telemetry handle) from the
+    shared runner-observability flags.
+
+    ``--trace-runner PATH`` turns on the wall-clock span plane and
+    writes a Perfetto-loadable trace.json after the run (see
+    :func:`_write_runner_trace`); ``--progress`` turns on the live
+    one-line sweep progress meter on stderr.  Neither changes a report
+    byte -- spans live beside, never inside, the cell payloads.
+    """
+    kwargs = {}
+    tel = None
+    if getattr(args, "trace_runner", None):
+        from repro.obs import RunnerTelemetry
+
+        tel = RunnerTelemetry()
+        kwargs["telemetry"] = tel
+    if getattr(args, "progress", False):
+        kwargs["progress"] = True
+    return kwargs, tel
+
+
+def _add_telemetry_args(p) -> None:
+    p.add_argument("--trace-runner", default=None, metavar="PATH",
+                   help="record wall-clock runner spans (dispatch, "
+                        "per-worker assignments, worker-side compute, "
+                        "respawns, retries) and write a Perfetto/Chrome "
+                        "trace.json there after the run")
+    p.add_argument("--progress", action="store_true",
+                   help="live one-line sweep progress on stderr "
+                        "(cells done/total, cost-model ETA, retry and "
+                        "chaos counts)")
+
+
+def _write_runner_trace(args, tel) -> None:
+    if tel is None:
+        return
+    from repro.obs import write_runner_trace
+
+    write_runner_trace(args.trace_runner, tel.snapshot())
+    print(f"wrote {args.trace_runner}")
+
+
 def cmd_list(args) -> int:
     from repro.experiments.fig7_10_latency import FIGURE_OF, WORKLOADS_OF
     from repro.workloads.kv import SERVICE_CLASSES
@@ -234,12 +277,14 @@ def cmd_cluster(args) -> int:
     else:
         request = ExperimentRequest.make("cluster", params, args.seed)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    tel_kwargs, tel = _telemetry_kwargs(args)
     runner = ExperimentRunner(
         cache=cache,
         parallel=args.parallel,
         executor=args.executor,
         dispatch=args.dispatch,
         **_resilience_kwargs(args),
+        **tel_kwargs,
     )
     shard_note = f" in {args.shards} shards" if sharded else ""
     print(f"cluster sweep: {args.nodes} nodes, {args.jobs} jobs{shard_note}, "
@@ -267,7 +312,12 @@ def cmd_cluster(args) -> int:
                 print(f"node health: {payload.get('policy', cell_id)}")
                 print(format_node_health_table(payload["node_health"]))
     print(f"{report.n_cell_runs} cells computed, {report.wall_s:.1f}s wall")
+    if report.cache_stats:
+        cs = report.cache_stats
+        print(f"cache: {cs['hits']} hits, {cs['misses']} misses, "
+              f"{cs['corrupted']} corrupted, {cs['writes']} writes")
     print(f"wrote {args.output}")
+    _write_runner_trace(args, tel)
     return 0
 
 
@@ -369,6 +419,20 @@ def cmd_bench(args) -> int:
         ["parallel cell runs", sweep["parallel_cell_runs"]],
         ["merged results identical", str(sweep["identical_merged_results"])],
     ]
+    if sweep.get("cache"):
+        cs = sweep["cache"]
+        rows.append([
+            "cache hit/miss/corrupt/write",
+            f"{cs.get('hits', 0)}/{cs.get('misses', 0)}/"
+            f"{cs.get('corrupted', 0)}/{cs.get('writes', 0)}",
+        ])
+    if "runner_obs_overhead" in record:
+        roo = record["runner_obs_overhead"]
+        rows += [
+            ["runner telemetry off",
+             f"{roo['disabled_ratio']:.3f}x (gate <= 1.05x)"],
+            ["runner telemetry on", f"{roo['enabled_ratio']:.3f}x"],
+        ]
     if "event_loop" in record:
         loop = record["event_loop"]
         rows += [
@@ -495,6 +559,41 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace_sweep(args) -> int:
+    """Reconstruct a runner timeline post-hoc from a sweep journal.
+
+    Works on the journal of a *crashed* run too: span records are
+    appended as spans close, so everything that finished before the
+    crash renders, and a ``--resume``\\ d journal shows cached-replay
+    cells as zero-width instants.  Journals written without telemetry
+    fall back to a synthetic record-order timeline.
+    """
+    import pathlib
+
+    from repro.analysis.obs import format_span_timeline
+    from repro.obs import timeline_from_journal, write_runner_trace
+    from repro.runner import SweepJournal
+
+    if not args.journal:
+        print("trace sweep needs a journal path: "
+              "repro trace sweep path/to/journal.jsonl", file=sys.stderr)
+        return 2
+    records = SweepJournal.load(args.journal)
+    if not records:
+        print(f"no records in {args.journal}", file=sys.stderr)
+        return 2
+    snapshot = timeline_from_journal(records)
+    print(format_span_timeline(snapshot))
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.json"
+    write_runner_trace(str(trace_path), snapshot)
+    n_spans = len(snapshot.get("spans", []))
+    print(f"{len(records)} journal records, {n_spans} spans")
+    print(f"wrote {trace_path}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run one experiment with the observability plane on and export it."""
     import pathlib
@@ -503,6 +602,8 @@ def cmd_trace(args) -> int:
     from repro.obs import write_trace_bundle
     from repro.runner import ExperimentRequest, ExperimentRunner, ResultCache
 
+    if args.experiment == "sweep":
+        return _cmd_trace_sweep(args)
     obs_spec = args.obs
     if args.experiment == "colocation":
         params = {
@@ -605,8 +706,9 @@ def cmd_run_all(args) -> int:
     ]
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    tel_kwargs, tel = _telemetry_kwargs(args)
     runner = ExperimentRunner(cache=cache, parallel=args.parallel,
-                              **_resilience_kwargs(args))
+                              **_resilience_kwargs(args), **tel_kwargs)
     print(f"running {len(requests)} experiments "
           f"(--parallel {args.parallel}) ...", file=sys.stderr)
     report = runner.run(requests)
@@ -615,10 +717,13 @@ def cmd_run_all(args) -> int:
     rows = [[cid, f"{secs:.2f}"] for cid, secs in report.timings.items()]
     print(format_table(["cell", "compute s"], rows))
     if report.cache_stats:
-        print(f"cache: {report.cache_stats}")
+        cs = report.cache_stats
+        print(f"cache: {cs['hits']} hits, {cs['misses']} misses, "
+              f"{cs['corrupted']} corrupted, {cs['writes']} writes")
     print(f"{len(report.experiments)} experiments, {len(report.cells)} cells, "
           f"{report.n_cell_runs} computed, {report.wall_s:.1f}s wall")
     print(f"wrote {out}")
+    _write_runner_trace(args, tel)
     return 0
 
 
@@ -729,6 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "list); adds node-health and obs sections to the "
                         "report (default: off)")
     _add_resilience_args(p)
+    _add_telemetry_args(p)
 
     p = sub.add_parser(
         "profile",
@@ -801,7 +907,13 @@ def build_parser() -> argparse.ArgumentParser:
              "export trace.json (Perfetto), events.jsonl, metrics.json "
              "and timeline.txt",
     )
-    p.add_argument("experiment", choices=["colocation", "cluster", "chaos"])
+    p.add_argument("experiment",
+                   choices=["colocation", "cluster", "chaos", "sweep"],
+                   help="what to trace; 'sweep' replays a runner journal "
+                        "(give its path as the next argument) instead of "
+                        "running an experiment")
+    p.add_argument("journal", nargs="?", default=None,
+                   help="sweep journal path (trace sweep only)")
     p.add_argument("--service", default="redis",
                    choices=["redis", "memcached", "rocksdb", "wiredtiger"])
     p.add_argument("-w", "--workload", default="a")
@@ -844,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared result cache (default .repro-cache)")
     p.add_argument("--output", default="runner_report.json")
     _add_resilience_args(p)
+    _add_telemetry_args(p)
 
     return parser
 

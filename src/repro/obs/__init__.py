@@ -17,6 +17,11 @@ it produced.  Three layers:
   events interleaved with execution-tracer quanta on one timeline), a
   flat JSONL event log, and the text views in
   :mod:`repro.analysis.obs`.
+* :mod:`repro.obs.runner` — the *wall-clock* sibling of the sim-time
+  bus: causal spans across the dispatch core, executors, and socket
+  workers (:class:`RunnerTelemetry`), live sweep progress
+  (:class:`SweepProgress`), and a Perfetto exporter with one lane per
+  worker that merges across shards and hosts.
 
 The determinism contract: events are stamped with *simulation* time and
 emitted in simulation order, so two runs with identical seeds and plans
@@ -51,6 +56,15 @@ from repro.obs.export import (
     events_jsonl,
     write_trace_bundle,
 )
+from repro.obs.runner import (
+    RunnerTelemetry,
+    SweepProgress,
+    merge_snapshots,
+    runner_chrome_trace,
+    timeline_from_journal,
+    validate_runner_trace,
+    write_runner_trace,
+)
 
 __all__ = [
     "Event",
@@ -68,4 +82,11 @@ __all__ = [
     "dumps_canonical",
     "events_jsonl",
     "write_trace_bundle",
+    "RunnerTelemetry",
+    "SweepProgress",
+    "merge_snapshots",
+    "runner_chrome_trace",
+    "timeline_from_journal",
+    "validate_runner_trace",
+    "write_runner_trace",
 ]

@@ -37,11 +37,14 @@ def _merged_events(streams: Dict[str, dict]) -> List[dict]:
     rows = []
     for stream in sorted(streams):
         for idx, ev in enumerate(streams[stream].get("events", ())):
-            rows.append((ev["t"], stream, idx, ev))
+            # tolerate sparse events (hand-written payloads, older
+            # snapshots): every field is optional but the timestamp.
+            rows.append((ev.get("t", 0.0), stream, idx, ev))
     rows.sort(key=lambda r: (r[0], r[1], r[2]))
     return [
-        {"t": t, "stream": stream, "seq": idx, "cat": ev["cat"],
-         "name": ev["name"], "node": ev["node"], "args": ev["args"]}
+        {"t": t, "stream": stream, "seq": idx,
+         "cat": ev.get("cat", "?"), "name": ev.get("name", "?"),
+         "node": ev.get("node"), "args": ev.get("args") or {}}
         for t, stream, idx, ev in rows
     ]
 

@@ -62,6 +62,7 @@ from repro.runner.bench import (
     bench_event_loop,
     bench_fault_overhead,
     bench_resilience_overhead,
+    bench_runner_obs_overhead,
     bench_sweep,
     run_bench,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "bench_event_loop",
     "bench_fault_overhead",
     "bench_resilience_overhead",
+    "bench_runner_obs_overhead",
     "bench_sweep",
     "run_bench",
 ]

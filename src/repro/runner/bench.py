@@ -39,6 +39,10 @@ trajectory is tracked from PR to PR:
 * **obs_overhead** -- wall-clock of the same run with the observability
   plane absent, attached-but-disabled, and fully enabled; the gate
   holds disabled/plain to <= 3% and enabled/plain to <= 15%.
+* **runner_obs_overhead** -- wall-clock of a pool-executor sweep with
+  the runner telemetry plane absent, attached-but-disabled, and fully
+  enabled (spans across dispatch/executors/workers); the gate holds
+  disabled/plain to <= 5%: tracing must be zero-cost when off.
 * **profiling** -- wall-clock of the full micro-probe profiling stage
   (normalised per probe run, so growing the seed matrix doesn't trip
   the gate) and throughput of the fitted pair model's ``predict_excess``
@@ -786,6 +790,73 @@ def bench_obs_overhead(duration_us: float = 50_000.0, repeats: int = 5,
     }
 
 
+def bench_runner_obs_overhead(quick: bool = False, seed: int = 42,
+                              parallel: int = 2) -> dict:
+    """Cost of the runner telemetry plane (wall-clock spans + metrics).
+
+    Three identical pool-executor sweeps over short co-location cells:
+    *plain* (``telemetry=None`` -- one is-not-None check per
+    instrumentation point), *disabled* (a
+    :class:`~repro.obs.runner.RunnerTelemetry` built with
+    ``enabled=False`` attached -- the runner coerces it to None, so
+    this arm proves the coercion leaves no residue), and *enabled*
+    (spans, per-iteration queue sampling, and worker-side compute spans
+    all recorded).  The ``check_bench_regression`` gate holds
+    disabled/plain to <= 1.05x; the enabled ratio is reported for the
+    record.  Arms are interleaved and min-of-``repeats`` so frequency
+    drift hits all three equally.
+    """
+    from repro.obs.runner import RunnerTelemetry
+    from repro.runner.aggregate import ExperimentRequest
+
+    duration_us = 4_000.0 if quick else 8_000.0
+    n_cells = 6 if quick else 10
+    repeats = 2 if quick else 3
+    requests = [
+        ExperimentRequest.make(
+            "colocation",
+            {"service": "redis", "workload": "a", "setting": "holmes",
+             "duration_us": duration_us},
+            seed + i,
+        )
+        for i in range(n_cells)
+    ]
+
+    def one(arm: str) -> float:
+        telemetry = None
+        if arm == "disabled":
+            telemetry = RunnerTelemetry(enabled=False)
+        elif arm == "enabled":
+            telemetry = RunnerTelemetry()
+        runner = ExperimentRunner(parallel=parallel, executor="pool",
+                                  telemetry=telemetry)
+        t0 = time.perf_counter()
+        runner.run(requests)
+        return time.perf_counter() - t0
+
+    arms = ("plain", "disabled", "enabled")
+    walls: dict[str, list[float]] = {arm: [] for arm in arms}
+    for arm in arms:  # warm pools and imports outside the timing
+        one(arm)
+    for _ in range(repeats):
+        for arm in arms:
+            walls[arm].append(one(arm))
+    plain = min(walls["plain"])
+    disabled = min(walls["disabled"])
+    enabled = min(walls["enabled"])
+    return {
+        "duration_us": duration_us,
+        "n_cells": n_cells,
+        "parallel": parallel,
+        "repeats": repeats,
+        "plain_wall_s": plain,
+        "disabled_wall_s": disabled,
+        "enabled_wall_s": enabled,
+        "disabled_ratio": disabled / plain if plain > 0 else None,
+        "enabled_ratio": enabled / plain if plain > 0 else None,
+    }
+
+
 def bench_profiling(quick: bool = False, seed: int = 42) -> dict:
     """Cost of the offline profiling stage and the online predictor.
 
@@ -929,6 +1000,9 @@ def run_bench(
         seed=seed,
     )
     record["resilience_overhead"] = bench_resilience_overhead(
+        quick=quick, seed=seed
+    )
+    record["runner_obs_overhead"] = bench_runner_obs_overhead(
         quick=quick, seed=seed
     )
     record["profiling"] = bench_profiling(quick=quick, seed=seed)

@@ -34,6 +34,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.obs.runner import QUEUE_DEPTH_BUCKETS
 from repro.runner.cells import DEFAULT_DURATION_US, Cell
 from repro.runner.executors import ExecutorError, Task
 
@@ -138,6 +139,14 @@ class DispatchCore:
     decisions (``backfill``, ``speculate``, ``transport_lost``) with
     audit fields; the runner forwards them to the obs plane and the
     sweep journal.
+
+    ``telemetry`` (a :class:`~repro.obs.runner.RunnerTelemetry`) arms the
+    wall-clock span layer: one ``cell`` span per slot, one
+    ``cell_attempt`` span per launched task (its id rides
+    ``Task.span_id`` across the executor so worker-side compute spans
+    stitch back in), and per-loop-iteration samples of ready-queue
+    depth, effective workers, steals and speculation wins/losses.
+    ``parent_span`` nests everything under the runner's sweep span.
     """
 
     def __init__(
@@ -149,6 +158,8 @@ class DispatchCore:
         on_result: Optional[Callable] = None,
         on_event: Optional[Callable] = None,
         speculate: int = 0,
+        telemetry=None,
+        parent_span: Optional[int] = None,
     ):
         self.executor = executor
         self.cost_model = cost_model or CostModel()
@@ -156,6 +167,8 @@ class DispatchCore:
         self.on_result = on_result
         self.on_event = on_event
         self.speculate = max(0, int(speculate))
+        self.telemetry = telemetry
+        self.parent_span = parent_span
 
     def _emit(self, name: str, **fields) -> None:
         if self.on_event is not None:
@@ -164,6 +177,7 @@ class DispatchCore:
     def run(self, cells: list[Cell]) -> list[tuple[dict, float]]:
         if not cells:
             return []
+        tel = self.telemetry
         slots = [_Slot(i, cell) for i, cell in enumerate(cells)]
         # longest-expected-first; ties broken by cell_id then slot index
         # so the order is deterministic for any cost model.
@@ -183,14 +197,44 @@ class DispatchCore:
         speculated = 0
         in_executor = 0
         remaining = len(cells)
+        # telemetry bookkeeping (None-guarded; all dead weight when off)
+        cell_spans: dict[int, int] = {}  # slot index -> cell span id
+        attempt_spans: dict[int, int] = {}  # task_id -> attempt span id
+        clone_ids: set[int] = set()
+        waited = False  # a launch after the first wait() is a steal
 
         def launch(slot: _Slot) -> None:
             nonlocal next_task_id, in_executor
+            span_id = None
+            if tel is not None:
+                cell_span = cell_spans.get(slot.index)
+                if cell_span is None:
+                    cell_span = tel.begin(
+                        "cell",
+                        cat="dispatch",
+                        parent=self.parent_span,
+                        cell=slot.cell.cell_id,
+                    )
+                    cell_spans[slot.index] = cell_span
+                span_id = tel.begin(
+                    "cell_attempt",
+                    cat="dispatch",
+                    parent=cell_span,
+                    cell=slot.cell.cell_id,
+                    task=next_task_id,
+                    clone=slot.cloned,
+                )
+                attempt_spans[next_task_id] = span_id
+                if slot.cloned:
+                    clone_ids.add(next_task_id)
+                if waited:
+                    tel.metrics.counter("steals").inc()
             task = Task(
                 next_task_id,
                 slot.cell.kind,
                 slot.cell.param_dict,
                 slot.cell.seed,
+                span_id=span_id,
             )
             next_task_id += 1
             tasks[task.task_id] = slot
@@ -214,6 +258,16 @@ class DispatchCore:
                         del tasks[task_id]
                         slot.inflight -= 1
                         in_executor -= 1
+                        if tel is not None:
+                            tel.end(
+                                attempt_spans.pop(task_id, -1),
+                                status="cancelled",
+                            )
+            # the cell span closes with its *last* attempt: a clone the
+            # executor could not cancel is still running, and its attempt
+            # span must end inside the cell span (nesting invariant).
+            if tel is not None and slot.inflight == 0:
+                tel.end(cell_spans.pop(slot.index, -1), status="ok")
 
         def backfill(slot: _Slot) -> None:
             if self.local_retry is None:
@@ -223,7 +277,23 @@ class DispatchCore:
                 cell=slot.cell.cell_id,
                 error=repr(slot.last_error),
             )
-            payload, secs = self.local_retry(slot.cell, slot.last_error)
+            span = -1
+            if tel is not None:
+                span = tel.begin(
+                    "backfill",
+                    cat="dispatch",
+                    parent=cell_spans.get(slot.index),
+                    cell=slot.cell.cell_id,
+                    error=repr(slot.last_error),
+                )
+            try:
+                payload, secs = self.local_retry(slot.cell, slot.last_error)
+            except BaseException:
+                if tel is not None:
+                    tel.end(span, status="error")
+                raise
+            if tel is not None:
+                tel.end(span, status="ok")
             finish(slot, payload, secs)
 
         while remaining:
@@ -256,7 +326,21 @@ class DispatchCore:
                     slot.cloned = True
                     speculated += 1
                     self._emit("speculate", cell=slot.cell.cell_id)
+                    if tel is not None:
+                        tel.instant(
+                            "speculation",
+                            cat="dispatch",
+                            parent=cell_spans.get(slot.index),
+                            cell=slot.cell.cell_id,
+                        )
                     launch(slot)
+            if tel is not None:
+                # per-iteration health samples for the runner registry.
+                m = tel.metrics
+                m.histogram("ready_queue_depth", QUEUE_DEPTH_BUCKETS) \
+                    .observe(len(ready))
+                m.gauge("effective_workers").set(in_executor)
+                m.gauge("cells_remaining").set(remaining)
             if in_executor == 0:
                 # every in-flight attempt failed; recover serially.
                 for slot in slots:
@@ -274,6 +358,17 @@ class DispatchCore:
                     unfinished=sum(1 for s in slots if not s.done),
                     error=repr(exc),
                 )
+                if tel is not None:
+                    tel.instant(
+                        "transport_lost",
+                        cat="dispatch",
+                        parent=self.parent_span,
+                        error=repr(exc),
+                    )
+                    for task_id in list(tasks):
+                        tel.end(
+                            attempt_spans.pop(task_id, -1), status="lost"
+                        )
                 tasks.clear()
                 for slot in slots:
                     if not slot.done:
@@ -282,14 +377,38 @@ class DispatchCore:
                         slot.inflight = 0
                         backfill(slot)
                 break
+            waited = True
             for comp in completions:
                 slot = tasks.pop(comp.task_id, None)
                 if slot is None:
+                    if tel is not None:
+                        tel.end(
+                            attempt_spans.pop(comp.task_id, -1),
+                            status="stale",
+                        )
+                        tel.adopt(comp.spans)
                     continue  # cancelled clone that finished anyway
                 slot.inflight -= 1
                 in_executor -= 1
+                if tel is not None:
+                    tel.end(
+                        attempt_spans.pop(comp.task_id, -1),
+                        status="ok" if comp.ok else "error",
+                    )
+                    tel.adopt(comp.spans)
+                    if slot.cloned and not slot.done and comp.ok:
+                        name = (
+                            "speculation_wins"
+                            if comp.task_id in clone_ids
+                            else "speculation_losses"
+                        )
+                        tel.metrics.counter(name).inc()
                 if slot.done:
-                    continue  # the sibling already won
+                    # the sibling already won; this straggler was the
+                    # last attempt keeping the cell span open.
+                    if tel is not None and slot.inflight == 0:
+                        tel.end(cell_spans.pop(slot.index, -1), status="ok")
+                    continue
                 if comp.ok:
                     finish(slot, comp.payload, comp.compute_s)
                 else:
@@ -298,4 +417,18 @@ class DispatchCore:
                         # no sibling left to save the cell: backfill now
                         # (streaming -- not after the whole sweep).
                         backfill(slot)
+        if tel is not None:
+            # the loop exits as soon as every result is in; speculative
+            # clones the executor could not cancel may still be running
+            # and die with the executor shutdown.  Close their spans
+            # here so nothing outlives the dispatch (nesting invariant).
+            # Executor-held spans (e.g. an in-flight socket assign) must
+            # close first -- they nest *inside* the attempt spans below.
+            abandon = getattr(self.executor, "abandon_telemetry", None)
+            if abandon is not None:
+                abandon()
+            for task_id in list(attempt_spans):
+                tel.end(attempt_spans.pop(task_id), status="abandoned")
+            for index in list(cell_spans):
+                tel.end(cell_spans.pop(index), status="ok")
         return results

@@ -53,7 +53,8 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.runner.worker import recv_frame, send_frame
+from repro.obs.runner import HEARTBEAT_BUCKETS_S
+from repro.runner.worker import PING_INTERVAL_S, recv_frame, send_frame
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,9 @@ class Task:
     kind: str
     params: dict
     seed: int
+    #: trace context: the parent-side span id worker-side compute spans
+    #: attach to (None = telemetry off; nothing crosses the wire).
+    span_id: Optional[int] = None
 
 
 @dataclass
@@ -75,10 +79,26 @@ class Completion:
     payload: Optional[dict] = None
     compute_s: float = 0.0
     error: Optional[BaseException] = None
+    #: worker-side span dicts riding back beside (never inside) the
+    #: payload; the dispatch core adopts them into the parent trace.
+    spans: Optional[list] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+def _compute_span(
+    span_id: Optional[int], kind: str, t0: float, t1: float, status: str
+) -> Optional[list]:
+    """The worker-side compute span for one executed task, or None."""
+    if span_id is None:
+        return None
+    return [{
+        "name": "compute", "cat": "worker", "parent": span_id,
+        "t0": t0, "t1": t1, "status": status,
+        "args": {"pid": os.getpid(), "kind": kind},
+    }]
 
 
 class ExecutorError(RuntimeError):
@@ -91,12 +111,22 @@ def _execute_task(task: Task) -> Completion:
     from repro.runner.cells import Cell, execute_cell
 
     t0 = time.perf_counter()
+    w0 = time.time()
     try:
         payload = execute_cell(Cell.make(task.kind, task.params, task.seed))
     except BaseException as exc:  # noqa: BLE001 - carried to the core
-        return Completion(task.task_id, error=exc)
+        return Completion(
+            task.task_id,
+            error=exc,
+            spans=_compute_span(
+                task.span_id, task.kind, w0, time.time(), "error"
+            ),
+        )
     return Completion(
-        task.task_id, payload=payload, compute_s=time.perf_counter() - t0
+        task.task_id,
+        payload=payload,
+        compute_s=time.perf_counter() - t0,
+        spans=_compute_span(task.span_id, task.kind, w0, time.time(), "ok"),
     )
 
 
@@ -139,14 +169,19 @@ class InProcessExecutor(_ExecutorContext):
         self._queue.clear()
 
 
-def _pool_worker(spec: tuple) -> tuple[dict, float]:
+def _pool_worker(spec: tuple) -> tuple[dict, float, Optional[list]]:
     """Module-level pool body (must be picklable)."""
     from repro.runner.cells import Cell, execute_cell
 
-    kind, params, seed = spec
+    kind, params, seed, span_id = spec
     t0 = time.perf_counter()
+    w0 = time.time()
     payload = execute_cell(Cell.make(kind, params, seed))
-    return payload, time.perf_counter() - t0
+    return (
+        payload,
+        time.perf_counter() - t0,
+        _compute_span(span_id, kind, w0, time.time(), "ok"),
+    )
 
 
 class PoolExecutor(_ExecutorContext):
@@ -201,7 +236,9 @@ class PoolExecutor(_ExecutorContext):
                 )
             )
             return
-        fut = self._pool.submit(_pool_worker, (task.kind, task.params, task.seed))
+        fut = self._pool.submit(
+            _pool_worker, (task.kind, task.params, task.seed, task.span_id)
+        )
         self._futures[fut] = task.task_id
 
     def wait(self) -> list[Completion]:
@@ -219,20 +256,22 @@ class PoolExecutor(_ExecutorContext):
         for fut in done:
             task_id = self._futures.pop(fut)
             try:
-                payload, secs = fut.result()
+                payload, secs, spans = fut.result()
             except BaseException as exc:  # noqa: BLE001 - carried to the core
                 out.append(Completion(task_id, error=exc))
                 broken = broken or self._is_broken(exc)
             else:
-                out.append(Completion(task_id, payload=payload, compute_s=secs))
+                out.append(Completion(task_id, payload=payload,
+                                      compute_s=secs, spans=spans))
         if broken:
             # the remaining futures are doomed too: drain them as
             # failures and stand up a replacement pool for future work.
             for fut, task_id in list(self._futures.items()):
                 try:
-                    payload, secs = fut.result()
+                    payload, secs, spans = fut.result()
                     out.append(
-                        Completion(task_id, payload=payload, compute_s=secs)
+                        Completion(task_id, payload=payload,
+                                   compute_s=secs, spans=spans)
                     )
                 except BaseException as exc:  # noqa: BLE001
                     out.append(Completion(task_id, error=exc))
@@ -284,6 +323,9 @@ class _SocketWorker:
         self.conn: Optional[socket.socket] = None
         self.task: Optional[Task] = None
         self.last_recv = time.monotonic()
+        #: telemetry span ids (−1 / None when telemetry is off)
+        self.hs_span: int = -1
+        self.assign_span: int = -1
 
     @property
     def idle(self) -> bool:
@@ -326,6 +368,7 @@ class SocketExecutor(_ExecutorContext):
         retry_policy=None,
         chaos_plan=None,
         on_event: Optional[Callable[..., None]] = None,
+        telemetry=None,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -335,6 +378,9 @@ class SocketExecutor(_ExecutorContext):
         self.capacity = parallel
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.on_event = on_event
+        self.telemetry = telemetry if (
+            telemetry is not None and telemetry.enabled
+        ) else None
         self._respawns_left = max_respawns
         self._requeue_budget = requeue_budget
         self._chaos_json: Optional[str] = None
@@ -357,7 +403,7 @@ class SocketExecutor(_ExecutorContext):
         self._started = time.monotonic()
         try:
             for _ in range(parallel):
-                self._workers.append(_SocketWorker(self._spawn()))
+                self._workers.append(self._new_worker())
         except BaseException:
             # partial construction must not leak the listener, the
             # selector, or any worker subprocess already started.
@@ -409,6 +455,18 @@ class SocketExecutor(_ExecutorContext):
         self._spawned += 1
         return subprocess.Popen(argv, env=env, stdin=subprocess.DEVNULL)
 
+    def _new_worker(self) -> _SocketWorker:
+        """Spawn a worker; its handshake span runs spawn -> hello."""
+        worker = _SocketWorker(self._spawn())
+        if self.telemetry is not None:
+            worker.hs_span = self.telemetry.begin(
+                "handshake",
+                cat="transport",
+                lane=f"w{worker.proc.pid}",
+                pid=worker.proc.pid,
+            )
+        return worker
+
     def _bury(
         self,
         worker: _SocketWorker,
@@ -416,6 +474,7 @@ class SocketExecutor(_ExecutorContext):
         reason: str = "death",
     ) -> None:
         """Handle a dead worker: requeue or fail its task, maybe respawn."""
+        tel = self.telemetry
         if worker.conn is not None:
             try:
                 self._selector.unregister(worker.conn)
@@ -424,9 +483,16 @@ class SocketExecutor(_ExecutorContext):
             self._bufs.pop(worker.conn, None)
             worker.conn.close()
             worker.conn = None
+        elif tel is not None:
+            # died before (or without) completing the handshake
+            tel.end(worker.hs_span, status="lost", reason=reason)
         if worker.proc.poll() is None:
             worker.proc.kill()
         task, worker.task = worker.task, None
+        if tel is not None and task is not None:
+            # the in-flight assignment was cut short: a truncated span.
+            tel.end(worker.assign_span, status="truncated", reason=reason)
+            worker.assign_span = -1
         self._emit(
             "bury",
             pid=worker.proc.pid,
@@ -473,11 +539,31 @@ class SocketExecutor(_ExecutorContext):
                     self._emit(
                         "requeue", task_id=task.task_id, deaths=deaths
                     )
+                    if tel is not None:
+                        tel.instant(
+                            "requeue",
+                            cat="transport",
+                            parent=task.span_id,
+                            lane="fleet",
+                            task_id=task.task_id,
+                            deaths=deaths,
+                        )
                     self._pending.appendleft(task)
         self._workers.remove(worker)
         if self._respawns_left > 0:
             self._respawns_left -= 1
-            self._workers.append(_SocketWorker(self._spawn()))
+            respawn_span = -1
+            if tel is not None:
+                respawn_span = tel.begin(
+                    "respawn",
+                    cat="transport",
+                    lane="fleet",
+                    buried_pid=worker.proc.pid,
+                    respawns_left=self._respawns_left,
+                )
+            self._workers.append(self._new_worker())
+            if tel is not None:
+                tel.end(respawn_span, pid=self._workers[-1].proc.pid)
             self._emit("respawn", respawns_left=self._respawns_left)
 
     # -- frame plumbing ----------------------------------------------------
@@ -515,6 +601,8 @@ class SocketExecutor(_ExecutorContext):
                 worker.last_recv = time.monotonic()
                 self._bufs[conn] = bytearray()
                 self._selector.register(conn, selectors.EVENT_READ, worker)
+                if self.telemetry is not None:
+                    self.telemetry.end(worker.hs_span, status="ok")
                 return
         conn.close()  # an impostor, or a worker already buried
 
@@ -534,7 +622,25 @@ class SocketExecutor(_ExecutorContext):
         except OSError:
             self._bury(worker, out)
             return
-        worker.last_recv = time.monotonic()
+        now = time.monotonic()
+        if self.telemetry is not None:
+            # gap between receives approximates the heartbeat RTT; a gap
+            # well past the ping interval is a stall worth flagging.
+            gap = now - worker.last_recv
+            self.telemetry.metrics.histogram(
+                "heartbeat_gap_s",
+                HEARTBEAT_BUCKETS_S,
+                worker=f"w{worker.proc.pid}",
+            ).observe(gap)
+            if gap > 2.5 * PING_INTERVAL_S:
+                self.telemetry.instant(
+                    "heartbeat_gap",
+                    cat="transport",
+                    lane=f"w{worker.proc.pid}",
+                    gap_s=gap,
+                    pid=worker.proc.pid,
+                )
+        worker.last_recv = now
         while len(buf) >= 4:
             length = int.from_bytes(buf[:4], "big")
             if len(buf) < 4 + length:
@@ -563,17 +669,27 @@ class SocketExecutor(_ExecutorContext):
             return  # stale reply for a task already requeued elsewhere
         worker.task = None
         self._requeues.pop(task_id, None)
+        if self.telemetry is not None:
+            self.telemetry.end(
+                worker.assign_span,
+                status="ok" if kind == "result" else "error",
+            )
+            worker.assign_span = -1
         # a cancelled task's reply is surfaced, not swallowed: cancel()
         # returned False for it, promising the dispatch core a completion
         # it can use to release the executor slot.  (The core ignores the
         # payload -- the sibling already won.)
         self._cancelled.discard(task_id)
+        # worker-side spans ride beside the payload; old workers simply
+        # never send them, and the field stays absent without telemetry.
+        spans = frame.get("spans")
         if kind == "result":
             out.append(
                 Completion(
                     task_id,
                     payload=frame["payload"],
                     compute_s=float(frame.get("compute_s", 0.0)),
+                    spans=spans,
                 )
             )
         else:
@@ -583,6 +699,7 @@ class SocketExecutor(_ExecutorContext):
                     error=RuntimeError(
                         f"socket worker failed: {frame.get('error')}"
                     ),
+                    spans=spans,
                 )
             )
 
@@ -592,22 +709,44 @@ class SocketExecutor(_ExecutorContext):
                 return
             if worker.idle:
                 task = self._pending.popleft()
-                try:
-                    send_frame(
-                        worker.conn,
-                        {
-                            "type": "task",
-                            "task_id": task.task_id,
-                            "kind": task.kind,
-                            "params": task.params,
-                            "seed": task.seed,
-                        },
+                frame = {
+                    "type": "task",
+                    "task_id": task.task_id,
+                    "kind": task.kind,
+                    "params": task.params,
+                    "seed": task.seed,
+                }
+                assign_span = -1
+                if self.telemetry is not None:
+                    assign_span = self.telemetry.begin(
+                        "assign",
+                        cat="transport",
+                        parent=task.span_id,
+                        lane=f"w{worker.proc.pid}",
+                        task_id=task.task_id,
+                        pid=worker.proc.pid,
                     )
+                # the trace-context field: worker compute spans attach to
+                # this assignment.  Old workers ignore unknown fields, so
+                # the protocol stays compatible both ways.
+                span_to_send = (
+                    assign_span if assign_span >= 0 else task.span_id
+                )
+                if span_to_send is not None and span_to_send >= 0:
+                    frame["span"] = span_to_send
+                try:
+                    send_frame(worker.conn, frame)
                 except OSError:
+                    if self.telemetry is not None:
+                        self.telemetry.end(
+                            assign_span, status="truncated",
+                            reason="send_failed",
+                        )
                     self._pending.appendleft(task)
                     self._bury(worker, [], reason="send_failed")
                     continue
                 worker.task = task
+                worker.assign_span = assign_span
 
     def _reap(self, out: list[Completion]) -> None:
         """Notice silently-exited processes and heartbeat flatlines."""
@@ -677,7 +816,26 @@ class SocketExecutor(_ExecutorContext):
                 return False
         return False
 
+    def abandon_telemetry(self) -> None:
+        """Close spans for tasks that will never report back.
+
+        Called by the dispatch loop before it ends the parent attempt
+        spans (and again from :meth:`close`, where it is a no-op if the
+        dispatcher already ran it) so no executor-held span outlives its
+        parent in the trace.
+        """
+        if self.telemetry is None:
+            return
+        for worker in self._workers:
+            if worker.assign_span >= 0:
+                self.telemetry.end(worker.assign_span, status="abandoned")
+                worker.assign_span = -1
+            if worker.hs_span >= 0:
+                self.telemetry.end(worker.hs_span, status="abandoned")
+                worker.hs_span = -1
+
     def close(self) -> None:
+        self.abandon_telemetry()
         for worker in self._workers:
             if worker.conn is not None:
                 try:
@@ -714,6 +872,7 @@ def make_executor(
     retry_policy=None,
     chaos_plan=None,
     on_event: Optional[Callable[..., None]] = None,
+    telemetry=None,
 ):
     """Build an executor from its spec name (see :data:`EXECUTORS`).
 
@@ -721,7 +880,10 @@ def make_executor(
     :class:`~repro.faults.plan.FaultPlan` of transport specs) arms fault
     injection -- worker-side for the socket transport, via the
     :class:`~repro.runner.resilience.ChaosExecutor` wrapper for the
-    others; ``on_event`` observes every recovery decision.
+    others; ``on_event`` observes every recovery decision; ``telemetry``
+    (a :class:`~repro.obs.runner.RunnerTelemetry`) arms transport spans
+    -- only the socket executor has parent-side state worth spanning;
+    pool/in-process compute spans ride completions instead.
     """
     if spec == "socket":
         return SocketExecutor(
@@ -729,6 +891,7 @@ def make_executor(
             retry_policy=retry_policy,
             chaos_plan=chaos_plan,
             on_event=on_event,
+            telemetry=telemetry,
         )
     if spec == "inprocess":
         inner = InProcessExecutor()

@@ -327,6 +327,10 @@ class SweepJournal:
     ``recover``  a transport recovery event (``event`` + audit fields)
     ``resume``   a restart over this journal (``recovered`` cell count)
     ``end``      the sweep finished (``n_runs``)
+    ``span``     a closed wall-clock telemetry span (``span`` dict; only
+                 written when tracing is armed -- ``repro trace sweep``
+                 rebuilds a timeline from these, and :func:`stats_of`
+                 ignores them like any unknown record kind)
 
     Records are flushed and fsynced as written, so after SIGKILL the
     journal is complete up to (at worst) one torn final line, which

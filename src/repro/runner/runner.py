@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.analysis.export import canonical_dumps
+from repro.obs.runner import SweepProgress
 from repro.runner.aggregate import (
     ExperimentRequest,
     aggregate_request,
@@ -93,6 +94,10 @@ class RunReport:
     #: runner-level observability snapshot (wall-clock progress events);
     #: deliberately NOT part of merged() -- wall times differ per run.
     obs: Optional[dict] = None
+    #: runner telemetry snapshot (wall-clock spans + metrics registry);
+    #: like ``obs``, never part of merged() -- spans live beside, not
+    #: inside, the deterministic artifacts.
+    telemetry: Optional[dict] = None
 
     def merged(self) -> dict:
         """The deterministic, regression-comparable view of the sweep."""
@@ -139,6 +144,8 @@ class ExperimentRunner:
         journal=None,
         resume: bool = False,
         chaos_plan=None,
+        telemetry=None,
+        progress: bool = False,
     ):
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel}")
@@ -192,6 +199,14 @@ class ExperimentRunner:
         #: kept out of every byte-compared artifact).
         self.obs = obs
         self._obs_runner = obs is not None and obs.wants("runner")
+        #: runner telemetry (wall-clock spans + metrics); a disabled
+        #: instance collapses to None so the off path is one `is not
+        #: None` check per instrumentation point.
+        self.telemetry = telemetry if (
+            telemetry is not None and telemetry.enabled
+        ) else None
+        self.progress = bool(progress)
+        self._sweep_span = -1
 
     def _emit(self, name: str, t0: float, **args) -> None:
         if self._obs_runner:
@@ -249,11 +264,20 @@ class ExperimentRunner:
         """
         arg = (cell.kind, cell.param_dict, cell.seed)
         policy = self.retry_policy
+        tel = self.telemetry
         for attempt in range(1, attempts + 1):
             try:
                 return _execute_cell_worker(arg)
             except Exception as exc:  # noqa: BLE001 - rethrown below
                 last = exc
+                if tel is not None:
+                    tel.metrics.counter(
+                        "retries",
+                        classification=(
+                            "poisonous" if policy.is_poisonous(exc)
+                            else self._classify(exc)
+                        ),
+                    ).inc()
                 if policy.is_poisonous(exc):
                     break
                 if attempt < attempts:
@@ -269,7 +293,18 @@ class ExperimentRunner:
                                cell=cell.cell_id, attempt=attempt,
                                backoff_s=backoff)
                     if backoff > 0.0:
-                        time.sleep(backoff)
+                        if tel is not None:
+                            with tel.span(
+                                "retry_backoff",
+                                cat="runner",
+                                parent=self._sweep_span,
+                                cell=cell.cell_id,
+                                attempt=attempt,
+                                backoff_s=backoff,
+                            ):
+                                time.sleep(backoff)
+                        else:
+                            time.sleep(backoff)
         self._journal_rec({
             "rec": "failed",
             "cell": cell.cell_id,
@@ -277,22 +312,56 @@ class ExperimentRunner:
         })
         raise CellExecutionError(cell.cell_id, last)
 
+    @staticmethod
+    def _classify(error: BaseException) -> str:
+        """Retry classification label for the telemetry registry."""
+        from concurrent.futures import BrokenExecutor
+
+        if isinstance(error, ChaosFault):
+            return "chaos"
+        if isinstance(error, (ExecutorError, BrokenExecutor, OSError)):
+            return "transport"
+        return "retryable"
+
     def _run_dispatch(
         self,
         to_run: list[Cell],
         cost_model: CostModel,
         on_result,
+        progress=None,
     ) -> None:
         """Run cells through the dispatch core over the chosen executor."""
         spec = self.executor_spec or (
             "pool" if self.parallel > 1 else "inprocess"
         )
+        tel = self.telemetry
 
         def recover_event(name: str, **fields) -> None:
             # one audit trail, two sinks: the obs plane (wall-clock
             # timeline) and the sweep journal (crash-safe record).
             self._emit(name, self._run_t0, **fields)
             self._journal_rec({"rec": "recover", "event": name, **fields})
+            if tel is not None and name in (
+                "chaos_refuse", "chaos_doom", "pool_rebuild", "pool_dead"
+            ):
+                # the socket executor and dispatch core span their own
+                # recovery; these are the paths with no telemetry handle.
+                point = (
+                    "chaos_injection"
+                    if name.startswith("chaos") else name
+                )
+                tel.instant(point, cat="transport", lane="fleet",
+                            event=name, **fields)
+                if name.startswith("chaos"):
+                    tel.metrics.counter(
+                        "chaos_injected", kind=fields.get("kind", name)
+                    ).inc()
+            if progress is not None:
+                if name.startswith("chaos"):
+                    progress.chaos += 1
+                elif name == "backfill":
+                    progress.retries += 1
+                progress.update()
 
         def local_retry(cell, last_error):
             # an in-process cell failure already consumed one parent
@@ -303,6 +372,10 @@ class ExperimentRunner:
                 last_error, (ChaosFault, ExecutorError)
             ):
                 attempts -= 1
+            if tel is not None:
+                tel.metrics.counter(
+                    "retries", classification=self._classify(last_error)
+                ).inc()
             return self._backfill(cell, last_error, attempts)
 
         with make_executor(
@@ -311,6 +384,7 @@ class ExperimentRunner:
             retry_policy=self.retry_policy,
             chaos_plan=self.chaos_plan,
             on_event=recover_event,
+            telemetry=tel,
         ) as executor:
             core = DispatchCore(
                 executor,
@@ -319,6 +393,8 @@ class ExperimentRunner:
                 on_result=on_result,
                 on_event=recover_event,
                 speculate=self.speculate if spec != "inprocess" else 0,
+                telemetry=tel,
+                parent_span=self._sweep_span if tel is not None else None,
             )
             core.run(to_run)
 
@@ -332,9 +408,26 @@ class ExperimentRunner:
             owns_journal = True
         prior = journal.stats() if journal and self.resume else None
         self._journal = journal
+        tel = self.telemetry
+        if tel is not None:
+            if journal is not None:
+                # span summaries ride the journal as they close, so a
+                # crashed run still reconstructs into a timeline.
+                tel.on_close = lambda span: self._journal_rec(
+                    {"rec": "span", "span": span}
+                )
+            self._sweep_span = tel.begin(
+                "sweep", cat="runner", n_requests=len(requests)
+            )
         try:
             return self._run(requests, t0, prior)
         finally:
+            if tel is not None:
+                # idempotent: _run already closed it with status "ok" on
+                # the way out; this covers the exception paths.
+                tel.end(self._sweep_span, status="error")
+                tel.on_close = None
+                self._sweep_span = -1
             self._journal = None
             if owns_journal:
                 journal.close()
@@ -358,10 +451,21 @@ class ExperimentRunner:
         payloads: dict[str, Any] = {}
         timings: dict[str, float] = {}
         cost_model = CostModel(hints=self.cost_hints)
+        tel = self.telemetry
+        cache_stats0 = (
+            self.cache.stats.as_dict() if self.cache is not None else None
+        )
         if self.cache is not None:
-            for cell_id, (payload, secs) in self.cache.get_many(
-                unique.values()
-            ).items():
+            lookup_span = -1
+            if tel is not None:
+                lookup_span = tel.begin(
+                    "cache_lookup", cat="cache", parent=self._sweep_span,
+                    lane="cache", n_cells=len(unique),
+                )
+            hits = self.cache.get_many(unique.values())
+            if tel is not None:
+                tel.end(lookup_span, hits=len(hits))
+            for cell_id, (payload, secs) in hits.items():
                 payloads[cell_id] = payload
                 timings[cell_id] = 0.0
                 # cached timings calibrate the cost model so the cells
@@ -414,6 +518,18 @@ class ExperimentRunner:
         if to_run:
             self._emit("dispatch", t0, n_cells=len(to_run),
                        parallel=self.parallel, dispatch=self.dispatch)
+            progress = (
+                SweepProgress(len(to_run)) if self.progress else None
+            )
+            pending = {c.cell_id: c for c in to_run}
+
+            def eta_s() -> float:
+                # CostModel-expected seconds of what's left, spread over
+                # the parallel slots: crude, monotone, good enough for a
+                # terminal line.
+                return sum(
+                    cost_model.estimate(c) for c in pending.values()
+                ) / max(1, self.parallel)
 
             def on_result(cell: Cell, payload: dict, secs: float) -> None:
                 # write-through: a result is cached the moment it lands,
@@ -429,19 +545,30 @@ class ExperimentRunner:
                 })
                 self._emit("cell_done", t0, cell=cell.cell_id,
                            compute_s=secs)
+                if progress is not None:
+                    pending.pop(cell.cell_id, None)
+                    progress.update(
+                        done=len(to_run) - len(pending), eta_s=eta_s()
+                    )
 
-            if self.dispatch == "core":
-                self._run_dispatch(to_run, cost_model, on_result)
-            else:
-                args = [(c.kind, c.param_dict, c.seed) for c in to_run]
-                if self.parallel > 1:
-                    results = self._run_parallel(to_run, args)
+            try:
+                if self.dispatch == "core":
+                    self._run_dispatch(
+                        to_run, cost_model, on_result, progress=progress
+                    )
                 else:
-                    results = [
-                        self._run_one(c, a) for c, a in zip(to_run, args)
-                    ]
-                for cell, (payload, secs) in zip(to_run, results):
-                    on_result(cell, payload, secs)
+                    args = [(c.kind, c.param_dict, c.seed) for c in to_run]
+                    if self.parallel > 1:
+                        results = self._run_parallel(to_run, args)
+                    else:
+                        results = [
+                            self._run_one(c, a) for c, a in zip(to_run, args)
+                        ]
+                    for cell, (payload, secs) in zip(to_run, results):
+                        on_result(cell, payload, secs)
+            finally:
+                if progress is not None:
+                    progress.close()
 
         self._journal_rec({"rec": "end", "n_runs": n_cell_runs})
 
@@ -457,6 +584,15 @@ class ExperimentRunner:
             self._emit("aggregate", t0, experiment=req.experiment_id)
 
         cells_sorted = {cid: payloads[cid] for cid in sorted(payloads)}
+        if tel is not None:
+            if cache_stats0 is not None:
+                # this sweep's share of the (cumulative) cache stats.
+                now = self.cache.stats.as_dict()
+                for key in ("hits", "misses", "corrupted", "writes"):
+                    delta = now[key] - cache_stats0[key]
+                    if delta:
+                        tel.metrics.counter(f"cache_{key}").inc(delta)
+            tel.end(self._sweep_span, status="ok")
         return RunReport(
             experiments=experiments,
             cells=cells_sorted,
@@ -471,4 +607,5 @@ class ExperimentRunner:
                 if self.obs is not None
                 else None
             ),
+            telemetry=tel.snapshot() if tel is not None else None,
         )

@@ -24,6 +24,11 @@ dependency-free).  Frame types:
 * parent -> worker: ``task`` (task_id, kind, params, seed),
   ``shutdown``.
 
+When runner telemetry is on, the ``task`` frame carries an optional
+``span`` trace-context field and replies carry a ``spans`` list of
+worker-side compute spans (see :func:`_run_task`).  Both fields are
+ignorable: an old worker drops ``span``, an old parent drops ``spans``.
+
 JSON round-trips every payload float exactly (``repr``-based shortest
 form both ways), so a payload computed by a socket worker is
 byte-identical to the same cell computed in-process -- the property the
@@ -104,24 +109,46 @@ def _canonical_params(params: dict) -> dict:
 
 
 def _run_task(frame: dict) -> dict:
-    """Execute one cell spec; always returns a reply frame."""
+    """Execute one cell spec; always returns a reply frame.
+
+    When the task frame carries a ``span`` trace-context field (the
+    parent-side span id of this assignment), the reply grows a
+    ``spans`` list with this worker's compute span -- *beside*, never
+    inside, the payload, so payload bytes (and hence cache entries and
+    merged reports) are identical with tracing on or off.  Workers
+    predating the field never see it; parents tolerate replies without
+    ``spans`` -- the protocol is compatible in both directions.
+    """
     from repro.runner.cells import Cell, execute_cell
 
     task_id = frame["task_id"]
+    span_parent = frame.get("span")
+    w0 = time.time()
     try:
         cell = Cell.make(
             frame["kind"], _canonical_params(frame["params"]), frame["seed"]
         )
         t0 = time.perf_counter()
         payload = execute_cell(cell)
-        return {
+        reply = {
             "type": "result",
             "task_id": task_id,
             "payload": payload,
             "compute_s": time.perf_counter() - t0,
         }
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
-        return {"type": "error", "task_id": task_id, "error": repr(exc)}
+        reply = {"type": "error", "task_id": task_id, "error": repr(exc)}
+    if span_parent is not None:
+        reply["spans"] = [{
+            "name": "compute",
+            "cat": "worker",
+            "parent": span_parent,
+            "t0": w0,
+            "t1": time.time(),
+            "status": "ok" if reply["type"] == "result" else "error",
+            "args": {"pid": os.getpid(), "kind": frame.get("kind")},
+        }]
+    return reply
 
 
 class _Pinger:
